@@ -1,0 +1,202 @@
+// Package repro's root benchmarks regenerate every table and figure of
+// the paper's evaluation (Section 6). Each testing.B benchmark runs one
+// full experiment per iteration and prints the same rows/series the
+// paper reports, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the entire evaluation. The cmd/seemore-bench binary runs
+// the same experiments with longer measurement windows and CLI control.
+package repro
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+// benchOpts returns measurement windows sized for `go test -bench`: long
+// enough for stable shapes, short enough that the full suite finishes in
+// a few minutes. cmd/seemore-bench uses longer windows.
+func benchOpts() bench.Options {
+	return bench.Options{
+		Warmup:  100 * time.Millisecond,
+		Measure: 300 * time.Millisecond,
+	}
+}
+
+func benchClients() []int { return []int{1, 4, 16, 64} }
+
+const benchSeed = 20260612
+
+func runFigureBenchmark(b *testing.B, id string) {
+	b.Helper()
+	fig, ok := bench.FigureByID(id)
+	if !ok {
+		b.Fatalf("unknown figure %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		series, err := bench.RunFigure(fig, benchClients(), benchOpts(), benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			bench.PrintFigure(os.Stdout, fig, series)
+			for _, s := range series {
+				b.ReportMetric(bench.Peak(s)/1000, "peak-kreq/s:"+s.Label)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure2a reproduces Figure 2(a): f = 2 (c = 1, m = 1), 0/0.
+// Expected shape: CFT ≥ Lion > Dog > Peacock > S-UpRight ≥ BFT.
+func BenchmarkFigure2a(b *testing.B) { runFigureBenchmark(b, "2a") }
+
+// BenchmarkFigure2b reproduces Figure 2(b): f = 4 (c = 2, m = 2), 0/0.
+// Expected shape: Dog ≈ Lion; Peacock beats S-UpRight and BFT.
+func BenchmarkFigure2b(b *testing.B) { runFigureBenchmark(b, "2b") }
+
+// BenchmarkFigure2c reproduces Figure 2(c): f = 4 (c = 1, m = 3), 0/0.
+// Expected shape: the m-heavy mix pulls SeeMoRe toward BFT's cost.
+func BenchmarkFigure2c(b *testing.B) { runFigureBenchmark(b, "2c") }
+
+// BenchmarkFigure2d reproduces Figure 2(d): f = 4 (c = 3, m = 1), 0/0.
+// Expected shape: Dog and Peacock (public-cloud agreement, small m) beat
+// Lion and CFT (whose quorums grew with c).
+func BenchmarkFigure2d(b *testing.B) { runFigureBenchmark(b, "2d") }
+
+// BenchmarkFigure3a reproduces Figure 3(a): benchmark 0/4 (4 KB replies).
+func BenchmarkFigure3a(b *testing.B) { runFigureBenchmark(b, "3a") }
+
+// BenchmarkFigure3b reproduces Figure 3(b): benchmark 4/0 (4 KB
+// requests). Request payloads hurt more than replies: every protocol
+// retransmits the request between replicas.
+func BenchmarkFigure3b(b *testing.B) { runFigureBenchmark(b, "3b") }
+
+// BenchmarkFigure4 reproduces Figure 4: the throughput timeline across a
+// primary crash with c = m = 1. Expected shape: outage(Lion) <
+// outage(Dog) < outage(Peacock) < outage(S-UpRight/BFT), full recovery
+// after.
+func BenchmarkFigure4(b *testing.B) {
+	opts := bench.TimelineOptions{
+		Clients:   16,
+		Bucket:    20 * time.Millisecond,
+		RunFor:    1800 * time.Millisecond,
+		FailAfter: 600 * time.Millisecond,
+	}
+	for i := 0; i < b.N; i++ {
+		var tls []bench.Timeline
+		for _, comp := range bench.Figure4Competitors(benchSeed) {
+			tl, err := bench.RunTimeline(comp.Label, comp.Spec, opts, benchSeed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tls = append(tls, tl)
+		}
+		if i == 0 {
+			bench.PrintTimelines(os.Stdout, tls, opts)
+			for _, tl := range tls {
+				b.ReportMetric(float64(tl.Outage.Milliseconds()), "outage-ms:"+tl.Label)
+			}
+		}
+	}
+}
+
+// BenchmarkTable1 reproduces Table 1: phases, message complexity,
+// receiving network and quorum sizes (analytic) alongside measured
+// messages and bytes per request from an instrumented run.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.MeasureTable1(1, 1, 50, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			bench.PrintTable1(os.Stdout, rows, 1, 1)
+			for _, r := range rows {
+				b.ReportMetric(r.MeasuredMsgs, "msgs/req:"+r.Protocol)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationSigner isolates signature-scheme cost on the Lion
+// mode: ed25519 vs HMAC vs none.
+func BenchmarkAblationSigner(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := bench.AblationSigner(benchClients(), benchOpts(), benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			bench.PrintAblation(os.Stdout, "signature scheme (Lion, 0/0)", "clients", series)
+		}
+	}
+}
+
+// BenchmarkAblationProxyCount measures the cost of over-provisioning the
+// public cloud beyond 3m+1 nodes in the Dog mode.
+func BenchmarkAblationProxyCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := bench.AblationProxyCount(benchClients(), benchOpts(), benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			bench.PrintAblation(os.Stdout, "public cloud size (Dog, 0/0)", "clients", series)
+		}
+	}
+}
+
+// BenchmarkAblationCommitPayload compares Lion commits carrying µ (the
+// paper's choice) against digest-only commits on the 4/0 benchmark.
+func BenchmarkAblationCommitPayload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := bench.AblationCommitPayload(benchClients(), benchOpts(), benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			bench.PrintAblation(os.Stdout, "Lion commit payload (4/0)", "clients", series)
+		}
+	}
+}
+
+// BenchmarkAblationCheckpointPeriod sweeps the checkpoint period on the
+// Lion mode.
+func BenchmarkAblationCheckpointPeriod(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := bench.AblationCheckpointPeriod(benchClients(), benchOpts(), benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			bench.PrintAblation(os.Stdout, "checkpoint period (Lion, 0/0)", "clients", series)
+		}
+	}
+}
+
+// BenchmarkAblationCrossCloudLatency sweeps the private↔public distance
+// to find the Lion/Peacock crossover that motivates Section 5.3.
+func BenchmarkAblationCrossCloudLatency(b *testing.B) {
+	lat := []time.Duration{
+		50 * time.Microsecond,
+		250 * time.Microsecond,
+		1 * time.Millisecond,
+		4 * time.Millisecond,
+	}
+	for i := 0; i < b.N; i++ {
+		series, err := bench.AblationCrossCloudLatency(lat, 16, benchOpts(), benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			bench.PrintAblation(os.Stdout, "cross-cloud one-way latency (clients near public cloud)", "lat(µs)", series)
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Command seemore-bench regenerates the paper's evaluation with CLI
+// control over measurement windows and load sweeps.
+//
+//	seemore-bench -exp all                # everything (several minutes)
+//	seemore-bench -exp fig2a              # one figure
+//	seemore-bench -exp table1
+//	seemore-bench -exp fig4
+//	seemore-bench -exp ablation-signer
+//	seemore-bench -exp fig2a -measure 1s -clients 1,4,16,64,128
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: all, table1, fig2a, fig2b, fig2c, fig2d, fig3a, fig3b, fig4, ablation-signer, ablation-proxies, ablation-commit, ablation-checkpoint, ablation-crosscloud")
+		measure = flag.Duration("measure", 500*time.Millisecond, "measurement window per load point")
+		warmup  = flag.Duration("warmup", 150*time.Millisecond, "warmup before each measurement")
+		clients = flag.String("clients", "1,2,4,8,16,32,64", "comma-separated closed-loop client counts")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		reqs    = flag.Int("table1-requests", 100, "requests per protocol for Table 1 message counting")
+	)
+	flag.Parse()
+
+	counts, err := parseCounts(*clients)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := bench.Options{Warmup: *warmup, Measure: *measure}
+
+	run := func(name string) {
+		switch name {
+		case "table1":
+			rows, err := bench.MeasureTable1(1, 1, *reqs, *seed)
+			if err != nil {
+				log.Fatalf("table1: %v", err)
+			}
+			bench.PrintTable1(os.Stdout, rows, 1, 1)
+		case "fig2a", "fig2b", "fig2c", "fig2d", "fig3a", "fig3b":
+			id := strings.TrimPrefix(name, "fig")
+			fig, ok := bench.FigureByID(id)
+			if !ok {
+				log.Fatalf("unknown figure %s", id)
+			}
+			series, err := bench.RunFigure(fig, counts, opts, *seed)
+			if err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+			bench.PrintFigure(os.Stdout, fig, series)
+		case "fig4":
+			tlOpts := bench.TimelineOptions{
+				Clients:   16,
+				Bucket:    20 * time.Millisecond,
+				RunFor:    2400 * time.Millisecond,
+				FailAfter: 800 * time.Millisecond,
+			}
+			var tls []bench.Timeline
+			for _, comp := range bench.Figure4Competitors(*seed) {
+				tl, err := bench.RunTimeline(comp.Label, comp.Spec, tlOpts, *seed)
+				if err != nil {
+					log.Fatalf("fig4 %s: %v", comp.Label, err)
+				}
+				tls = append(tls, tl)
+			}
+			bench.PrintTimelines(os.Stdout, tls, tlOpts)
+		case "ablation-signer":
+			series, err := bench.AblationSigner(counts, opts, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			bench.PrintAblation(os.Stdout, "signature scheme (Lion, 0/0)", "clients", series)
+		case "ablation-proxies":
+			series, err := bench.AblationProxyCount(counts, opts, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			bench.PrintAblation(os.Stdout, "public cloud size (Dog, 0/0)", "clients", series)
+		case "ablation-commit":
+			series, err := bench.AblationCommitPayload(counts, opts, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			bench.PrintAblation(os.Stdout, "Lion commit payload (4/0)", "clients", series)
+		case "ablation-checkpoint":
+			series, err := bench.AblationCheckpointPeriod(counts, opts, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			bench.PrintAblation(os.Stdout, "checkpoint period (Lion, 0/0)", "clients", series)
+		case "ablation-crosscloud":
+			lat := []time.Duration{50 * time.Microsecond, 250 * time.Microsecond, time.Millisecond, 4 * time.Millisecond}
+			series, err := bench.AblationCrossCloudLatency(lat, 16, opts, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			bench.PrintAblation(os.Stdout, "cross-cloud latency (Lion vs Peacock)", "lat(µs)", series)
+		default:
+			log.Fatalf("unknown experiment %q", name)
+		}
+		fmt.Println()
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{
+			"table1", "fig2a", "fig2b", "fig2c", "fig2d", "fig3a", "fig3b", "fig4",
+			"ablation-signer", "ablation-proxies", "ablation-commit",
+			"ablation-checkpoint", "ablation-crosscloud",
+		} {
+			fmt.Printf("=== %s ===\n", name)
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}
+
+func parseCounts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad client count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,139 @@
+// Command seemore-client issues key/value operations against a TCP
+// SeeMoRe cluster started with cmd/seemore.
+//
+//	seemore-client -peers 0=127.0.0.1:7000,...,5=127.0.0.1:7005 \
+//	  -s 2 -p 4 -c 1 -m 1 -op put -key greeting -value hello
+//	seemore-client ... -op get -key greeting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/client"
+	"repro/internal/config"
+	"repro/internal/crypto"
+	"repro/internal/ids"
+	"repro/internal/statemachine"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		id      = flag.Int64("client", 0, "client id")
+		s       = flag.Int("s", 2, "private cloud size S")
+		p       = flag.Int("p", 4, "public cloud size P")
+		c       = flag.Int("c", 1, "crash bound c")
+		m       = flag.Int("m", 1, "Byzantine bound m")
+		mode    = flag.String("mode", "lion", "cluster's initial mode: lion, dog, peacock")
+		peers   = flag.String("peers", "", "comma-separated id=host:port replica list")
+		seed    = flag.Int64("seed", 1, "shared key-derivation seed")
+		clients = flag.Int64("clients", 64, "keyring client count (must match the servers)")
+		suiteFl = flag.String("suite", "ed25519", "signature suite: ed25519, hmac, none")
+		op      = flag.String("op", "get", "operation: get, put, del, add")
+		key     = flag.String("key", "", "key")
+		value   = flag.String("value", "", "value (put)")
+		delta   = flag.Int64("delta", 0, "delta (add)")
+		repeat  = flag.Int("n", 1, "repeat the operation n times")
+	)
+	flag.Parse()
+
+	mb, err := ids.NewMembership(*s, *p, *c, *m)
+	if err != nil {
+		log.Fatalf("membership: %v", err)
+	}
+	md, err := parseMode(*mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	peerMap, err := parsePeers(*peers)
+	if err != nil {
+		log.Fatalf("peers: %v", err)
+	}
+	if len(peerMap) != mb.N() {
+		log.Fatalf("peer list has %d entries, cluster has %d replicas", len(peerMap), mb.N())
+	}
+
+	node, err := transport.NewTCPNode(transport.ClientAddr(ids.ClientID(*id)), "127.0.0.1:0", peerMap)
+	if err != nil {
+		log.Fatalf("client transport: %v", err)
+	}
+	var suite crypto.Suite
+	switch strings.ToLower(*suiteFl) {
+	case "ed25519":
+		suite = crypto.NewEd25519Suite(*seed, mb.N(), *clients)
+	case "hmac":
+		suite = crypto.NewHMACSuite(*seed, mb.N(), *clients)
+	case "none":
+		suite = crypto.NoopSuite{}
+	default:
+		log.Fatalf("unknown suite %q", *suiteFl)
+	}
+
+	cl := client.New(ids.ClientID(*id), suite, transport.Single(node),
+		client.NewSeeMoRePolicy(mb, md), config.DefaultTiming())
+
+	var encoded []byte
+	switch strings.ToLower(*op) {
+	case "get":
+		encoded = statemachine.EncodeGet(*key)
+	case "put":
+		encoded = statemachine.EncodePut(*key, []byte(*value))
+	case "del":
+		encoded = statemachine.EncodeDelete(*key)
+	case "add":
+		encoded = statemachine.EncodeAdd(*key, *delta)
+	default:
+		log.Fatalf("unknown op %q", *op)
+	}
+
+	for i := 0; i < *repeat; i++ {
+		res, err := cl.Invoke(encoded)
+		if err != nil {
+			log.Fatalf("invoke: %v", err)
+		}
+		status, payload := statemachine.DecodeResult(res)
+		switch status {
+		case statemachine.KVOK:
+			fmt.Printf("OK %q\n", payload)
+		case statemachine.KVNotFound:
+			fmt.Println("NOT FOUND")
+		default:
+			fmt.Println("BAD OPERATION")
+		}
+	}
+}
+
+func parseMode(s string) (ids.Mode, error) {
+	switch strings.ToLower(s) {
+	case "lion":
+		return ids.Lion, nil
+	case "dog":
+		return ids.Dog, nil
+	case "peacock":
+		return ids.Peacock, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", s)
+	}
+}
+
+func parsePeers(s string) (map[transport.Addr]string, error) {
+	out := make(map[transport.Addr]string)
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("malformed peer entry %q", part)
+		}
+		var id int
+		if _, err := fmt.Sscanf(kv[0], "%d", &id); err != nil {
+			return nil, fmt.Errorf("malformed peer id %q", kv[0])
+		}
+		out[transport.ReplicaAddr(ids.ReplicaID(id))] = kv[1]
+	}
+	return out, nil
+}

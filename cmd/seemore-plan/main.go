@@ -1,0 +1,94 @@
+// Command seemore-plan is the Section-4 capacity planner: given a
+// private cloud and the public cloud's failure statistics, it computes
+// how many public nodes to rent so the hybrid network-size constraint
+// N = 3m + 2c + 1 holds.
+//
+//	seemore-plan -s 2 -c 1 -alpha 0.3
+//	→ rent 10 public nodes (the paper's worked example)
+//
+//	seemore-plan -s 2 -c 1 -alpha 0.2 -beta 0.05   # Equation 3
+//	seemore-plan -s 2 -c 1 -max-byz 1              # cluster-bound variant
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/config"
+	"repro/internal/ids"
+)
+
+func main() {
+	var (
+		s        = flag.Int("s", 2, "private cloud size S")
+		c        = flag.Int("c", 1, "crash bound c in the private cloud")
+		alpha    = flag.Float64("alpha", -1, "malicious ratio α = m/P of the public cloud (uniform model)")
+		beta     = flag.Float64("beta", 0, "crash ratio β of the public cloud (uniform model, optional)")
+		maxByz   = flag.Int("max-byz", -1, "max concurrent Byzantine failures M in the rented cluster (bound model)")
+		maxCrash = flag.Int("max-crash", 0, "max concurrent crash failures C in the rented cluster (bound model)")
+	)
+	flag.Parse()
+
+	var (
+		p     int
+		err   error
+		model string
+	)
+	switch {
+	case *alpha >= 0 && *beta > 0:
+		p, err = config.PublicNodesUniformMixed(*s, *c, *alpha, *beta)
+		model = fmt.Sprintf("uniform model, α=%.3f β=%.3f (Equation 3)", *alpha, *beta)
+	case *alpha >= 0:
+		p, err = config.PublicNodesUniform(*s, *c, *alpha)
+		model = fmt.Sprintf("uniform model, α=%.3f (Equation 2)", *alpha)
+	case *maxByz >= 0 && *maxCrash > 0:
+		p, err = config.PublicNodesBoundedMixed(*s, *c, *maxByz, *maxCrash)
+		model = fmt.Sprintf("bound model, M=%d C=%d", *maxByz, *maxCrash)
+	case *maxByz >= 0:
+		p, err = config.PublicNodesBounded(*s, *c, *maxByz)
+		model = fmt.Sprintf("bound model, M=%d", *maxByz)
+	default:
+		fmt.Fprintln(os.Stderr, "specify -alpha (uniform failure model) or -max-byz (cluster bound model)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	report(p, err, *s, *c, model)
+}
+
+func report(p int, err error, s, c int, model string) {
+	fmt.Printf("private cloud: S=%d, tolerating c=%d crashes\n", s, c)
+	fmt.Printf("public cloud model: %s\n", model)
+	switch {
+	case errors.Is(err, config.ErrNoRentalNeeded):
+		fmt.Printf("→ no rental needed: S ≥ 2c+1 = %d, run a crash fault-tolerant protocol locally\n", 2*c+1)
+	case errors.Is(err, config.ErrPrivateCloudUseless):
+		fmt.Println("→ the private cloud contributes no healthy majority (S ≤ c); rent everything and run plain BFT")
+	case errors.Is(err, config.ErrPublicCloudTooFaulty):
+		fmt.Println("→ infeasible: the public cloud's failure ratio is too high (α ≥ 1/3); choose another provider")
+	case err != nil:
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		os.Exit(1)
+	default:
+		fmt.Printf("→ rent P = %d public nodes (network size N = %d)\n", p, s+p)
+		if mb, merr := ids.NewMembership(s, p, c, estimateByz(p, model)); merr == nil {
+			fmt.Printf("  quorums: Lion %d, Dog/Peacock %d (proxies: %d)\n",
+				mb.AgreementQuorum(ids.Lion), mb.AgreementQuorum(ids.Dog), mb.ProxyCount())
+		}
+	}
+}
+
+// estimateByz derives the m implied by the model for quorum reporting;
+// a rough helper, not part of the protocol.
+func estimateByz(p int, model string) int {
+	var alpha float64
+	if _, err := fmt.Sscanf(model, "uniform model, α=%f", &alpha); err == nil {
+		return int(alpha * float64(p))
+	}
+	var m int
+	if _, err := fmt.Sscanf(model, "bound model, M=%d", &m); err == nil {
+		return m
+	}
+	return 0
+}

@@ -1,0 +1,135 @@
+// Command seemore runs one SeeMoRe replica over real TCP, for
+// multi-process (or multi-machine) deployments.
+//
+// Example 6-node hybrid cluster (S=2, P=4, c=1, m=1) on one machine:
+//
+//	for i in 0 1 2 3 4 5; do
+//	  seemore -id $i -s 2 -p 4 -c 1 -m 1 \
+//	    -listen 127.0.0.1:$((7000+i)) \
+//	    -peers 0=127.0.0.1:7000,1=127.0.0.1:7001,2=127.0.0.1:7002,3=127.0.0.1:7003,4=127.0.0.1:7004,5=127.0.0.1:7005 &
+//	done
+//
+// Then issue requests with cmd/seemore-client. All nodes must share
+// -seed (deterministic key derivation stands in for key distribution).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/ids"
+	"repro/internal/statemachine"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		id      = flag.Int("id", 0, "replica id in [0, S+P)")
+		s       = flag.Int("s", 2, "private cloud size S")
+		p       = flag.Int("p", 4, "public cloud size P")
+		c       = flag.Int("c", 1, "crash bound c (private cloud)")
+		m       = flag.Int("m", 1, "Byzantine bound m (public cloud)")
+		mode    = flag.String("mode", "lion", "initial mode: lion, dog, peacock")
+		listen  = flag.String("listen", "127.0.0.1:7000", "listen address")
+		peers   = flag.String("peers", "", "comma-separated id=host:port peer list")
+		seed    = flag.Int64("seed", 1, "shared key-derivation seed")
+		clients = flag.Int64("clients", 64, "number of client identities in the keyring")
+		suite   = flag.String("suite", "ed25519", "signature suite: ed25519, hmac, none")
+	)
+	flag.Parse()
+
+	mb, err := ids.NewMembership(*s, *p, *c, *m)
+	if err != nil {
+		log.Fatalf("membership: %v", err)
+	}
+	md, err := parseMode(*mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl, err := config.NewCluster(mb, md, config.DefaultTiming())
+	if err != nil {
+		log.Fatalf("cluster config: %v", err)
+	}
+
+	peerMap, err := parsePeers(*peers)
+	if err != nil {
+		log.Fatalf("peers: %v", err)
+	}
+	node, err := transport.NewTCPNode(transport.ReplicaAddr(ids.ReplicaID(*id)), *listen, peerMap)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+
+	replica, err := core.NewReplica(core.Options{
+		ID:           ids.ReplicaID(*id),
+		Cluster:      cl,
+		Suite:        pickSuite(*suite, *seed, mb.N(), *clients),
+		Network:      transport.Single(node),
+		StateMachine: statemachine.NewKVStore(),
+	})
+	if err != nil {
+		log.Fatalf("replica: %v", err)
+	}
+	replica.Start()
+	log.Printf("seemore replica %d up: %v, mode %s, listening on %s", *id, mb, md, node.ListenAddr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+	replica.Stop()
+}
+
+func parseMode(s string) (ids.Mode, error) {
+	switch strings.ToLower(s) {
+	case "lion":
+		return ids.Lion, nil
+	case "dog":
+		return ids.Dog, nil
+	case "peacock":
+		return ids.Peacock, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (lion, dog, peacock)", s)
+	}
+}
+
+func parsePeers(s string) (map[transport.Addr]string, error) {
+	out := make(map[transport.Addr]string)
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("malformed peer entry %q (want id=host:port)", part)
+		}
+		var id int
+		if _, err := fmt.Sscanf(kv[0], "%d", &id); err != nil {
+			return nil, fmt.Errorf("malformed peer id %q", kv[0])
+		}
+		out[transport.ReplicaAddr(ids.ReplicaID(id))] = kv[1]
+	}
+	return out, nil
+}
+
+func pickSuite(name string, seed int64, replicas int, clients int64) crypto.Suite {
+	switch strings.ToLower(name) {
+	case "ed25519":
+		return crypto.NewEd25519Suite(seed, replicas, clients)
+	case "hmac":
+		return crypto.NewHMACSuite(seed, replicas, clients)
+	case "none":
+		return crypto.NoopSuite{}
+	default:
+		log.Fatalf("unknown suite %q", name)
+		return nil
+	}
+}

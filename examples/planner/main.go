@@ -1,0 +1,81 @@
+// Planner: a walk-through of the Section-4 capacity-planning method.
+//
+//	go run ./examples/planner
+//
+// An enterprise owns a small private cloud and must decide how many
+// nodes to rent from candidate public-cloud providers with different
+// failure statistics — including the regimes where renting is
+// unnecessary or futile.
+package main
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/ids"
+)
+
+func main() {
+	fmt.Println("SeeMoRe capacity planning (Section 4)")
+	fmt.Println()
+
+	// The paper's worked example: 2 servers, 1 may crash, provider
+	// advertises a 30% malicious ratio.
+	show(2, 1, func() (int, error) { return config.PublicNodesUniform(2, 1, 0.3) },
+		"provider A: uniform failure ratio α = 0.30")
+
+	// A healthier provider needs fewer nodes.
+	show(2, 1, func() (int, error) { return config.PublicNodesUniform(2, 1, 0.1) },
+		"provider B: uniform failure ratio α = 0.10")
+
+	// A provider that distinguishes malicious from crash statistics
+	// (Equation 3).
+	show(2, 1, func() (int, error) { return config.PublicNodesUniformMixed(2, 1, 0.1, 0.1) },
+		"provider C: α = 0.10 malicious, β = 0.10 crash")
+
+	// A provider that guarantees a concurrent-failure bound instead.
+	show(2, 1, func() (int, error) { return config.PublicNodesBounded(2, 1, 1) },
+		"provider D: at most M = 1 concurrent Byzantine failure")
+
+	// Degenerate regimes the paper walks through.
+	show(3, 1, func() (int, error) { return config.PublicNodesUniform(3, 1, 0.3) },
+		"a private cloud with S = 3 ≥ 2c+1")
+	show(1, 1, func() (int, error) { return config.PublicNodesUniform(1, 1, 0.3) },
+		"a private cloud where every node may crash (S = c)")
+	show(2, 1, func() (int, error) { return config.PublicNodesUniform(2, 1, 0.4) },
+		"provider E: α = 0.40 ≥ 1/3")
+}
+
+func show(s, c int, plan func() (int, error), scenario string) {
+	fmt.Printf("S=%d c=%d — %s\n", s, c, scenario)
+	p, err := plan()
+	switch {
+	case errors.Is(err, config.ErrNoRentalNeeded):
+		fmt.Printf("  → no rental needed; run Paxos on the private cloud alone\n\n")
+	case errors.Is(err, config.ErrPrivateCloudUseless):
+		fmt.Printf("  → private cloud contributes nothing; rent everything and run PBFT\n\n")
+	case errors.Is(err, config.ErrPublicCloudTooFaulty):
+		fmt.Printf("  → infeasible: no rental size can satisfy N = 3m+2c+1\n\n")
+	case err != nil:
+		fmt.Printf("  → error: %v\n\n", err)
+	default:
+		m := estimateM(p, s, c)
+		fmt.Printf("  → rent P = %d nodes (N = %d)\n", p, s+p)
+		if mb, merr := ids.NewMembership(s, p, c, m); merr == nil {
+			fmt.Printf("    Lion quorum %d, Dog/Peacock quorum %d over %d proxies\n",
+				mb.AgreementQuorum(ids.Lion), mb.AgreementQuorum(ids.Dog), mb.ProxyCount())
+		}
+		fmt.Println()
+	}
+}
+
+// estimateM back-solves the Byzantine bound the rented size supports:
+// the largest m with S+P ≥ 3m+2c+1.
+func estimateM(p, s, c int) int {
+	m := (s + p - 2*c - 1) / 3
+	if m < 0 {
+		m = 0
+	}
+	return m
+}

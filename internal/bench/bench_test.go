@@ -1,0 +1,326 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Short measurement windows keep the test suite quick while still
+// exercising every code path of the harness.
+func quickOpts() Options {
+	return Options{Warmup: 40 * time.Millisecond, Measure: 120 * time.Millisecond}
+}
+
+func TestWorkloads(t *testing.T) {
+	cases := []struct {
+		w        Workload
+		req, rep int
+	}{
+		{Benchmark00(), 0, 0},
+		{Benchmark04(), 0, 4096},
+		{Benchmark40(), 4096, 0},
+	}
+	for _, tc := range cases {
+		if len(tc.w.NewOp()) != tc.req {
+			t.Errorf("%s: op size %d, want %d", tc.w.Name, len(tc.w.NewOp()), tc.req)
+		}
+		sm := tc.w.NewStateMachine()
+		if got := len(sm.Apply(tc.w.NewOp())); got != tc.rep {
+			t.Errorf("%s: reply size %d, want %d", tc.w.Name, got, tc.rep)
+		}
+	}
+}
+
+func TestFigureSpecs(t *testing.T) {
+	figs := Figures()
+	if len(figs) != 6 {
+		t.Fatalf("%d figures, want 6 (2a-2d, 3a, 3b)", len(figs))
+	}
+	wantIDs := []string{"2a", "2b", "2c", "2d", "3a", "3b"}
+	for i, id := range wantIDs {
+		if figs[i].ID != id {
+			t.Errorf("figure %d = %s, want %s", i, figs[i].ID, id)
+		}
+		if _, ok := FigureByID(id); !ok {
+			t.Errorf("FigureByID(%s) missing", id)
+		}
+	}
+	if _, ok := FigureByID("9z"); ok {
+		t.Error("bogus figure id found")
+	}
+	// Failure mixes must match the paper.
+	if figs[1].Crash != 2 || figs[1].Byz != 2 {
+		t.Error("2b mix wrong")
+	}
+	if figs[2].Crash != 1 || figs[2].Byz != 3 {
+		t.Error("2c mix wrong")
+	}
+	if figs[3].Crash != 3 || figs[3].Byz != 1 {
+		t.Error("2d mix wrong")
+	}
+	if figs[4].Workload.ReplySize != 4096 || figs[5].Workload.RequestSize != 4096 {
+		t.Error("figure 3 payloads wrong")
+	}
+}
+
+func TestCompetitorsCoverPaperLines(t *testing.T) {
+	comps := Competitors(1, 1, 1)
+	want := map[string]bool{"CFT": true, "BFT": true, "S-UpRight": true, "Lion": true, "Dog": true, "Peacock": true}
+	for _, c := range comps {
+		delete(want, c.Label)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing competitor lines: %v", want)
+	}
+}
+
+func TestMeasurePointProducesThroughput(t *testing.T) {
+	comp := Competitors(1, 1, 3)[5] // CFT: cheapest
+	p, err := MeasurePoint(comp.Spec, Benchmark00(), 4, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Throughput <= 0 {
+		t.Fatal("no throughput measured")
+	}
+	if p.Mean <= 0 || p.P50 <= 0 || p.P99 < p.P50 {
+		t.Fatalf("broken latency stats: %+v", p)
+	}
+	if p.Errors != 0 {
+		t.Fatalf("%d errors in a failure-free run", p.Errors)
+	}
+}
+
+func TestSweepAndPrint(t *testing.T) {
+	comp := Competitors(1, 1, 4)[4] // Lion
+	s, err := Sweep(comp.Label, comp.Spec, Benchmark00(), []int{1, 4}, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 2 {
+		t.Fatalf("%d points", len(s.Points))
+	}
+	if Peak(s) <= 0 {
+		t.Fatal("no peak")
+	}
+	var buf bytes.Buffer
+	fig, _ := FigureByID("2a")
+	PrintFigure(&buf, fig, []Series{s})
+	out := buf.String()
+	if !strings.Contains(out, "Figure 2a") || !strings.Contains(out, "Lion") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestTimelineObservesOutage(t *testing.T) {
+	comp := Competitors(1, 1, 5)[4] // Lion
+	opts := TimelineOptions{
+		Clients:   4,
+		Bucket:    20 * time.Millisecond,
+		RunFor:    900 * time.Millisecond,
+		FailAfter: 300 * time.Millisecond,
+	}
+	tl, err := RunTimeline(comp.Label, comp.Spec, opts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Buckets) == 0 {
+		t.Fatal("no buckets")
+	}
+	// Steady state before the crash must show throughput.
+	pre := 0.0
+	for _, b := range tl.Buckets {
+		if b.At < opts.FailAfter {
+			pre += b.Throughput
+		}
+	}
+	if pre <= 0 {
+		t.Fatal("no pre-crash throughput")
+	}
+	// There must be a visible outage after the crash (view-change time).
+	if tl.Outage < 20*time.Millisecond {
+		t.Fatalf("outage %v implausibly small for a primary crash", tl.Outage)
+	}
+	// And recovery: completions after the outage.
+	post := 0.0
+	for _, b := range tl.Buckets {
+		if b.At > opts.FailAfter+400*time.Millisecond {
+			post += b.Throughput
+		}
+	}
+	if post <= 0 {
+		t.Fatal("no post-recovery throughput: view change did not restore service")
+	}
+	var buf bytes.Buffer
+	PrintTimelines(&buf, []Timeline{tl}, opts)
+	if !strings.Contains(buf.String(), "Figure 4") {
+		t.Fatal("printer output wrong")
+	}
+}
+
+func TestFigure4CompetitorsExcludeCFT(t *testing.T) {
+	for _, comp := range Figure4Competitors(1) {
+		if comp.Label == "CFT" {
+			t.Fatal("Figure 4 must not include CFT (the paper plots BFT, S-UpRight and the modes)")
+		}
+	}
+	if len(Figure4Competitors(1)) != 5 {
+		t.Fatalf("want 5 figure-4 lines")
+	}
+}
+
+func TestAnalyticTable1MatchesPaper(t *testing.T) {
+	rows := AnalyticTable1()
+	byName := map[string]TableRow{}
+	for _, r := range rows {
+		byName[r.Protocol] = r
+	}
+	if r := byName["Lion"]; r.Phases != 2 || r.MessageComplexity != "O(n)" || r.QuorumSize != "2m+c+1" || r.ReceivingNetwork != "3m+2c+1" {
+		t.Errorf("Lion row wrong: %+v", r)
+	}
+	if r := byName["Dog"]; r.Phases != 2 || r.MessageComplexity != "O(n^2)" || r.QuorumSize != "2m+1" || r.ReceivingNetwork != "3m+1" {
+		t.Errorf("Dog row wrong: %+v", r)
+	}
+	if r := byName["Peacock"]; r.Phases != 3 || r.MessageComplexity != "O(n^2)" {
+		t.Errorf("Peacock row wrong: %+v", r)
+	}
+	if r := byName["CFT"]; r.Phases != 2 || r.QuorumSize != "f+1" {
+		t.Errorf("CFT row wrong: %+v", r)
+	}
+	if r := byName["BFT"]; r.Phases != 3 || r.QuorumSize != "2f+1" {
+		t.Errorf("BFT row wrong: %+v", r)
+	}
+	if r := byName["S-UpRight"]; r.Phases != 2 || r.QuorumSize != "2m+c+1" {
+		t.Errorf("S-UpRight row wrong: %+v", r)
+	}
+}
+
+func TestMeasureTable1MessageCounts(t *testing.T) {
+	rows, err := MeasureTable1(1, 1, 20, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(name string) TableRow {
+		for _, r := range rows {
+			if r.Protocol == name {
+				return r
+			}
+		}
+		t.Fatalf("row %s missing", name)
+		return TableRow{}
+	}
+	lion, dog, peacock := get("Lion"), get("Dog"), get("Peacock")
+	cft, bft := get("CFT"), get("BFT")
+	for _, r := range rows {
+		if r.MeasuredMsgs <= 0 {
+			t.Fatalf("%s: no messages measured", r.Protocol)
+		}
+	}
+	// Linear protocols must carry fewer messages than quadratic ones at
+	// equal failure mix: Lion < Dog, CFT < BFT (Table 1's O(n) vs O(n²)).
+	if lion.MeasuredMsgs >= dog.MeasuredMsgs {
+		t.Errorf("Lion (%f) should use fewer msgs/req than Dog (%f)", lion.MeasuredMsgs, dog.MeasuredMsgs)
+	}
+	if cft.MeasuredMsgs >= bft.MeasuredMsgs {
+		t.Errorf("CFT (%f) should use fewer msgs/req than BFT (%f)", cft.MeasuredMsgs, bft.MeasuredMsgs)
+	}
+	// Both proxy-quadratic modes must cost more messages than Lion's
+	// linear flow. (Peacock has one more *phase* than Dog but not
+	// necessarily more messages: PBFT's primary never sends a separate
+	// prepare vote, so Peacock's vote rounds are 3+4 proxies wide while
+	// Dog's accept round is 4 wide twice.)
+	if peacock.MeasuredMsgs <= lion.MeasuredMsgs || dog.MeasuredMsgs <= lion.MeasuredMsgs {
+		t.Errorf("quadratic modes should exceed Lion: lion=%f dog=%f peacock=%f",
+			lion.MeasuredMsgs, dog.MeasuredMsgs, peacock.MeasuredMsgs)
+	}
+	var buf bytes.Buffer
+	PrintTable1(&buf, rows, 1, 1)
+	if !strings.Contains(buf.String(), "Table 1") {
+		t.Fatal("printer output wrong")
+	}
+}
+
+func TestAblationSignerOrdering(t *testing.T) {
+	series, err := AblationSigner([]int{4}, quickOpts(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("%d series", len(series))
+	}
+	byLabel := map[string]float64{}
+	for _, s := range series {
+		byLabel[s.Label] = Peak(s)
+	}
+	// ed25519 must not beat no-signatures; hmac sits between (allow ties
+	// within noise by requiring only the extreme ordering).
+	if byLabel["lion/ed25519"] > byLabel["lion/none"]*1.15 {
+		t.Errorf("ed25519 (%f) implausibly faster than none (%f)",
+			byLabel["lion/ed25519"], byLabel["lion/none"])
+	}
+	var buf bytes.Buffer
+	PrintAblation(&buf, "signature scheme", "clients", series)
+	if !strings.Contains(buf.String(), "lion/hmac") {
+		t.Fatal("printer output wrong")
+	}
+}
+
+func TestAblationProxyCount(t *testing.T) {
+	series, err := AblationProxyCount([]int{4}, quickOpts(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("%d series", len(series))
+	}
+	for _, s := range series {
+		if Peak(s) <= 0 {
+			t.Fatalf("%s: no throughput", s.Label)
+		}
+	}
+}
+
+func TestAblationCommitPayload(t *testing.T) {
+	series, err := AblationCommitPayload([]int{4}, quickOpts(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("%d series", len(series))
+	}
+	for _, s := range series {
+		if Peak(s) <= 0 {
+			t.Fatalf("%s: no throughput", s.Label)
+		}
+	}
+}
+
+func TestAblationCrossCloudLatencyCrossover(t *testing.T) {
+	// At 2ms cross-cloud one-way latency, Peacock (which keeps agreement
+	// inside the public cloud, near the clients) must beat Lion (which
+	// round-trips to the private cloud): the Section-5.3 motivation.
+	lat := []time.Duration{50 * time.Microsecond, 2 * time.Millisecond}
+	series, err := AblationCrossCloudLatency(lat, 8, quickOpts(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lion, peacock Series
+	for _, s := range series {
+		switch s.Label {
+		case "seemore/Lion":
+			lion = s
+		case "seemore/Peacock":
+			peacock = s
+		}
+	}
+	if len(lion.Points) != 2 || len(peacock.Points) != 2 {
+		t.Fatalf("points missing: lion=%d peacock=%d", len(lion.Points), len(peacock.Points))
+	}
+	// Far regime: Peacock wins.
+	if peacock.Points[1].Throughput <= lion.Points[1].Throughput {
+		t.Errorf("at 2ms cross-cloud, Peacock (%.0f) should beat Lion (%.0f)",
+			peacock.Points[1].Throughput, lion.Points[1].Throughput)
+	}
+}

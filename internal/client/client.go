@@ -1,0 +1,302 @@
+// Package client implements the client side of every protocol in this
+// repository. A client signs requests with its own key, tracks the
+// current primary through the mode and view numbers replicas echo in
+// their REPLY messages (Section 5.1), retransmits by broadcasting after
+// a timeout, and accepts a result only once the protocol-specific reply
+// quorum is reached:
+//
+//   - SeeMoRe Lion: one reply signed by a trusted (private-cloud)
+//     replica; after a retransmission, one trusted reply or m+1 matching
+//     public replies.
+//   - SeeMoRe Dog/Peacock: 2m+1 matching replies from distinct public
+//     replicas; m+1 after a retransmission.
+//   - Paxos: one reply (all replicas are trusted).
+//   - PBFT: f+1 matching replies.
+//   - S-UpRight: m+1 matching replies.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/crypto"
+	"repro/internal/ids"
+	"repro/internal/message"
+	"repro/internal/transport"
+)
+
+// ErrTimeout is returned when a request exhausts its retries without
+// reaching a reply quorum.
+var ErrTimeout = errors.New("client: request timed out")
+
+// maxRetries bounds the number of broadcast retransmissions per request.
+const maxRetries = 20
+
+// Policy decides when collected replies constitute a committed result.
+// Implementations inspect only validated replies (signature checked,
+// timestamp matched).
+type Policy interface {
+	// Primary returns the replicas to contact first for a fresh request.
+	Primary() []ids.ReplicaID
+	// All returns every replica (the retransmission broadcast set).
+	All() []ids.ReplicaID
+	// Done inspects the validated replies gathered so far and returns
+	// the accepted result. retried reports whether the request has been
+	// broadcast (which weakens the required quorum in SeeMoRe).
+	Done(replies map[ids.ReplicaID]*message.Message, retried bool) ([]byte, bool)
+	// Observe lets the policy update its primary belief from an accepted
+	// reply set.
+	Observe(replies map[ids.ReplicaID]*message.Message)
+}
+
+// Client issues requests and awaits reply quorums. Not safe for
+// concurrent use; run one Client per goroutine (the benchmarks do).
+type Client struct {
+	id     ids.ClientID
+	suite  crypto.Suite
+	ep     transport.Endpoint
+	policy Policy
+	retry  time.Duration
+
+	ts uint64
+}
+
+// New assembles a client from a policy.
+func New(id ids.ClientID, suite crypto.Suite, network transport.Network, policy Policy, timing config.Timing) *Client {
+	return &Client{
+		id:     id,
+		suite:  suite,
+		ep:     network.Endpoint(transport.ClientAddr(id)),
+		policy: policy,
+		retry:  timing.ClientRetry,
+	}
+}
+
+// ID returns the client identity.
+func (c *Client) ID() ids.ClientID { return c.id }
+
+// Close detaches the client's endpoint.
+func (c *Client) Close() { c.ep.Close() }
+
+// Invoke executes one state-machine operation and blocks until the
+// reply quorum accepts a result or the retry budget is exhausted.
+func (c *Client) Invoke(op []byte) ([]byte, error) {
+	c.ts++
+	req := &message.Request{Op: op, Timestamp: c.ts, Client: c.id}
+	req.Sig = c.suite.Sign(crypto.ClientPrincipal(int64(c.id)), req.SignedBytes())
+	wire := message.Marshal(&message.Message{Kind: message.KindRequest, From: -1, Request: req})
+
+	send := func(targets []ids.ReplicaID) {
+		for _, r := range targets {
+			c.ep.Send(transport.ReplicaAddr(r), wire)
+		}
+	}
+	send(c.policy.Primary())
+
+	replies := make(map[ids.ReplicaID]*message.Message)
+	retried := false
+	deadline := time.NewTimer(c.retry)
+	defer deadline.Stop()
+
+	for attempt := 0; ; {
+		select {
+		case env, ok := <-c.ep.Inbox():
+			if !ok {
+				return nil, errors.New("client: endpoint closed")
+			}
+			rep := c.validReply(env, c.ts)
+			if rep == nil {
+				continue
+			}
+			replies[rep.From] = rep
+			if result, ok := c.policy.Done(replies, retried); ok {
+				c.policy.Observe(replies)
+				return result, nil
+			}
+		case <-deadline.C:
+			attempt++
+			if attempt > maxRetries {
+				return nil, fmt.Errorf("%w (client %d, ts %d)", ErrTimeout, c.id, c.ts)
+			}
+			// Timeout: suspect the primary and broadcast to everyone
+			// (Section 5.1's client recovery path).
+			retried = true
+			send(c.policy.All())
+			if result, ok := c.policy.Done(replies, retried); ok {
+				c.policy.Observe(replies)
+				return result, nil
+			}
+			deadline.Reset(c.retry)
+		}
+	}
+}
+
+// validReply checks envelope provenance, decodes, and verifies the
+// replica's signature and the echoed timestamp.
+func (c *Client) validReply(env transport.Envelope, ts uint64) *message.Message {
+	if env.From.IsClient() {
+		return nil
+	}
+	m, err := message.Unmarshal(env.Frame)
+	if err != nil || m.Kind != message.KindReply {
+		return nil
+	}
+	if m.From != env.From.Replica() || m.Client != c.id || m.Timestamp != ts {
+		return nil
+	}
+	if !c.suite.Verify(crypto.ReplicaPrincipal(int(m.From)), m.SignedBytes(), m.Sig) {
+		return nil
+	}
+	return m
+}
+
+// ---------------------------------------------------------------------------
+// SeeMoRe policy
+
+// SeeMoRePolicy tracks the mode and view of a SeeMoRe cluster and
+// applies the per-mode reply quorums of Sections 5.1–5.3.
+type SeeMoRePolicy struct {
+	mb   ids.Membership
+	mode ids.Mode
+	view ids.View
+}
+
+// NewSeeMoRePolicy starts with the cluster's initial mode at view 0.
+func NewSeeMoRePolicy(mb ids.Membership, initialMode ids.Mode) *SeeMoRePolicy {
+	return &SeeMoRePolicy{mb: mb, mode: initialMode}
+}
+
+// Primary implements Policy.
+func (p *SeeMoRePolicy) Primary() []ids.ReplicaID {
+	return []ids.ReplicaID{p.mb.Primary(p.mode, p.view)}
+}
+
+// All implements Policy.
+func (p *SeeMoRePolicy) All() []ids.ReplicaID { return p.mb.All() }
+
+// Done implements Policy.
+func (p *SeeMoRePolicy) Done(replies map[ids.ReplicaID]*message.Message, retried bool) ([]byte, bool) {
+	// One reply from a trusted replica is always definitive: trusted
+	// nodes never lie, and they only reply after execution. This covers
+	// the Lion normal case and the "reply from the private cloud" retry
+	// acceptance rule.
+	for from, m := range replies {
+		if p.mb.IsTrusted(from) {
+			return m.Result, true
+		}
+	}
+	// Otherwise count matching public replies: 2m+1 normally (Dog and
+	// Peacock), m+1 after a retransmission.
+	need := 2*p.mb.M() + 1
+	if retried {
+		need = p.mb.M() + 1
+	}
+	return matching(replies, need, func(from ids.ReplicaID) bool { return p.mb.IsUntrusted(from) })
+}
+
+// Observe implements Policy: adopt the mode and view echoed by the
+// accepted replies so the next request goes straight to the current
+// primary. A single trusted replica's word is adopted outright;
+// otherwise the (mode, view) pair must be echoed by m+1 public replies
+// so at least one correct replica vouches for it.
+func (p *SeeMoRePolicy) Observe(replies map[ids.ReplicaID]*message.Message) {
+	for from, m := range replies {
+		if p.mb.IsTrusted(from) && m.Mode.Valid() {
+			if m.View > p.view || (m.View == p.view && m.Mode != p.mode) {
+				p.view, p.mode = m.View, m.Mode
+			}
+			return
+		}
+	}
+	type mv struct {
+		mode ids.Mode
+		view ids.View
+	}
+	counts := make(map[mv]int)
+	for from, m := range replies {
+		if p.mb.IsUntrusted(from) && m.Mode.Valid() {
+			counts[mv{m.Mode, m.View}]++
+		}
+	}
+	for k, n := range counts {
+		if n >= p.mb.M()+1 && k.view >= p.view {
+			p.view, p.mode = k.view, k.mode
+		}
+	}
+}
+
+// Mode returns the client's current belief of the cluster mode.
+func (p *SeeMoRePolicy) Mode() ids.Mode { return p.mode }
+
+// View returns the client's current belief of the view.
+func (p *SeeMoRePolicy) View() ids.View { return p.view }
+
+// ---------------------------------------------------------------------------
+// Generic quorum policy (baselines)
+
+// GenericPolicy serves the baseline protocols: a fixed replica set, a
+// view-indexed primary, and flat matching-reply quorums.
+type GenericPolicy struct {
+	replicas []ids.ReplicaID
+	primary  func(view ids.View) ids.ReplicaID
+	quorum   int
+	retryQ   int
+	view     ids.View
+}
+
+// NewGenericPolicy builds a baseline reply policy. quorum and retryQ are
+// the matching-reply counts required before and after retransmission.
+func NewGenericPolicy(n int, primary func(view ids.View) ids.ReplicaID, quorum, retryQ int) *GenericPolicy {
+	rs := make([]ids.ReplicaID, n)
+	for i := range rs {
+		rs[i] = ids.ReplicaID(i)
+	}
+	return &GenericPolicy{replicas: rs, primary: primary, quorum: quorum, retryQ: retryQ}
+}
+
+// Primary implements Policy.
+func (p *GenericPolicy) Primary() []ids.ReplicaID {
+	return []ids.ReplicaID{p.primary(p.view)}
+}
+
+// All implements Policy.
+func (p *GenericPolicy) All() []ids.ReplicaID { return p.replicas }
+
+// Done implements Policy.
+func (p *GenericPolicy) Done(replies map[ids.ReplicaID]*message.Message, retried bool) ([]byte, bool) {
+	need := p.quorum
+	if retried {
+		need = p.retryQ
+	}
+	return matching(replies, need, func(ids.ReplicaID) bool { return true })
+}
+
+// Observe implements Policy: follow the highest view echoed by a
+// majority-credible reply set (for crash-only baselines any reply will
+// do; Byzantine baselines call Done first, which already established a
+// quorum).
+func (p *GenericPolicy) Observe(replies map[ids.ReplicaID]*message.Message) {
+	for _, m := range replies {
+		if m.View > p.view {
+			p.view = m.View
+		}
+	}
+}
+
+// matching returns a result echoed by at least need eligible replicas.
+func matching(replies map[ids.ReplicaID]*message.Message, need int, eligible func(ids.ReplicaID) bool) ([]byte, bool) {
+	counts := make(map[string]int, len(replies))
+	for from, m := range replies {
+		if !eligible(from) {
+			continue
+		}
+		k := string(m.Result)
+		counts[k]++
+		if counts[k] >= need {
+			return m.Result, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"repro/internal/crypto"
+	"repro/internal/ids"
+	"repro/internal/message"
+	"repro/internal/transport"
+)
+
+// Behavior enumerates the Byzantine behaviours the harness can inject
+// into public-cloud replicas. Each models a capability of the Section-3
+// adversary: the node holds a valid key and participates in the
+// protocol, but misuses it.
+type Behavior int
+
+const (
+	// BehaviorNone is an honest replica.
+	BehaviorNone Behavior = iota
+	// BehaviorSilent drops every outgoing message: an unresponsive
+	// traitor, indistinguishable from a crash to its peers.
+	BehaviorSilent
+	// BehaviorCorrupt re-signs every agreement vote with a corrupted
+	// digest: validly signed, protocol-consistent lies that honest
+	// quorum intersection must outvote.
+	BehaviorCorrupt
+	// BehaviorEquivocate sends the true vote to half its peers and a
+	// corrupted-but-validly-signed vote to the other half: the classic
+	// split-vote attack.
+	BehaviorEquivocate
+)
+
+// String implements fmt.Stringer.
+func (b Behavior) String() string {
+	switch b {
+	case BehaviorNone:
+		return "honest"
+	case BehaviorSilent:
+		return "silent"
+	case BehaviorCorrupt:
+		return "corrupt"
+	case BehaviorEquivocate:
+		return "equivocate"
+	default:
+		return "unknown"
+	}
+}
+
+// agreementKinds are the message kinds whose digests a Byzantine node
+// profitably lies about.
+func isAgreementKind(k message.Kind) bool {
+	switch k {
+	case message.KindPrePrepare, message.KindPrepare, message.KindAccept,
+		message.KindCommit, message.KindInform, message.KindCheckpoint:
+		return true
+	default:
+		return false
+	}
+}
+
+// byzNetwork wraps a transport.Network and hands out mutating endpoints
+// for the replicas listed in behaviors.
+type byzNetwork struct {
+	inner     transport.Network
+	suite     crypto.Suite
+	behaviors map[ids.ReplicaID]Behavior
+}
+
+// InjectByzantine installs a Byzantine behaviour on a replica. It must
+// be called before New builds the node — which is why Spec carries the
+// behaviours — so this helper is exposed for tests that build custom
+// networks.
+func wrapByzantine(inner transport.Network, suite crypto.Suite, behaviors map[ids.ReplicaID]Behavior) transport.Network {
+	if len(behaviors) == 0 {
+		return inner
+	}
+	return &byzNetwork{inner: inner, suite: suite, behaviors: behaviors}
+}
+
+// Endpoint implements transport.Network.
+func (n *byzNetwork) Endpoint(a transport.Addr) transport.Endpoint {
+	ep := n.inner.Endpoint(a)
+	if a.IsClient() {
+		return ep
+	}
+	b, ok := n.behaviors[a.Replica()]
+	if !ok || b == BehaviorNone {
+		return ep
+	}
+	return &byzEndpoint{Endpoint: ep, behavior: b, suite: n.suite, self: a.Replica()}
+}
+
+// Close implements transport.Network.
+func (n *byzNetwork) Close() { n.inner.Close() }
+
+type byzEndpoint struct {
+	transport.Endpoint
+	behavior Behavior
+	suite    crypto.Suite
+	self     ids.ReplicaID
+	sends    uint64
+}
+
+// Send implements transport.Endpoint with the configured misbehaviour.
+func (e *byzEndpoint) Send(to transport.Addr, frame []byte) {
+	e.sends++
+	switch e.behavior {
+	case BehaviorSilent:
+		return
+	case BehaviorCorrupt:
+		if mutated, ok := e.corrupt(frame); ok {
+			e.Endpoint.Send(to, mutated)
+			return
+		}
+		e.Endpoint.Send(to, frame)
+	case BehaviorEquivocate:
+		// Alternate truthful and corrupted frames across sends so every
+		// peer population sees a mix — the strongest generic split the
+		// harness can produce without protocol knowledge.
+		if e.sends%2 == 0 {
+			if mutated, ok := e.corrupt(frame); ok {
+				e.Endpoint.Send(to, mutated)
+				return
+			}
+		}
+		e.Endpoint.Send(to, frame)
+	default:
+		e.Endpoint.Send(to, frame)
+	}
+}
+
+// corrupt rewrites an agreement message with a flipped digest and a
+// fresh, valid signature under the traitor's own key. Messages it cannot
+// meaningfully corrupt (client requests, view management) pass through.
+func (e *byzEndpoint) corrupt(frame []byte) ([]byte, bool) {
+	m, err := message.Unmarshal(frame)
+	if err != nil || !isAgreementKind(m.Kind) || m.From != e.self {
+		return nil, false
+	}
+	m.Digest[0] ^= 0xFF
+	m.Request = nil // a corrupted digest cannot keep a matching body
+	s := &message.Signed{Kind: m.Kind, From: m.From, View: m.View, Seq: m.Seq, Digest: m.Digest}
+	m.Sig = e.suite.Sign(crypto.ReplicaPrincipal(int(e.self)), s.SignedBytes())
+	return message.Marshal(m), true
+}

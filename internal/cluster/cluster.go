@@ -1,0 +1,321 @@
+// Package cluster assembles complete protocol deployments — SeeMoRe in
+// any mode, Paxos, PBFT, or S-UpRight — over one simulated network, with
+// uniform crash and Byzantine fault injection. The integration tests,
+// the examples and the benchmark harness all build clusters through this
+// package so every protocol runs on an identical substrate, mirroring
+// how the paper runs every competitor over BFT-SMaRt's communication
+// layer on the same EC2 instances.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/ids"
+	"repro/internal/paxos"
+	"repro/internal/pbft"
+	"repro/internal/statemachine"
+	"repro/internal/transport"
+)
+
+// Protocol selects the replication protocol.
+type Protocol int
+
+const (
+	// SeeMoRe runs the paper's protocol (mode from Spec.Mode).
+	SeeMoRe Protocol = iota
+	// Paxos is the CFT baseline on 2f+1 nodes.
+	Paxos
+	// PBFT is the BFT baseline on 3f+1 nodes.
+	PBFT
+	// UpRight is the S-UpRight hybrid baseline on 3m+2c+1 nodes.
+	UpRight
+)
+
+// String implements fmt.Stringer; the names match the paper's figure
+// legends.
+func (p Protocol) String() string {
+	switch p {
+	case SeeMoRe:
+		return "SeeMoRe"
+	case Paxos:
+		return "CFT"
+	case PBFT:
+		return "BFT"
+	case UpRight:
+		return "S-UpRight"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// Spec describes a cluster to build.
+type Spec struct {
+	// Protocol selects the engine.
+	Protocol Protocol
+	// Mode is SeeMoRe's initial mode (ignored by baselines).
+	Mode ids.Mode
+	// Crash (c) and Byz (m) are the failure bounds. For Paxos and PBFT
+	// the single bound f = Crash + Byz, matching how the paper sizes CFT
+	// and BFT to tolerate the same total number of failures.
+	Crash, Byz int
+	// Timing supplies protocol timers; zero value uses defaults tuned
+	// for the simulated network.
+	Timing config.Timing
+	// Net configures the simulated network; zero value uses
+	// transport.LAN.
+	Net *transport.SimConfig
+	// Suite selects the signature scheme: "ed25519", "hmac" (default) or
+	// "none".
+	Suite string
+	// NewStateMachine builds each replica's service; default is a
+	// KV store.
+	NewStateMachine func() statemachine.StateMachine
+	// Seed drives key generation and network randomness.
+	Seed int64
+	// MaxClients bounds the client identifiers the keyring covers
+	// (default 512).
+	MaxClients int64
+	// TickInterval overrides the engine tick (default 1ms, suited to the
+	// microsecond-scale simulated links).
+	TickInterval time.Duration
+	// Byzantine assigns misbehaviours to replicas (normally public-cloud
+	// ones; injecting them elsewhere deliberately violates the model and
+	// is useful only for negative tests).
+	Byzantine map[ids.ReplicaID]Behavior
+	// ExtraPublic adds public-cloud nodes beyond the 3m+1 proxies
+	// (SeeMoRe only) — the "renting more replicas for load balancing"
+	// scenario of Section 4 and the proxy-count ablation: the paper notes
+	// "any additional replicas may degrade the performance".
+	ExtraPublic int
+	// LeanCommits strips µ from Lion COMMIT messages (ablation; see
+	// core.Options.LeanCommits).
+	LeanCommits bool
+}
+
+// Node is the uniform replica handle.
+type Node interface {
+	Start()
+	Stop()
+	Crash()
+	Recover()
+	ID() ids.ReplicaID
+}
+
+// Cluster is a running deployment.
+type Cluster struct {
+	Spec       Spec
+	Membership ids.Membership // SeeMoRe only; zero value otherwise
+	N          int
+	Net        *transport.SimNetwork
+	SuiteImpl  crypto.Suite
+	Nodes      []Node
+	// SMs holds each node's state machine, indexed by replica ID. Only
+	// inspect them after Stop (the engines own them while running).
+	SMs []statemachine.StateMachine
+
+	nodeNet transport.Network // Net, possibly wrapped with Byzantine mutators
+	timing  config.Timing
+	stopped bool
+}
+
+// sizes computes the cluster size for the spec, following Section 6: CFT
+// and BFT tolerate f = c+m failures of their single class.
+func (s *Spec) sizes() (n int, err error) {
+	switch s.Protocol {
+	case SeeMoRe:
+		// The paper's deployments put 2c nodes in the private cloud and
+		// 3m+1 in the public cloud (Section 6.1).
+		return 2*s.Crash + 3*s.Byz + 1 + s.ExtraPublic, nil
+	case Paxos:
+		f := s.Crash + s.Byz
+		return 2*f + 1, nil
+	case PBFT:
+		f := s.Crash + s.Byz
+		return 3*f + 1, nil
+	case UpRight:
+		return 3*s.Byz + 2*s.Crash + 1, nil
+	default:
+		return 0, fmt.Errorf("cluster: unknown protocol %d", int(s.Protocol))
+	}
+}
+
+// New builds and starts a cluster.
+func New(spec Spec) (*Cluster, error) {
+	if spec.Crash < 0 || spec.Byz < 0 || spec.Crash+spec.Byz == 0 {
+		return nil, fmt.Errorf("cluster: need at least one tolerated failure (c=%d, m=%d)", spec.Crash, spec.Byz)
+	}
+	n, err := spec.sizes()
+	if err != nil {
+		return nil, err
+	}
+	if spec.Timing == (config.Timing{}) {
+		spec.Timing = config.Timing{
+			ViewChange:       100 * time.Millisecond,
+			ClientRetry:      150 * time.Millisecond,
+			CheckpointPeriod: 512,
+			HighWaterMarkLag: 4096,
+		}
+	}
+	if spec.MaxClients <= 0 {
+		spec.MaxClients = 512
+	}
+	if spec.TickInterval <= 0 {
+		spec.TickInterval = time.Millisecond
+	}
+	if spec.NewStateMachine == nil {
+		spec.NewStateMachine = func() statemachine.StateMachine { return statemachine.NewKVStore() }
+	}
+
+	privateSize := n // baselines: everything is "one cloud"
+	var mb ids.Membership
+	if spec.Protocol == SeeMoRe {
+		mb, err = ids.NewMembership(2*spec.Crash, 3*spec.Byz+1+spec.ExtraPublic, spec.Crash, spec.Byz)
+		if err != nil {
+			return nil, err
+		}
+		privateSize = mb.S()
+	}
+	netCfg := transport.LAN(privateSize, spec.Seed)
+	if spec.Net != nil {
+		netCfg = *spec.Net
+		netCfg.PrivateSize = privateSize
+	}
+
+	var suite crypto.Suite
+	switch spec.Suite {
+	case "", "hmac":
+		suite = crypto.NewHMACSuite(spec.Seed, n, spec.MaxClients)
+	case "ed25519":
+		suite = crypto.NewEd25519Suite(spec.Seed, n, spec.MaxClients)
+	case "none":
+		suite = crypto.NoopSuite{}
+	default:
+		return nil, fmt.Errorf("cluster: unknown suite %q", spec.Suite)
+	}
+
+	c := &Cluster{
+		Spec:       spec,
+		Membership: mb,
+		N:          n,
+		Net:        transport.NewSimNetwork(netCfg),
+		SuiteImpl:  suite,
+		timing:     spec.Timing,
+	}
+	c.nodeNet = wrapByzantine(c.Net, suite, spec.Byzantine)
+	for i := 0; i < n; i++ {
+		node, err := c.buildNode(ids.ReplicaID(i))
+		if err != nil {
+			c.Net.Close()
+			return nil, err
+		}
+		c.Nodes = append(c.Nodes, node)
+	}
+	for _, node := range c.Nodes {
+		node.Start()
+	}
+	return c, nil
+}
+
+func (c *Cluster) buildNode(id ids.ReplicaID) (Node, error) {
+	sm := c.Spec.NewStateMachine()
+	c.SMs = append(c.SMs, sm)
+	switch c.Spec.Protocol {
+	case SeeMoRe:
+		cl, err := config.NewCluster(c.Membership, c.Spec.Mode, c.timing)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewReplica(core.Options{
+			ID: id, Cluster: cl, Suite: c.SuiteImpl, Network: c.nodeNet,
+			StateMachine: sm, TickInterval: c.Spec.TickInterval,
+			LeanCommits: c.Spec.LeanCommits,
+		})
+	case Paxos:
+		return paxos.NewReplica(paxos.Options{
+			ID: id, N: c.N, Suite: c.SuiteImpl, Network: c.nodeNet,
+			StateMachine: sm, Timing: c.timing, TickInterval: c.Spec.TickInterval,
+		})
+	case PBFT:
+		f := c.Spec.Crash + c.Spec.Byz
+		return pbft.NewReplica(pbft.Options{
+			ID: id, N: c.N, Byz: f, Crash: 0,
+			Suite: c.SuiteImpl, Network: c.nodeNet,
+			StateMachine: sm, Timing: c.timing, TickInterval: c.Spec.TickInterval,
+		})
+	case UpRight:
+		return pbft.NewReplica(pbft.Options{
+			ID: id, N: c.N, Byz: c.Spec.Byz, Crash: c.Spec.Crash,
+			Suite: c.SuiteImpl, Network: c.nodeNet,
+			StateMachine: sm, Timing: c.timing, TickInterval: c.Spec.TickInterval,
+		})
+	default:
+		return nil, fmt.Errorf("cluster: unknown protocol")
+	}
+}
+
+// NewClient builds a client with the protocol-appropriate reply policy.
+func (c *Cluster) NewClient(id ids.ClientID) *client.Client {
+	var policy client.Policy
+	switch c.Spec.Protocol {
+	case SeeMoRe:
+		policy = client.NewSeeMoRePolicy(c.Membership, c.Spec.Mode)
+	case Paxos:
+		n := c.N
+		policy = client.NewGenericPolicy(n, func(v ids.View) ids.ReplicaID {
+			return ids.ReplicaID(int(v % ids.View(n)))
+		}, 1, 1)
+	case PBFT:
+		n := c.N
+		q := c.Spec.Crash + c.Spec.Byz + 1
+		policy = client.NewGenericPolicy(n, func(v ids.View) ids.ReplicaID {
+			return ids.ReplicaID(int(v % ids.View(n)))
+		}, q, q)
+	case UpRight:
+		n := c.N
+		q := c.Spec.Byz + 1
+		policy = client.NewGenericPolicy(n, func(v ids.View) ids.ReplicaID {
+			return ids.ReplicaID(int(v % ids.View(n)))
+		}, q, q)
+	}
+	return client.New(id, c.SuiteImpl, c.Net, policy, c.timing)
+}
+
+// SeeMoReNode returns the typed SeeMoRe replica (panics for baselines);
+// the mode-switch example and the bench harness use it.
+func (c *Cluster) SeeMoReNode(id ids.ReplicaID) *core.Replica {
+	return c.Nodes[id].(*core.Replica)
+}
+
+// Stop shuts the cluster down. Idempotent.
+func (c *Cluster) Stop() {
+	if c.stopped {
+		return
+	}
+	c.stopped = true
+	for _, n := range c.Nodes {
+		n.Stop()
+	}
+	c.Net.Close()
+}
+
+// CrashNode fail-stops a replica.
+func (c *Cluster) CrashNode(id ids.ReplicaID) { c.Nodes[id].Crash() }
+
+// RecoverNode resumes a crashed replica.
+func (c *Cluster) RecoverNode(id ids.ReplicaID) { c.Nodes[id].Recover() }
+
+// PartitionNode cuts a replica off the network (in-flight frames die
+// too), modeling a network-level failure rather than a process crash.
+func (c *Cluster) PartitionNode(id ids.ReplicaID) {
+	c.Net.Isolate(transport.ReplicaAddr(id))
+}
+
+// HealNode reconnects a partitioned replica.
+func (c *Cluster) HealNode(id ids.ReplicaID) {
+	c.Net.Heal(transport.ReplicaAddr(id))
+}

@@ -1,0 +1,201 @@
+// Package config holds cluster configuration and the Section-4 capacity
+// planner: given a private cloud and failure statistics of a public cloud
+// provider, it computes how many public nodes an enterprise must rent to
+// satisfy the hybrid network-size constraint N = 3m + 2c + 1.
+package config
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/ids"
+)
+
+// Errors returned by the planner. Each corresponds to one of the
+// degenerate regimes Section 4 walks through.
+var (
+	// ErrNoRentalNeeded means S ≥ 2c+1: the private cloud can run a crash
+	// fault-tolerant protocol (Paxos) by itself.
+	ErrNoRentalNeeded = errors.New("config: private cloud is self-sufficient (S ≥ 2c+1); run a CFT protocol")
+	// ErrPrivateCloudUseless means S = 0 or S = c: the private cloud
+	// contributes nothing and the enterprise should run pure BFT in the
+	// public cloud.
+	ErrPrivateCloudUseless = errors.New("config: private cloud contributes no healthy majority (S ≤ c); run pure BFT in the public cloud")
+	// ErrPublicCloudTooFaulty means α ≥ 1/3 (or 3α+2β ≥ 1): no rental
+	// size can satisfy the network constraint.
+	ErrPublicCloudTooFaulty = errors.New("config: public cloud failure ratio too high to ever satisfy the network-size constraint")
+)
+
+// PublicNodesUniform implements Equation 2:
+//
+//	P = ceil( (S - (2c+1)) / (3α - 1) )
+//
+// for a public cloud with a uniformly distributed malicious ratio α = m/P.
+// The paper's worked example: S=2, c=1, α=0.3 → P=10.
+func PublicNodesUniform(s, c int, alpha float64) (int, error) {
+	if err := checkPrivate(s, c); err != nil {
+		return 0, err
+	}
+	if alpha < 0 {
+		return 0, fmt.Errorf("config: negative malicious ratio %v", alpha)
+	}
+	if 3*alpha >= 1 {
+		return 0, ErrPublicCloudTooFaulty
+	}
+	// Both numerator and denominator are negative in the useful regime
+	// c < S < 2c+1, so the quotient is positive.
+	p := float64(s-(2*c+1)) / (3*alpha - 1)
+	return int(math.Ceil(p - 1e-9)), nil
+}
+
+// PublicNodesUniformMixed implements Equation 3, where the public cloud
+// publishes both a malicious ratio α = m/P and a crash ratio β = c_pub/P:
+//
+//	P = ceil( (S - (2c+1)) / (3α + 2β - 1) )
+func PublicNodesUniformMixed(s, c int, alpha, beta float64) (int, error) {
+	if err := checkPrivate(s, c); err != nil {
+		return 0, err
+	}
+	if alpha < 0 || beta < 0 {
+		return 0, fmt.Errorf("config: negative failure ratio (α=%v, β=%v)", alpha, beta)
+	}
+	if 3*alpha+2*beta >= 1 {
+		return 0, ErrPublicCloudTooFaulty
+	}
+	p := float64(s-(2*c+1)) / (3*alpha + 2*beta - 1)
+	return int(math.Ceil(p - 1e-9)), nil
+}
+
+// PublicNodesBounded implements the cluster-bound variant of Section 4:
+// the provider guarantees at most M concurrent malicious failures in the
+// rented cluster regardless of its size, so
+//
+//	P = (3M + 2c + 1) - S
+//
+// A result ≤ 0 is clamped to 0 (the private cloud already satisfies the
+// constraint for that M).
+func PublicNodesBounded(s, c, maxMalicious int) (int, error) {
+	if err := checkPrivate(s, c); err != nil {
+		return 0, err
+	}
+	if maxMalicious < 0 {
+		return 0, fmt.Errorf("config: negative malicious bound %d", maxMalicious)
+	}
+	p := 3*maxMalicious + 2*c + 1 - s
+	if p < 0 {
+		p = 0
+	}
+	return p, nil
+}
+
+// PublicNodesBoundedMixed implements the final Section-4 variant where the
+// provider reports both concurrent malicious (M) and crash (C) bounds:
+//
+//	P = (3M + 2C + 2c + 1) - S
+func PublicNodesBoundedMixed(s, c, maxMalicious, maxCrash int) (int, error) {
+	if err := checkPrivate(s, c); err != nil {
+		return 0, err
+	}
+	if maxMalicious < 0 || maxCrash < 0 {
+		return 0, fmt.Errorf("config: negative failure bound (M=%d, C=%d)", maxMalicious, maxCrash)
+	}
+	p := 3*maxMalicious + 2*maxCrash + 2*c + 1 - s
+	if p < 0 {
+		p = 0
+	}
+	return p, nil
+}
+
+// checkPrivate classifies the private cloud per Section 4: only
+// c < S < 2c+1 makes renting useful.
+func checkPrivate(s, c int) error {
+	if c < 0 {
+		return fmt.Errorf("config: negative crash bound %d", c)
+	}
+	if s <= c {
+		return ErrPrivateCloudUseless
+	}
+	if s >= 2*c+1 {
+		return ErrNoRentalNeeded
+	}
+	return nil
+}
+
+// Timing collects the protocol timers. The zero value is not useful; use
+// DefaultTiming and override fields as needed.
+type Timing struct {
+	// ViewChange is τ, the time a backup waits for a COMMIT after seeing
+	// a PREPARE before suspecting the primary (Section 5.1).
+	ViewChange time.Duration
+	// ClientRetry is how long a client waits for its reply quorum before
+	// broadcasting the request to all replicas.
+	ClientRetry time.Duration
+	// CheckpointPeriod is the number of executed requests between
+	// checkpoints (the paper's experiments use 10000).
+	CheckpointPeriod uint64
+	// HighWaterMarkLag bounds how far the sequence window may run ahead
+	// of the last stable checkpoint before the primary stalls new
+	// requests. PBFT calls this the log window.
+	HighWaterMarkLag uint64
+}
+
+// DefaultTiming returns timers suited to the in-process simulated network
+// used by the tests and benchmarks.
+func DefaultTiming() Timing {
+	return Timing{
+		ViewChange:       150 * time.Millisecond,
+		ClientRetry:      200 * time.Millisecond,
+		CheckpointPeriod: 128,
+		HighWaterMarkLag: 1024,
+	}
+}
+
+// Validate rejects nonsensical timing values.
+func (t Timing) Validate() error {
+	switch {
+	case t.ViewChange <= 0:
+		return errors.New("config: ViewChange timer must be positive")
+	case t.ClientRetry <= 0:
+		return errors.New("config: ClientRetry timer must be positive")
+	case t.CheckpointPeriod == 0:
+		return errors.New("config: CheckpointPeriod must be positive")
+	case t.HighWaterMarkLag < t.CheckpointPeriod:
+		return errors.New("config: HighWaterMarkLag must be at least one checkpoint period")
+	}
+	return nil
+}
+
+// Cluster is the full static configuration of one SeeMoRe deployment:
+// membership, initial mode, and timers.
+type Cluster struct {
+	Membership ids.Membership
+	// InitialMode is the mode the cluster boots in (view 0).
+	InitialMode ids.Mode
+	Timing      Timing
+}
+
+// NewCluster validates the pieces together: the membership must support
+// the initial mode and the timing must be sane.
+func NewCluster(mb ids.Membership, mode ids.Mode, timing Timing) (Cluster, error) {
+	if !mode.Valid() {
+		return Cluster{}, fmt.Errorf("config: invalid initial mode %d", int(mode))
+	}
+	if err := mb.SupportsMode(mode); err != nil {
+		return Cluster{}, err
+	}
+	if err := timing.Validate(); err != nil {
+		return Cluster{}, err
+	}
+	return Cluster{Membership: mb, InitialMode: mode, Timing: timing}, nil
+}
+
+// MustCluster is NewCluster that panics on error, for tests and examples.
+func MustCluster(mb ids.Membership, mode ids.Mode, timing Timing) Cluster {
+	c, err := NewCluster(mb, mode, timing)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/crypto"
+	"repro/internal/ids"
+	"repro/internal/message"
+	"repro/internal/replica"
+)
+
+// Checkpointing and state transfer (the State Transfer subsections of
+// Sections 5.1–5.3). In Lion and Dog the trusted primary's signed
+// CHECKPOINT message is immediately a stability certificate; in Peacock
+// the primary is untrusted, so stability needs 2m+1 matching proxy
+// checkpoints, exactly like PBFT.
+
+// maybeCheckpoint emits a CHECKPOINT if execution just crossed a
+// checkpoint boundary and this replica's role produces checkpoints in
+// the current mode.
+func (r *Replica) maybeCheckpoint() {
+	n := r.exec.LastExecuted()
+	if !r.exec.AtCheckpoint(n) || n <= r.log.Low() {
+		return
+	}
+	snap, ok := r.exec.SnapshotAt(n)
+	if !ok {
+		return
+	}
+	d := replica.DigestOf(snap)
+	cp := &message.Signed{Kind: message.KindCheckpoint, Seq: n, Digest: d}
+
+	switch r.mode {
+	case ids.Lion, ids.Dog:
+		// Only the trusted primary checkpoints; its signature alone makes
+		// the checkpoint stable everywhere.
+		if !r.isPrimary() {
+			return
+		}
+		r.eng.SignRecord(cp)
+		r.eng.Multicast(r.mb.All(), wireFromSigned(cp))
+		r.stabilizeOrPend(n, d, []message.Signed{*cp})
+	case ids.Peacock:
+		// Every proxy checkpoints; stability needs a 2m+1 certificate.
+		if !r.isProxy() {
+			return
+		}
+		r.eng.SignRecord(cp)
+		r.eng.Multicast(r.mb.All(), wireFromSigned(cp))
+		if count := r.log.AddCheckpointCert(*cp); count >= r.mb.AgreementQuorum(ids.Peacock) {
+			r.stabilizeOrPend(n, d, r.log.CheckpointCerts(n, d))
+		}
+	}
+}
+
+// onCheckpoint processes a CHECKPOINT message from a peer.
+func (r *Replica) onCheckpoint(m *message.Message) {
+	s := signedFromWire(m)
+	if !r.eng.VerifyRecord(s) {
+		return
+	}
+	switch r.mode {
+	case ids.Lion, ids.Dog:
+		// Trust only private-cloud signers (the paper's trusted primary;
+		// any trusted node is non-malicious, so a crashed-and-recovered
+		// ex-primary's checkpoint is equally sound).
+		if !r.mb.IsTrusted(m.From) {
+			return
+		}
+		r.stabilizeOrPend(m.Seq, m.Digest, []message.Signed{*s})
+	case ids.Peacock:
+		if !r.mb.IsUntrusted(m.From) {
+			return
+		}
+		if count := r.log.AddCheckpointCert(*s); count >= r.mb.AgreementQuorum(ids.Peacock) {
+			r.stabilizeOrPend(m.Seq, m.Digest, r.log.CheckpointCerts(m.Seq, m.Digest))
+		}
+	}
+}
+
+// stabilizeOrPend marks a checkpoint stable if local execution has
+// already produced the matching snapshot; otherwise it parks the
+// evidence and, if the replica has fallen a whole period behind,
+// requests a state transfer.
+func (r *Replica) stabilizeOrPend(seq uint64, d crypto.Digest, proof []message.Signed) {
+	if seq <= r.log.Low() {
+		return
+	}
+	if snap, ok := r.exec.SnapshotAt(seq); ok {
+		if replica.DigestOf(snap) == d {
+			r.markStableLocal(seq, d, proof, snap)
+		}
+		// A digest mismatch with local state would mean a diverged
+		// replica; with a crash-only private cloud signing checkpoints
+		// that cannot happen, and in Peacock a 2m+1 certificate outvotes
+		// us — but overwriting executed state in place is not possible
+		// (state transfer only moves forward), so the evidence is
+		// dropped and the replica will be caught by its peers.
+		return
+	}
+	if r.exec.LastExecuted() < seq {
+		r.pendingStable[seq] = &stableEvidence{digest: d, proof: proof}
+		r.maybeRequestState()
+	}
+}
+
+func (r *Replica) markStableLocal(seq uint64, d crypto.Digest, proof []message.Signed, snap []byte) {
+	if seq <= r.log.Low() {
+		return
+	}
+	r.log.MarkStable(seq, d, proof, snap)
+	r.exec.DropSnapshotsBelow(seq)
+	for n := range r.pendingStable {
+		if n <= seq {
+			delete(r.pendingStable, n)
+		}
+	}
+	if r.nextSeq <= seq {
+		r.nextSeq = seq + 1
+	}
+	if p := r.loadProbe(); p.OnCheckpointStable != nil {
+		p.OnCheckpointStable(seq)
+	}
+}
+
+// drainPendingStable retries parked checkpoint evidence after execution
+// progressed.
+func (r *Replica) drainPendingStable() {
+	for seq, ev := range r.pendingStable {
+		if seq <= r.exec.LastExecuted() {
+			delete(r.pendingStable, seq)
+			r.stabilizeOrPend(seq, ev.digest, ev.proof)
+		}
+	}
+}
+
+// maybeRequestState asks peers for a snapshot when this replica has
+// evidence of a stable checkpoint at least one full period ahead of its
+// own execution — the "bring slow replicas up to date" path.
+func (r *Replica) maybeRequestState() {
+	behindBy := uint64(0)
+	for seq := range r.pendingStable {
+		if seq > r.exec.LastExecuted() && seq-r.exec.LastExecuted() > behindBy {
+			behindBy = seq - r.exec.LastExecuted()
+		}
+	}
+	if behindBy < r.exec.Period() {
+		return
+	}
+	now := time.Now()
+	if now.Sub(r.stateRequested) < r.timing.ViewChange {
+		return // throttle
+	}
+	r.stateRequested = now
+
+	req := &message.Message{Kind: message.KindStateRequest, Seq: r.exec.LastExecuted()}
+	r.eng.Sign(req)
+	switch r.mode {
+	case ids.Lion, ids.Dog:
+		r.eng.Send(r.mb.Primary(r.mode, r.view), req)
+	case ids.Peacock:
+		r.eng.Multicast(r.mb.Proxies(ids.Peacock, r.view), req)
+	}
+}
+
+// onStateRequest serves the latest stable snapshot to a lagging peer.
+func (r *Replica) onStateRequest(m *message.Message) {
+	if !r.eng.Verify(m) {
+		return
+	}
+	low := r.log.Low()
+	if low == 0 || low <= m.Seq {
+		return // nothing newer to offer
+	}
+	rep := &message.Message{
+		Kind:            message.KindStateReply,
+		Seq:             low,
+		StateDigest:     r.log.StableDigest(),
+		CheckpointProof: r.log.StableProof(),
+		Result:          r.log.StableSnapshot(),
+	}
+	r.eng.Sign(rep)
+	r.eng.Send(m.From, rep)
+}
+
+// onStateReply installs a transferred snapshot after verifying the
+// checkpoint certificate and the snapshot digest.
+func (r *Replica) onStateReply(m *message.Message) {
+	if !r.eng.Verify(m) {
+		return
+	}
+	seq := m.Seq
+	if seq <= r.exec.LastExecuted() {
+		return
+	}
+	if !r.verifyCheckpointProof(seq, m.StateDigest, m.CheckpointProof) {
+		return
+	}
+	if replica.DigestOf(m.Result) != m.StateDigest {
+		return
+	}
+	if err := r.exec.JumpTo(seq, m.Result); err != nil {
+		return
+	}
+	r.log.MarkStable(seq, m.StateDigest, m.CheckpointProof, m.Result)
+	r.exec.DropSnapshotsBelow(seq)
+	for n := range r.pendingStable {
+		if n <= seq {
+			delete(r.pendingStable, n)
+		}
+	}
+	if r.nextSeq <= seq {
+		r.nextSeq = seq + 1
+	}
+	r.resetPending()
+	if p := r.loadProbe(); p.OnCheckpointStable != nil {
+		p.OnCheckpointStable(seq)
+	}
+	r.executeReady()
+}
+
+// verifyCheckpointProof validates ξ for (seq, d): every record must be a
+// well-signed CHECKPOINT for that exact state, and the signer set must
+// contain a trusted node (whose word alone suffices — it cannot lie) or
+// at least m+1 distinct public nodes (so at least one correct one
+// vouches; PBFT's weak certificate).
+func (r *Replica) verifyCheckpointProof(seq uint64, d crypto.Digest, proof []message.Signed) bool {
+	if seq == 0 {
+		return true // genesis
+	}
+	seen := make(map[ids.ReplicaID]bool, len(proof))
+	publicSigners := 0
+	trustedSigner := false
+	for i := range proof {
+		s := proof[i]
+		if s.Kind != message.KindCheckpoint || s.Seq != seq || s.Digest != d {
+			return false
+		}
+		if seen[s.From] || !r.mb.Contains(s.From) {
+			return false
+		}
+		seen[s.From] = true
+		if !r.eng.VerifyRecord(&s) {
+			return false
+		}
+		if r.mb.IsTrusted(s.From) {
+			trustedSigner = true
+		} else {
+			publicSigners++
+		}
+	}
+	return trustedSigner || publicSigners >= r.mb.M()+1
+}

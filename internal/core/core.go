@@ -1,0 +1,505 @@
+// Package core implements SeeMoRe, the paper's hybrid State Machine
+// Replication protocol for public/private cloud environments. A Replica
+// runs one of three modes (Section 5):
+//
+//   - Lion: trusted primary in the private cloud, two phases, O(n)
+//     messages, quorum 2m+c+1 over the whole network.
+//   - Dog: trusted primary, agreement delegated to 3m+1 public-cloud
+//     proxies, two phases, O(n²) among proxies, quorum 2m+1.
+//   - Peacock: untrusted primary, PBFT among 3m+1 proxies, three phases,
+//     with a trusted transferer driving view changes.
+//
+// The package also implements checkpointing with garbage collection,
+// state transfer for lagging replicas, per-mode view changes, and the
+// dynamic mode-switching protocol of Section 5.4.
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/crypto"
+	"repro/internal/ids"
+	"repro/internal/message"
+	"repro/internal/mlog"
+	"repro/internal/replica"
+	"repro/internal/statemachine"
+	"repro/internal/transport"
+)
+
+type status int
+
+const (
+	statusNormal status = iota
+	statusViewChange
+)
+
+// Options assembles one SeeMoRe replica.
+type Options struct {
+	// ID is this replica's identity in [0, N).
+	ID ids.ReplicaID
+	// Cluster is the validated cluster configuration.
+	Cluster config.Cluster
+	// Suite signs and verifies messages. Use crypto.Ed25519Suite for
+	// protocol-faithful runs.
+	Suite crypto.Suite
+	// Network attaches the replica's endpoint.
+	Network transport.Network
+	// StateMachine is the replicated service.
+	StateMachine statemachine.StateMachine
+	// TickInterval overrides the engine tick (default 5ms).
+	TickInterval time.Duration
+	// LeanCommits makes Lion COMMIT messages carry only the digest
+	// instead of attaching µ (an ablation knob: the paper attaches the
+	// request "so that if a replica has not received a prepare message
+	// ... it can still execute the request"). With lean commits such a
+	// replica stays behind until checkpoint-based state transfer.
+	LeanCommits bool
+}
+
+// Replica is one SeeMoRe node. All protocol state is confined to the
+// engine goroutine; public methods are safe to call from anywhere.
+type Replica struct {
+	eng    *replica.Engine
+	mb     ids.Membership
+	timing config.Timing
+
+	mode   ids.Mode
+	view   ids.View
+	status status
+
+	log  *mlog.Log
+	exec *replica.Executor
+
+	// nextSeq is the next sequence number to assign (primary role).
+	nextSeq uint64
+
+	// pendingSlots tracks slots with an accepted proposal that have not
+	// committed yet; the view-change timer runs while it is non-empty.
+	pendingSlots map[uint64]struct{}
+	waitingSince time.Time
+
+	// vc holds view-change progress.
+	vc viewChangeState
+
+	// pendingStable holds checkpoint certificates that arrived before
+	// local execution reached them: seq → evidence.
+	pendingStable map[uint64]*stableEvidence
+
+	// activeView is the latest view this replica saw activated (a
+	// NEW-VIEW processed, or view 0). Dog view changes report it.
+	activeView ids.View
+
+	// stateRequested throttles state-transfer requests.
+	stateRequested time.Time
+
+	// queue buffers client requests that arrive while a view change is
+	// in progress on the primary.
+	queue []*message.Request
+
+	// inFlight dedups requests the primary has proposed but not yet seen
+	// executed, keyed by (client, timestamp). Without it a client's
+	// retransmission broadcast — relayed to the primary by every backup —
+	// would occupy one slot per relay.
+	inFlight map[inFlightKey]uint64
+
+	// leanCommits strips µ from Lion commits (see Options.LeanCommits).
+	leanCommits bool
+
+	// probe observes protocol events (tests and the bench harness use it
+	// to watch commits and view changes). Atomic so SetProbe may be
+	// called while the engine runs.
+	probe atomic.Pointer[Probe]
+}
+
+// Probe receives protocol event callbacks. Fields may be nil. Callbacks
+// run on the engine goroutine: they must not block and must not call
+// back into the replica.
+type Probe struct {
+	// OnExecute fires after a request is applied to the state machine.
+	OnExecute func(seq uint64, req *message.Request, result []byte)
+	// OnViewChange fires when the replica enters a new view.
+	OnViewChange func(view ids.View, mode ids.Mode)
+	// OnCheckpointStable fires when a checkpoint stabilizes.
+	OnCheckpointStable func(seq uint64)
+}
+
+type stableEvidence struct {
+	digest crypto.Digest
+	proof  []message.Signed
+}
+
+type inFlightKey struct {
+	client ids.ClientID
+	ts     uint64
+}
+
+// NewReplica builds a SeeMoRe replica. Call Start to begin processing.
+func NewReplica(opts Options) (*Replica, error) {
+	mb := opts.Cluster.Membership
+	if !mb.Contains(opts.ID) {
+		return nil, fmt.Errorf("core: replica %d not in %v", opts.ID, mb)
+	}
+	if err := opts.Cluster.Timing.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Replica{
+		mb:            mb,
+		timing:        opts.Cluster.Timing,
+		leanCommits:   opts.LeanCommits,
+		mode:          opts.Cluster.InitialMode,
+		log:           mlog.New(opts.Cluster.Timing.HighWaterMarkLag),
+		exec:          replica.NewExecutor(opts.StateMachine, opts.Cluster.Timing.CheckpointPeriod),
+		nextSeq:       1,
+		pendingSlots:  make(map[uint64]struct{}),
+		pendingStable: make(map[uint64]*stableEvidence),
+		inFlight:      make(map[inFlightKey]uint64),
+	}
+	r.vc.reset()
+	r.eng = replica.NewEngine(replica.Config{
+		ID:           opts.ID,
+		Suite:        opts.Suite,
+		Endpoint:     opts.Network.Endpoint(transport.ReplicaAddr(opts.ID)),
+		TickInterval: opts.TickInterval,
+	})
+	return r, nil
+}
+
+// SetProbe installs event callbacks; safe to call at any time, including
+// while the replica runs.
+func (r *Replica) SetProbe(p Probe) { r.probe.Store(&p) }
+
+// loadProbe returns the current probe (never nil).
+func (r *Replica) loadProbe() *Probe {
+	if p := r.probe.Load(); p != nil {
+		return p
+	}
+	return &Probe{}
+}
+
+// Start launches the replica.
+func (r *Replica) Start() { r.eng.Start(r) }
+
+// Stop terminates the replica.
+func (r *Replica) Stop() { r.eng.Stop() }
+
+// Crash fail-stops the replica (private-cloud crash injection).
+func (r *Replica) Crash() { r.eng.Crash() }
+
+// Recover resumes a crashed replica.
+func (r *Replica) Recover() { r.eng.Recover() }
+
+// ID returns the replica's identity.
+func (r *Replica) ID() ids.ReplicaID { return r.eng.ID() }
+
+// The following inspection accessors read engine-confined state and are
+// only safe after Stop has returned (tests, post-mortem assertions) or
+// from within Probe callbacks.
+
+// View returns the replica's current view.
+func (r *Replica) View() ids.View { return r.view }
+
+// Mode returns the replica's current mode.
+func (r *Replica) Mode() ids.Mode { return r.mode }
+
+// LastExecuted returns the execution cursor.
+func (r *Replica) LastExecuted() uint64 { return r.exec.LastExecuted() }
+
+// StableCheckpoint returns the sequence number of the last stable
+// checkpoint.
+func (r *Replica) StableCheckpoint() uint64 { return r.log.Low() }
+
+// LiveLogSlots returns the number of un-collected log slots (garbage
+// collection assertions).
+func (r *Replica) LiveLogSlots() int { return r.log.Len() }
+
+// isPrimary reports whether this replica is the primary of its current
+// view in its current mode.
+func (r *Replica) isPrimary() bool {
+	return r.mb.Primary(r.mode, r.view) == r.eng.ID()
+}
+
+// isProxy reports whether this replica is a proxy of its current view
+// (Dog and Peacock).
+func (r *Replica) isProxy() bool {
+	return r.mb.IsProxy(r.mode, r.view, r.eng.ID())
+}
+
+// trustedSelf reports whether this replica sits in the private cloud.
+func (r *Replica) trustedSelf() bool { return r.mb.IsTrusted(r.eng.ID()) }
+
+// HandleMessage implements replica.Handler: the single dispatch point.
+func (r *Replica) HandleMessage(m *message.Message) {
+	switch m.Kind {
+	case message.KindRequest:
+		r.onRequest(m.Request)
+	case message.KindPrepare:
+		r.onPrepare(m)
+	case message.KindPrePrepare:
+		r.onPrePrepare(m)
+	case message.KindAccept:
+		r.onAccept(m)
+	case message.KindCommit:
+		r.onCommit(m)
+	case message.KindInform:
+		r.onInform(m)
+	case message.KindCheckpoint:
+		r.onCheckpoint(m)
+	case message.KindViewChange:
+		r.onViewChange(m)
+	case message.KindNewView:
+		r.onNewView(m)
+	case message.KindModeChange:
+		r.onModeChange(m)
+	case message.KindStateRequest:
+		r.onStateRequest(m)
+	case message.KindStateReply:
+		r.onStateReply(m)
+	}
+}
+
+// HandleTick implements replica.Handler: timeout processing.
+func (r *Replica) HandleTick(now time.Time) {
+	// Outstanding prepared-but-uncommitted work past τ: suspect the
+	// primary and start a view change (Section 5.1, View Changes).
+	if r.status == statusNormal && !r.waitingSince.IsZero() &&
+		now.Sub(r.waitingSince) > r.timing.ViewChange {
+		r.startViewChange(r.view+1, r.mode)
+	}
+	// A view change that stalls either escalates or backs off. If m+1
+	// replicas demand a newer view, at least one correct peer shares the
+	// suspicion and the collector may also be faulty: escalate to the
+	// next view. A lone suspicion that nobody joined (a local timing
+	// hiccup while the cluster is healthy) instead falls back to normal
+	// operation in the current view — escalating forever would wedge
+	// this replica while its peers make progress without it.
+	if r.status == statusViewChange && !r.vc.deadline.IsZero() && now.After(r.vc.deadline) {
+		joined := 0
+		for v, votes := range r.vc.votes {
+			if v > r.view && len(votes) > joined {
+				joined = len(votes)
+			}
+		}
+		if joined >= r.mb.M()+1 {
+			r.startViewChange(r.vc.target+1, r.vc.targetMode)
+		} else {
+			r.status = statusNormal
+			r.vc.deadline = time.Time{}
+			r.vc.target = 0
+			r.resetPending()
+		}
+	}
+}
+
+// markPending starts the liveness timer for a slot with an accepted
+// proposal.
+func (r *Replica) markPending(seq uint64) {
+	if _, ok := r.pendingSlots[seq]; ok {
+		return
+	}
+	r.pendingSlots[seq] = struct{}{}
+	if r.waitingSince.IsZero() {
+		r.waitingSince = time.Now()
+	}
+}
+
+// clearPending stops the timer for a committed slot and restarts it if
+// other slots remain outstanding (the paper's "restarts the timer"
+// behaviour).
+func (r *Replica) clearPending(seq uint64) {
+	if _, ok := r.pendingSlots[seq]; !ok {
+		return
+	}
+	delete(r.pendingSlots, seq)
+	if len(r.pendingSlots) == 0 {
+		r.waitingSince = time.Time{}
+	} else {
+		r.waitingSince = time.Now()
+	}
+}
+
+// resetPending drops all liveness timers (used on view entry).
+func (r *Replica) resetPending() {
+	r.pendingSlots = make(map[uint64]struct{})
+	r.waitingSince = time.Time{}
+}
+
+// executeReady drains committed slots into the state machine and emits
+// replies according to the current mode's reply policy.
+func (r *Replica) executeReady() {
+	mode := r.mode
+	view := r.view
+	executed := r.exec.ExecuteReady(r.log, func(seq uint64, req *message.Request, result []byte) {
+		delete(r.inFlight, inFlightKey{client: req.Client, ts: req.Timestamp})
+		r.replyToClient(mode, view, req, result)
+		if p := r.loadProbe(); p.OnExecute != nil {
+			p.OnExecute(seq, req, result)
+		}
+	})
+	if executed > 0 {
+		// Progress clears the relayed-request sentinel: the cluster is
+		// alive, so the relayed request will get through or be retried.
+		r.clearPending(relaySentinel)
+		r.maybeCheckpoint()
+		r.drainPendingStable()
+	}
+}
+
+// relaySentinel is the pseudo-slot used to arm the suspicion timer when
+// a backup relays a client request to the primary.
+const relaySentinel = ^uint64(0)
+
+// replyToClient sends a REPLY if this replica's role replies in the
+// given mode: the primary in Lion; the proxies in Dog and Peacock
+// (Sections 5.1–5.3).
+func (r *Replica) replyToClient(mode ids.Mode, view ids.View, req *message.Request, result []byte) {
+	if req.Client < 0 {
+		return
+	}
+	var shouldReply bool
+	switch mode {
+	case ids.Lion:
+		shouldReply = r.mb.Primary(mode, view) == r.eng.ID()
+	default:
+		shouldReply = r.mb.IsProxy(mode, view, r.eng.ID())
+	}
+	if !shouldReply {
+		return
+	}
+	r.sendReply(mode, view, req, result)
+}
+
+func (r *Replica) sendReply(mode ids.Mode, view ids.View, req *message.Request, result []byte) {
+	rep := &message.Message{
+		Kind:      message.KindReply,
+		View:      view,
+		Mode:      mode,
+		Timestamp: req.Timestamp,
+		Client:    req.Client,
+		Result:    result,
+	}
+	r.eng.Sign(rep)
+	r.eng.SendClient(req.Client, rep)
+}
+
+// onRequest handles a client REQUEST: primaries order it; backups that
+// already executed it re-send the cached reply; otherwise the request is
+// relayed to the primary and a liveness timer starts so a dead primary
+// is eventually suspected (Section 5.1's client-retransmission path).
+func (r *Replica) onRequest(req *message.Request) {
+	if req == nil || req.Client < 0 || !r.eng.VerifyRequest(req) {
+		return
+	}
+	// Retransmission of an executed request: re-send the cached reply
+	// regardless of role (the client is asking everyone because it timed
+	// out).
+	if cached, ok := r.exec.CachedReply(req); ok {
+		r.sendReply(r.mode, r.view, req, cached)
+		return
+	}
+	if !r.exec.Fresh(req) {
+		return // older than the client's last executed request
+	}
+	if r.status != statusNormal {
+		if r.trustedSelf() {
+			r.queue = append(r.queue, req)
+		}
+		return
+	}
+	if r.isPrimary() {
+		r.proposeRequest(req)
+		return
+	}
+	// Not the primary: relay and arm the suspicion timer keyed on a
+	// pseudo-slot so a silent primary cannot stall this client forever.
+	fwd := &message.Message{Kind: message.KindRequest, Request: req}
+	r.eng.Sign(fwd)
+	r.eng.Send(r.mb.Primary(r.mode, r.view), fwd)
+	r.markPending(relaySentinel)
+}
+
+// proposeRequest assigns the next sequence number and starts the
+// mode-specific agreement (the primary's half of Algorithms 1 and 2, or
+// PBFT pre-prepare in Peacock).
+func (r *Replica) proposeRequest(req *message.Request) {
+	key := inFlightKey{client: req.Client, ts: req.Timestamp}
+	if _, dup := r.inFlight[key]; dup {
+		return // already ordered; the commit is in flight
+	}
+	if !r.log.InWindow(r.nextSeq) {
+		// The window is full: the primary must wait for a checkpoint to
+		// stabilize. Buffer the request.
+		r.queue = append(r.queue, req)
+		return
+	}
+	seq := r.nextSeq
+	r.nextSeq++
+
+	kind := message.KindPrepare
+	if r.mode == ids.Peacock {
+		kind = message.KindPrePrepare
+	}
+	prop := &message.Signed{
+		Kind:    kind,
+		View:    r.view,
+		Seq:     seq,
+		Digest:  req.Digest(),
+		Request: req,
+	}
+	r.eng.SignRecord(prop)
+
+	entry := r.log.Entry(seq)
+	if entry == nil {
+		return // cannot happen: InWindow checked above
+	}
+	if err := entry.SetProposal(prop); err != nil {
+		return
+	}
+	r.markPending(seq)
+
+	wire := &message.Message{
+		Kind:    kind,
+		View:    r.view,
+		Seq:     seq,
+		Digest:  prop.Digest,
+		Request: req,
+		Sig:     prop.Sig,
+	}
+	wire.From = r.eng.ID()
+	r.inFlight[key] = seq
+	// The primary's proposal is broadcast to every replica in all three
+	// modes (Lion: Algorithm 1; Dog: Algorithm 2; Peacock: the paper's
+	// first modification to PBFT).
+	r.eng.Multicast(r.mb.All(), wire)
+
+	switch r.mode {
+	case ids.Lion:
+		// The primary counts itself toward the 2m+c+1 accept quorum.
+		entry.AddVote(message.KindAccept, r.view, r.eng.ID(), prop.Digest)
+	case ids.Dog:
+		// The trusted Dog primary is not a proxy; proxies run the accept
+		// round among themselves.
+	case ids.Peacock:
+		// The Peacock primary is a proxy: its pre-prepare stands in for
+		// its prepare vote.
+		entry.AddVote(message.KindPrepare, r.view, r.eng.ID(), prop.Digest)
+	}
+}
+
+// drainQueue re-proposes requests buffered during a view change; the new
+// primary calls it after entering the view.
+func (r *Replica) drainQueue() {
+	if !r.isPrimary() {
+		r.queue = nil
+		return
+	}
+	q := r.queue
+	r.queue = nil
+	for _, req := range q {
+		if r.exec.Fresh(req) {
+			r.proposeRequest(req)
+		}
+	}
+}

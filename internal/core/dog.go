@@ -1,0 +1,190 @@
+package core
+
+import (
+	"repro/internal/ids"
+	"repro/internal/message"
+	"repro/internal/mlog"
+)
+
+// The Dog mode (Algorithm 2): a trusted primary assigns sequence numbers
+// and broadcasts PREPAREs; 3m+1 public-cloud proxies run a single signed
+// ACCEPT round (quorum 2m+1), then COMMIT among themselves and INFORM the
+// passive nodes. Private-cloud backups do no agreement work at all,
+// which is the mode's point: offloading the private cloud.
+
+// nonParticipants returns every replica outside the proxy set of view v:
+// all private nodes plus non-proxy public nodes — the INFORM audience.
+func (r *Replica) nonParticipants(v ids.View) []ids.ReplicaID {
+	out := make([]ids.ReplicaID, 0, r.mb.N()-r.mb.ProxyCount())
+	for _, id := range r.mb.All() {
+		if !r.mb.IsProxy(r.mode, v, id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// dogOnPrepare: any replica logs the trusted primary's PREPARE (it is
+// broadcast to all, Algorithm 2 line 9); proxies additionally start the
+// signed accept round (lines 10–12).
+func (r *Replica) dogOnPrepare(m *message.Message) {
+	if r.status != statusNormal || m.View != r.view {
+		return
+	}
+	if m.From != r.mb.Primary(ids.Dog, r.view) || m.From == r.eng.ID() {
+		return
+	}
+	s := signedFromWire(m)
+	if !r.eng.VerifyRecord(s) || !r.validProposalPayload(m) {
+		return
+	}
+	entry := r.log.Entry(m.Seq)
+	if entry == nil {
+		return
+	}
+	if err := entry.SetProposal(s); err != nil {
+		return
+	}
+	if !r.isProxy() {
+		// Passive nodes keep the prepare: executing later requires 2m+1
+		// INFORMs *matching this prepare* (Algorithm 2 commentary).
+		return
+	}
+	r.markPending(m.Seq)
+
+	acc := &message.Signed{
+		Kind:   message.KindAccept,
+		View:   r.view,
+		Seq:    m.Seq,
+		Digest: m.Digest,
+	}
+	r.eng.SignRecord(acc)
+	entry.AddVote(message.KindAccept, r.view, r.eng.ID(), m.Digest)
+	r.eng.Multicast(r.mb.Proxies(ids.Dog, r.view), wireFromSigned(acc))
+	r.dogMaybeCommit(entry)
+}
+
+// dogOnAccept: proxies collect signed accepts from other proxies
+// (Algorithm 2 line 13). Accepts may arrive before the primary's
+// prepare; the vote is recorded either way and the quorum re-checked
+// when the prepare lands.
+func (r *Replica) dogOnAccept(m *message.Message) {
+	if r.status != statusNormal || m.View != r.view || !r.isProxy() {
+		return
+	}
+	if !r.mb.IsProxy(ids.Dog, r.view, m.From) || m.From == r.eng.ID() {
+		return
+	}
+	s := signedFromWire(m)
+	if !r.eng.VerifyRecord(s) {
+		return
+	}
+	entry := r.log.Entry(m.Seq)
+	if entry == nil {
+		return
+	}
+	entry.AddVote(message.KindAccept, r.view, m.From, m.Digest)
+	r.dogMaybeCommit(entry)
+}
+
+// dogMaybeCommit commits once the proxy holds the primary's prepare and
+// 2m+1 matching accepts (its own included).
+func (r *Replica) dogMaybeCommit(entry *mlog.Entry) {
+	if entry.Committed() {
+		return
+	}
+	prop := entry.Proposal()
+	if prop == nil || prop.View != r.view {
+		return
+	}
+	if entry.VoteCount(message.KindAccept, r.view, prop.Digest) < r.mb.AgreementQuorum(ids.Dog) {
+		return
+	}
+	r.dogCommit(entry)
+}
+
+// dogCommit performs Algorithm 2 lines 14–17: COMMIT to the other
+// proxies, INFORM to everyone else, execute, reply.
+func (r *Replica) dogCommit(entry *mlog.Entry) {
+	entry.MarkCommitted()
+	r.clearPending(entry.Seq())
+	d := entry.Proposal().Digest
+
+	commit := &message.Signed{
+		Kind:   message.KindCommit,
+		View:   r.view,
+		Seq:    entry.Seq(),
+		Digest: d,
+	}
+	r.eng.SignRecord(commit)
+	r.eng.Multicast(r.mb.Proxies(ids.Dog, r.view), wireFromSigned(commit))
+
+	inform := &message.Signed{
+		Kind:   message.KindInform,
+		View:   r.view,
+		Seq:    entry.Seq(),
+		Digest: d,
+	}
+	r.eng.SignRecord(inform)
+	r.eng.Multicast(r.nonParticipants(r.view), wireFromSigned(inform))
+
+	r.executeReady() // proxies reply inside the execution hook
+}
+
+// dogOnCommit: a proxy that missed the accept quorum still commits after
+// m+1 matching COMMITs from other proxies (at least one correct proxy
+// vouches).
+func (r *Replica) dogOnCommit(m *message.Message) {
+	if r.status != statusNormal || m.View != r.view || !r.isProxy() {
+		return
+	}
+	if !r.mb.IsProxy(ids.Dog, r.view, m.From) || m.From == r.eng.ID() {
+		return
+	}
+	s := signedFromWire(m)
+	if !r.eng.VerifyRecord(s) {
+		return
+	}
+	entry := r.log.Entry(m.Seq)
+	if entry == nil || entry.Committed() {
+		return
+	}
+	entry.AddVote(message.KindCommit, r.view, m.From, m.Digest)
+	prop := entry.Proposal()
+	if prop == nil || prop.View != r.view || prop.Digest != m.Digest {
+		return
+	}
+	if entry.VoteCount(message.KindCommit, r.view, m.Digest) >= r.mb.M()+1 {
+		r.dogCommit(entry)
+	}
+}
+
+// dogOnInform: passive nodes execute after 2m+1 matching INFORMs from
+// distinct proxies that agree with the prepare received from the trusted
+// primary (Algorithm 2 commentary).
+func (r *Replica) dogOnInform(m *message.Message) {
+	if r.status != statusNormal || m.View != r.view || r.isProxy() {
+		return
+	}
+	if !r.mb.IsProxy(ids.Dog, r.view, m.From) {
+		return
+	}
+	s := signedFromWire(m)
+	if !r.eng.VerifyRecord(s) {
+		return
+	}
+	entry := r.log.Entry(m.Seq)
+	if entry == nil || entry.Committed() {
+		return
+	}
+	entry.AddVote(message.KindInform, r.view, m.From, m.Digest)
+	prop := entry.Proposal()
+	if prop == nil || prop.Digest != m.Digest {
+		return
+	}
+	if entry.VoteCount(message.KindInform, r.view, m.Digest) >= r.mb.InformQuorum(true) {
+		entry.MarkCommitted()
+		r.clearPending(m.Seq) // the Dog primary armed the timer when proposing
+		r.executeReady()      // passive nodes execute but never reply
+	}
+}

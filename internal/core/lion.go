@@ -1,0 +1,240 @@
+package core
+
+import (
+	"repro/internal/ids"
+	"repro/internal/message"
+	"repro/internal/mlog"
+)
+
+// signedFromWire reconstructs the Signed evidence record carried by an
+// agreement wire message. Agreement messages (PREPARE, PRE-PREPARE,
+// ACCEPT, COMMIT, INFORM, CHECKPOINT) are signed over the Signed tuple
+// (Kind, From, View, Seq, Digest) so the very same signature serves both
+// the wire and later view-change evidence, mirroring the paper's
+// "signed ... as a proof of receiving the message" usage.
+func signedFromWire(m *message.Message) *message.Signed {
+	return &message.Signed{
+		Kind:    m.Kind,
+		From:    m.From,
+		View:    m.View,
+		Seq:     m.Seq,
+		Digest:  m.Digest,
+		Request: m.Request,
+		Sig:     m.Sig,
+	}
+}
+
+// wireFromSigned builds the wire message for a Signed record.
+func wireFromSigned(s *message.Signed) *message.Message {
+	return &message.Message{
+		Kind:    s.Kind,
+		From:    s.From,
+		View:    s.View,
+		Seq:     s.Seq,
+		Digest:  s.Digest,
+		Request: s.Request,
+		Sig:     s.Sig,
+	}
+}
+
+// validProposalPayload checks that an attached request matches the
+// proposal digest and carries a valid client signature.
+func (r *Replica) validProposalPayload(m *message.Message) bool {
+	if m.Request == nil {
+		return false
+	}
+	if m.Request.Digest() != m.Digest {
+		return false
+	}
+	return r.eng.VerifyRequest(m.Request)
+}
+
+// hasOwnVote reports whether this replica already voted (kind) on the
+// entry in the given view — used to send each vote exactly once.
+func (r *Replica) hasOwnVote(e *mlog.Entry, kind message.Kind, view ids.View, d [32]byte) bool {
+	for _, v := range e.Voters(kind, view, d) {
+		if v == r.eng.ID() {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Lion normal case (Algorithm 1)
+
+// onPrepare dispatches PREPARE by mode: in Lion and Dog it is the
+// trusted primary's proposal; in Peacock it is a proxy's prepare vote.
+func (r *Replica) onPrepare(m *message.Message) {
+	switch r.mode {
+	case ids.Lion:
+		r.lionOnPrepare(m)
+	case ids.Dog:
+		r.dogOnPrepare(m)
+	case ids.Peacock:
+		r.peacockOnPrepareVote(m)
+	}
+}
+
+// onAccept dispatches ACCEPT: Lion backups send it to the primary; Dog
+// proxies exchange it among themselves. Peacock has no accept phase.
+func (r *Replica) onAccept(m *message.Message) {
+	switch r.mode {
+	case ids.Lion:
+		r.lionOnAccept(m)
+	case ids.Dog:
+		r.dogOnAccept(m)
+	}
+}
+
+// onCommit dispatches COMMIT by mode.
+func (r *Replica) onCommit(m *message.Message) {
+	switch r.mode {
+	case ids.Lion:
+		r.lionOnCommit(m)
+	case ids.Dog:
+		r.dogOnCommit(m)
+	case ids.Peacock:
+		r.peacockOnCommitVote(m)
+	}
+}
+
+// onInform handles INFORM at passive nodes (Dog and Peacock).
+func (r *Replica) onInform(m *message.Message) {
+	switch r.mode {
+	case ids.Dog:
+		r.dogOnInform(m)
+	case ids.Peacock:
+		r.peacockOnInform(m)
+	}
+}
+
+// lionOnPrepare: backup receives 〈〈PREPARE,v,n,d〉σp, µ〉 from the trusted
+// primary, logs it and answers with an unsigned ACCEPT (Algorithm 1,
+// lines 9–11).
+func (r *Replica) lionOnPrepare(m *message.Message) {
+	if r.status != statusNormal || m.View != r.view {
+		return
+	}
+	primary := r.mb.Primary(ids.Lion, r.view)
+	if m.From != primary || m.From == r.eng.ID() {
+		return
+	}
+	s := signedFromWire(m)
+	if !r.eng.VerifyRecord(s) || !r.validProposalPayload(m) {
+		return
+	}
+	entry := r.log.Entry(m.Seq)
+	if entry == nil {
+		return
+	}
+	if err := entry.SetProposal(s); err != nil {
+		return // a trusted primary never equivocates; stale duplicates land here
+	}
+	r.markPending(m.Seq)
+
+	// ACCEPT goes only to the trusted primary and is never reused as
+	// evidence, so it is unsigned (Section 5.1: "there is no need to
+	// sign these messages").
+	acc := &message.Message{
+		Kind:   message.KindAccept,
+		From:   r.eng.ID(),
+		View:   r.view,
+		Seq:    m.Seq,
+		Digest: m.Digest,
+	}
+	r.eng.Send(primary, acc)
+}
+
+// lionOnAccept: the primary collects accepts; at 2m+c+1 (with itself)
+// the request commits (Algorithm 1, lines 12–15).
+func (r *Replica) lionOnAccept(m *message.Message) {
+	if r.status != statusNormal || m.View != r.view || !r.isPrimary() {
+		return
+	}
+	if !r.mb.Contains(m.From) || m.From == r.eng.ID() {
+		return
+	}
+	entry := r.log.Peek(m.Seq)
+	if entry == nil || entry.Proposal() == nil {
+		return
+	}
+	prop := entry.Proposal()
+	if prop.View != r.view || prop.Digest != m.Digest {
+		return
+	}
+	entry.AddVote(message.KindAccept, r.view, m.From, m.Digest)
+	if !entry.Committed() &&
+		entry.VoteCount(message.KindAccept, r.view, m.Digest) >= r.mb.AgreementQuorum(ids.Lion) {
+		r.lionCommit(entry)
+	}
+}
+
+// lionCommit: the primary multicasts 〈〈COMMIT,v,n,d〉σp, µ〉 (carrying the
+// request so replicas that missed the PREPARE can still execute),
+// executes, and replies to the client.
+func (r *Replica) lionCommit(entry *mlog.Entry) {
+	entry.MarkCommitted()
+	r.clearPending(entry.Seq())
+
+	prop := entry.Proposal()
+	commit := &message.Signed{
+		Kind:    message.KindCommit,
+		View:    r.view,
+		Seq:     entry.Seq(),
+		Digest:  prop.Digest,
+		Request: prop.Request,
+	}
+	if r.leanCommits {
+		commit.Request = nil
+	}
+	r.eng.SignRecord(commit)
+	entry.SetCommitCert(commit)
+
+	r.eng.Multicast(r.mb.All(), wireFromSigned(commit))
+	r.executeReady() // the Lion primary replies inside the execution hook
+}
+
+// lionOnCommit: backups execute on the primary's COMMIT. Even without a
+// prior PREPARE the commit is actionable because it carries µ and the
+// primary is trusted (Section 5.1).
+func (r *Replica) lionOnCommit(m *message.Message) {
+	if r.status != statusNormal || m.View != r.view {
+		return
+	}
+	if m.From != r.mb.Primary(ids.Lion, r.view) || m.From == r.eng.ID() {
+		return
+	}
+	s := signedFromWire(m)
+	if !r.eng.VerifyRecord(s) {
+		return
+	}
+	// A lean commit (digest only) is valid evidence when this replica
+	// already holds the matching PREPARE; a full commit also supplies µ.
+	if m.Request != nil && !r.validProposalPayload(m) {
+		return
+	}
+	entry := r.log.Entry(m.Seq)
+	if entry == nil {
+		return
+	}
+	if prop := entry.Proposal(); prop != nil && prop.View == m.View && prop.Digest != m.Digest {
+		return // conflicting with the logged proposal: impossible from a trusted primary
+	}
+	if entry.Proposal() == nil {
+		if m.Request == nil {
+			// Digest-only commit without a prior prepare: nothing to
+			// execute; checkpoint state transfer will cover the gap.
+			return
+		}
+		// No PREPARE seen: adopt the commit itself as the proposal so the
+		// request body is available for execution and view changes.
+		if err := entry.SetProposal(s); err != nil {
+			return
+		}
+	}
+	entry.SetCommitCert(s)
+	entry.MarkCommitted()
+	r.clearPending(m.Seq)
+	r.executeReady()
+}

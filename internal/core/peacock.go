@@ -1,0 +1,194 @@
+package core
+
+import (
+	"repro/internal/ids"
+	"repro/internal/message"
+	"repro/internal/mlog"
+)
+
+// The Peacock mode (Section 5.3): PBFT among the 3m+1 public-cloud
+// proxies with two modifications — the primary's PRE-PREPARE goes to all
+// nodes (not just proxies), and committed slots are INFORMed to the
+// passive nodes, which execute after m+1 matching informs. View changes
+// are driven by a trusted transferer (see viewchange.go).
+
+// onPrePrepare handles the untrusted primary's 〈〈PRE-PREPARE,v,n,d〉σp, µ〉.
+// It is only meaningful in Peacock mode.
+func (r *Replica) onPrePrepare(m *message.Message) {
+	if r.mode != ids.Peacock {
+		return
+	}
+	if r.status != statusNormal || m.View != r.view {
+		return
+	}
+	if m.From != r.mb.Primary(ids.Peacock, r.view) || m.From == r.eng.ID() {
+		return
+	}
+	s := signedFromWire(m)
+	if !r.eng.VerifyRecord(s) || !r.validProposalPayload(m) {
+		return
+	}
+	entry := r.log.Entry(m.Seq)
+	if entry == nil {
+		return
+	}
+	// SetProposal rejects a conflicting digest in the same view — an
+	// equivocating Byzantine primary gets one proposal per slot here and
+	// will be caught by the prepare round (other proxies saw the other
+	// half of the equivocation and won't vote for ours).
+	if err := entry.SetProposal(s); err != nil {
+		return
+	}
+	if !r.isProxy() {
+		return // passive nodes keep µ for later execution on informs
+	}
+	r.markPending(m.Seq)
+
+	// Prepare vote to the other proxies.
+	prep := &message.Signed{
+		Kind:   message.KindPrepare,
+		View:   r.view,
+		Seq:    m.Seq,
+		Digest: m.Digest,
+	}
+	r.eng.SignRecord(prep)
+	entry.AddVoteCert(prep)
+	// The primary's pre-prepare counts as its prepare vote (standard
+	// PBFT accounting).
+	entry.AddVote(message.KindPrepare, r.view, m.From, m.Digest)
+	r.eng.Multicast(r.mb.Proxies(ids.Peacock, r.view), wireFromSigned(prep))
+	r.peacockMaybePrepared(entry)
+}
+
+// peacockOnPrepareVote handles proxy PREPARE votes (KindPrepare while in
+// Peacock mode).
+func (r *Replica) peacockOnPrepareVote(m *message.Message) {
+	if r.status != statusNormal || m.View != r.view || !r.isProxy() {
+		return
+	}
+	if !r.mb.IsProxy(ids.Peacock, r.view, m.From) || m.From == r.eng.ID() {
+		return
+	}
+	s := signedFromWire(m)
+	if !r.eng.VerifyRecord(s) {
+		return
+	}
+	entry := r.log.Entry(m.Seq)
+	if entry == nil {
+		return
+	}
+	// Keep the full signed vote: 2m of these form the prepared
+	// certificate a view change must present (see viewchange.go).
+	entry.AddVoteCert(s)
+	r.peacockMaybePrepared(entry)
+}
+
+// peacockMaybePrepared fires the commit phase once the slot is prepared:
+// a logged pre-prepare plus 2m+1 prepare voices (pre-prepare standing in
+// for the primary's, own vote included).
+func (r *Replica) peacockMaybePrepared(entry *mlog.Entry) {
+	prop := entry.Proposal()
+	if prop == nil || prop.View != r.view {
+		return
+	}
+	d := prop.Digest
+	if entry.VoteCount(message.KindPrepare, r.view, d) < r.mb.AgreementQuorum(ids.Peacock) {
+		return
+	}
+	if r.hasOwnVote(entry, message.KindCommit, r.view, d) {
+		return // commit vote already sent
+	}
+	com := &message.Signed{
+		Kind:   message.KindCommit,
+		View:   r.view,
+		Seq:    entry.Seq(),
+		Digest: d,
+	}
+	r.eng.SignRecord(com)
+	entry.AddVoteCert(com)
+	r.eng.Multicast(r.mb.Proxies(ids.Peacock, r.view), wireFromSigned(com))
+	r.peacockMaybeCommitted(entry)
+}
+
+// peacockOnCommitVote handles proxy COMMIT votes.
+func (r *Replica) peacockOnCommitVote(m *message.Message) {
+	if r.status != statusNormal || m.View != r.view || !r.isProxy() {
+		return
+	}
+	if !r.mb.IsProxy(ids.Peacock, r.view, m.From) || m.From == r.eng.ID() {
+		return
+	}
+	s := signedFromWire(m)
+	if !r.eng.VerifyRecord(s) {
+		return
+	}
+	entry := r.log.Entry(m.Seq)
+	if entry == nil {
+		return
+	}
+	entry.AddVoteCert(s)
+	r.peacockMaybePrepared(entry) // commit votes can close the prepare gap first
+	r.peacockMaybeCommitted(entry)
+}
+
+// peacockMaybeCommitted executes once committed-local holds: prepared
+// plus 2m+1 commit voices.
+func (r *Replica) peacockMaybeCommitted(entry *mlog.Entry) {
+	if entry.Committed() {
+		return
+	}
+	prop := entry.Proposal()
+	if prop == nil || prop.View != r.view {
+		return
+	}
+	d := prop.Digest
+	q := r.mb.AgreementQuorum(ids.Peacock)
+	if entry.VoteCount(message.KindPrepare, r.view, d) < q ||
+		entry.VoteCount(message.KindCommit, r.view, d) < q {
+		return
+	}
+	entry.MarkCommitted()
+	r.clearPending(entry.Seq())
+
+	// Second Peacock modification: INFORM the passive nodes.
+	inform := &message.Signed{
+		Kind:   message.KindInform,
+		View:   r.view,
+		Seq:    entry.Seq(),
+		Digest: d,
+	}
+	r.eng.SignRecord(inform)
+	r.eng.Multicast(r.nonParticipants(r.view), wireFromSigned(inform))
+
+	r.executeReady() // proxies reply inside the execution hook
+}
+
+// peacockOnInform: passive nodes execute after m+1 matching INFORMs from
+// distinct proxies (Section 5.3) provided they hold the matching
+// pre-prepare (broadcast to all) for the request body.
+func (r *Replica) peacockOnInform(m *message.Message) {
+	if r.status != statusNormal || m.View != r.view || r.isProxy() {
+		return
+	}
+	if !r.mb.IsProxy(ids.Peacock, r.view, m.From) {
+		return
+	}
+	s := signedFromWire(m)
+	if !r.eng.VerifyRecord(s) {
+		return
+	}
+	entry := r.log.Entry(m.Seq)
+	if entry == nil || entry.Committed() {
+		return
+	}
+	entry.AddVote(message.KindInform, r.view, m.From, m.Digest)
+	prop := entry.Proposal()
+	if prop == nil || prop.Digest != m.Digest {
+		return
+	}
+	if entry.VoteCount(message.KindInform, r.view, m.Digest) >= r.mb.InformQuorum(false) {
+		entry.MarkCommitted()
+		r.clearPending(m.Seq)
+		r.executeReady()
+	}
+}

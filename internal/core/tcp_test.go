@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/config"
+	"repro/internal/crypto"
+	"repro/internal/ids"
+	"repro/internal/statemachine"
+	"repro/internal/transport"
+)
+
+// TestSeeMoReOverTCP runs the full protocol across real TCP sockets —
+// the same wiring cmd/seemore and cmd/seemore-client use — instead of
+// the simulated network.
+func TestSeeMoReOverTCP(t *testing.T) {
+	mb := ids.MustMembership(2, 4, 1, 1)
+	suite := crypto.NewEd25519Suite(99, mb.N(), 4)
+	cl := config.MustCluster(mb, ids.Lion, config.Timing{
+		ViewChange:       300 * time.Millisecond,
+		ClientRetry:      400 * time.Millisecond,
+		CheckpointPeriod: 16,
+		HighWaterMarkLag: 256,
+	})
+
+	// Start N TCP nodes on loopback and exchange addresses.
+	nodes := make([]*transport.TCPNode, mb.N())
+	addrs := make(map[transport.Addr]string, mb.N())
+	for i := range nodes {
+		n, err := transport.NewTCPNode(transport.ReplicaAddr(ids.ReplicaID(i)), "127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+		addrs[n.Addr()] = n.ListenAddr()
+	}
+	for _, n := range nodes {
+		for a, hostport := range addrs {
+			if a != n.Addr() {
+				n.AddPeer(a, hostport)
+			}
+		}
+	}
+
+	kvs := make([]*statemachine.KVStore, mb.N())
+	replicas := make([]*Replica, mb.N())
+	for i := range nodes {
+		kvs[i] = statemachine.NewKVStore()
+		r, err := NewReplica(Options{
+			ID:           ids.ReplicaID(i),
+			Cluster:      cl,
+			Suite:        suite,
+			Network:      transport.Single(nodes[i]),
+			StateMachine: kvs[i],
+			TickInterval: 5 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		replicas[i] = r
+		r.Start()
+	}
+	defer func() {
+		for _, r := range replicas {
+			r.Stop()
+		}
+	}()
+
+	// Client over its own TCP node.
+	cNode, err := transport.NewTCPNode(transport.ClientAddr(0), "127.0.0.1:0", addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv := client.New(0, suite, transport.Single(cNode),
+		client.NewSeeMoRePolicy(mb, ids.Lion), cl.Timing)
+
+	for i := 0; i < 10; i++ {
+		res, err := kv.Invoke(statemachine.EncodePut(fmt.Sprintf("k%d", i), []byte("over-tcp")))
+		if err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+		if st, _ := statemachine.DecodeResult(res); st != statemachine.KVOK {
+			t.Fatalf("put %d: status %d", i, st)
+		}
+	}
+	res, err := kv.Invoke(statemachine.EncodeGet("k5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, v := statemachine.DecodeResult(res); st != statemachine.KVOK || string(v) != "over-tcp" {
+		t.Fatalf("get: %d %q", st, v)
+	}
+}

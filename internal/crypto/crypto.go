@@ -1,0 +1,223 @@
+// Package crypto provides the cryptographic substrate the paper assumes
+// in Section 3.1: collision-resistant digests, public-key signatures, and
+// pairwise-authenticated channels. It also supplies cheaper drop-in
+// schemes (HMAC, no-op) used by the ablation benchmarks to isolate how
+// much of each protocol's cost is signature arithmetic.
+package crypto
+
+import (
+	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// DigestSize is the size of a message digest in bytes (SHA-256).
+const DigestSize = sha256.Size
+
+// Digest is D(µ), the collision-resistant hash of a message (Section 3.1).
+type Digest [DigestSize]byte
+
+// Sum computes the digest of data.
+func Sum(data []byte) Digest { return sha256.Sum256(data) }
+
+// IsZero reports whether d is the all-zero digest, used as the "no
+// payload" sentinel (for example no-op NEW-VIEW entries).
+func (d Digest) IsZero() bool { return d == Digest{} }
+
+// String renders a short hex prefix, enough for logs.
+func (d Digest) String() string { return fmt.Sprintf("%x", d[:6]) }
+
+// Principal identifies a key holder: replicas and clients share one
+// signature namespace but occupy disjoint halves of it.
+type Principal int64
+
+// ReplicaPrincipal maps a replica ID into the principal namespace.
+func ReplicaPrincipal(replica int) Principal { return Principal(replica) }
+
+// ClientPrincipal maps a client ID into the principal namespace. Client
+// principals are negative so they can never collide with replicas.
+func ClientPrincipal(client int64) Principal { return Principal(-1 - client) }
+
+// Suite is the pluggable signature scheme. Implementations must be safe
+// for concurrent use: replicas sign and verify from multiple goroutines.
+type Suite interface {
+	// Sign produces a signature over msg in the name of signer. It
+	// panics if the suite holds no private key for signer — that is a
+	// deployment bug, not a runtime condition.
+	Sign(signer Principal, msg []byte) []byte
+	// Verify reports whether sig is a valid signature over msg by signer.
+	Verify(signer Principal, msg, sig []byte) bool
+	// Name identifies the scheme in benchmark output.
+	Name() string
+}
+
+// ---------------------------------------------------------------------------
+// Ed25519: the default, matching the paper's standard public-key
+// signature assumption ("all machines have the public keys of all other
+// machines").
+
+// Ed25519Suite signs with ed25519 keys derived deterministically from a
+// cluster seed, so every node (and every test) can reconstruct the same
+// keyring without a key-distribution subprotocol.
+type Ed25519Suite struct {
+	pub  map[Principal]ed25519.PublicKey
+	priv map[Principal]ed25519.PrivateKey
+}
+
+// NewEd25519Suite builds a keyring holding key pairs for replica
+// principals 0..replicas-1 and client principals 0..clients-1, all
+// derived from seed. Every participant in a simulated cluster shares the
+// full public keyring; each real deployment would restrict private keys
+// to their owners (see Restrict).
+func NewEd25519Suite(seed int64, replicas int, clients int64) *Ed25519Suite {
+	s := &Ed25519Suite{
+		pub:  make(map[Principal]ed25519.PublicKey, replicas+int(clients)),
+		priv: make(map[Principal]ed25519.PrivateKey, replicas+int(clients)),
+	}
+	for r := 0; r < replicas; r++ {
+		s.add(ReplicaPrincipal(r), seed)
+	}
+	for c := int64(0); c < clients; c++ {
+		s.add(ClientPrincipal(c), seed)
+	}
+	return s
+}
+
+func (s *Ed25519Suite) add(p Principal, seed int64) {
+	var material [ed25519.SeedSize]byte
+	binary.LittleEndian.PutUint64(material[0:8], uint64(seed))
+	binary.LittleEndian.PutUint64(material[8:16], uint64(p))
+	material[16] = 0xd5 // domain separation from any other seed derivation
+	priv := ed25519.NewKeyFromSeed(hashSeed(material[:]))
+	s.priv[p] = priv
+	s.pub[p] = priv.Public().(ed25519.PublicKey)
+}
+
+func hashSeed(b []byte) []byte {
+	h := sha256.Sum256(b)
+	return h[:ed25519.SeedSize]
+}
+
+// Sign implements Suite.
+func (s *Ed25519Suite) Sign(signer Principal, msg []byte) []byte {
+	priv, ok := s.priv[signer]
+	if !ok {
+		panic(fmt.Sprintf("crypto: no private key for principal %d", signer))
+	}
+	return ed25519.Sign(priv, msg)
+}
+
+// Verify implements Suite.
+func (s *Ed25519Suite) Verify(signer Principal, msg, sig []byte) bool {
+	pub, ok := s.pub[signer]
+	if !ok {
+		return false
+	}
+	return len(sig) == ed25519.SignatureSize && ed25519.Verify(pub, msg, sig)
+}
+
+// Name implements Suite.
+func (s *Ed25519Suite) Name() string { return "ed25519" }
+
+// Restrict returns a view of the suite that can verify everyone but sign
+// only as owner: what a single real node would hold. A Byzantine node
+// simulated with a restricted suite cannot forge others' signatures,
+// matching the adversary model of Section 3.1.
+func (s *Ed25519Suite) Restrict(owner Principal) Suite {
+	return &restricted{inner: s, owner: owner}
+}
+
+type restricted struct {
+	inner *Ed25519Suite
+	owner Principal
+}
+
+func (r *restricted) Sign(signer Principal, msg []byte) []byte {
+	if signer != r.owner {
+		panic(fmt.Sprintf("crypto: principal %d attempted to sign as %d", r.owner, signer))
+	}
+	return r.inner.Sign(signer, msg)
+}
+
+func (r *restricted) Verify(signer Principal, msg, sig []byte) bool {
+	return r.inner.Verify(signer, msg, sig)
+}
+
+func (r *restricted) Name() string { return r.inner.Name() }
+
+// ---------------------------------------------------------------------------
+// HMAC: models MAC-vectors / authenticated channels. Cheaper than
+// ed25519 but, unlike real per-pair MACs, verifiable by any holder of the
+// cluster secret — acceptable inside one simulated trust domain and used
+// only for the signer-cost ablation.
+
+// HMACSuite authenticates with HMAC-SHA256 under per-principal keys
+// derived from a cluster secret.
+type HMACSuite struct {
+	keys map[Principal][]byte
+}
+
+// NewHMACSuite derives per-principal MAC keys for the same principal
+// population as NewEd25519Suite.
+func NewHMACSuite(seed int64, replicas int, clients int64) *HMACSuite {
+	s := &HMACSuite{keys: make(map[Principal][]byte, replicas+int(clients))}
+	add := func(p Principal) {
+		var material [17]byte
+		binary.LittleEndian.PutUint64(material[0:8], uint64(seed))
+		binary.LittleEndian.PutUint64(material[8:16], uint64(p))
+		material[16] = 0x7a
+		k := sha256.Sum256(material[:])
+		s.keys[p] = k[:]
+	}
+	for r := 0; r < replicas; r++ {
+		add(ReplicaPrincipal(r))
+	}
+	for c := int64(0); c < clients; c++ {
+		add(ClientPrincipal(c))
+	}
+	return s
+}
+
+// Sign implements Suite.
+func (s *HMACSuite) Sign(signer Principal, msg []byte) []byte {
+	key, ok := s.keys[signer]
+	if !ok {
+		panic(fmt.Sprintf("crypto: no MAC key for principal %d", signer))
+	}
+	mac := hmac.New(sha256.New, key)
+	mac.Write(msg)
+	return mac.Sum(nil)
+}
+
+// Verify implements Suite.
+func (s *HMACSuite) Verify(signer Principal, msg, sig []byte) bool {
+	key, ok := s.keys[signer]
+	if !ok {
+		return false
+	}
+	mac := hmac.New(sha256.New, key)
+	mac.Write(msg)
+	return hmac.Equal(sig, mac.Sum(nil))
+}
+
+// Name implements Suite.
+func (s *HMACSuite) Name() string { return "hmac-sha256" }
+
+// ---------------------------------------------------------------------------
+// Noop: zero-cost signatures for the upper-bound ablation. Verification
+// accepts anything, so it must never be used where a Byzantine behaviour
+// is being injected.
+
+// NoopSuite disables signatures entirely.
+type NoopSuite struct{}
+
+// Sign implements Suite.
+func (NoopSuite) Sign(Principal, []byte) []byte { return nil }
+
+// Verify implements Suite.
+func (NoopSuite) Verify(Principal, []byte, []byte) bool { return true }
+
+// Name implements Suite.
+func (NoopSuite) Name() string { return "none" }

@@ -1,0 +1,184 @@
+package crypto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumProperties(t *testing.T) {
+	a := Sum([]byte("hello"))
+	b := Sum([]byte("hello"))
+	c := Sum([]byte("hellp"))
+	if a != b {
+		t.Error("digest not deterministic")
+	}
+	if a == c {
+		t.Error("distinct inputs collided")
+	}
+	if a.IsZero() {
+		t.Error("real digest reported zero")
+	}
+	var z Digest
+	if !z.IsZero() {
+		t.Error("zero digest not reported zero")
+	}
+	if len(a.String()) != 12 {
+		t.Errorf("digest string %q should be 12 hex chars", a.String())
+	}
+}
+
+func TestPrincipalNamespacesDisjoint(t *testing.T) {
+	seen := map[Principal]bool{}
+	for r := 0; r < 100; r++ {
+		seen[ReplicaPrincipal(r)] = true
+	}
+	for c := int64(0); c < 100; c++ {
+		p := ClientPrincipal(c)
+		if seen[p] {
+			t.Fatalf("client %d collides with a replica principal (%d)", c, p)
+		}
+	}
+}
+
+func suites() []Suite {
+	return []Suite{
+		NewEd25519Suite(42, 4, 2),
+		NewHMACSuite(42, 4, 2),
+	}
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	for _, s := range suites() {
+		t.Run(s.Name(), func(t *testing.T) {
+			msg := []byte("prepare v=3 n=17")
+			sig := s.Sign(ReplicaPrincipal(1), msg)
+			if !s.Verify(ReplicaPrincipal(1), msg, sig) {
+				t.Fatal("valid signature rejected")
+			}
+			if s.Verify(ReplicaPrincipal(2), msg, sig) {
+				t.Error("signature accepted for wrong signer")
+			}
+			if s.Verify(ReplicaPrincipal(1), []byte("tampered"), sig) {
+				t.Error("signature accepted for tampered message")
+			}
+			if s.Verify(ReplicaPrincipal(1), msg, append([]byte(nil), sig[:len(sig)-1]...)) {
+				t.Error("truncated signature accepted")
+			}
+			if s.Verify(Principal(999), msg, sig) {
+				t.Error("unknown principal verified")
+			}
+		})
+	}
+}
+
+func TestClientSignatures(t *testing.T) {
+	for _, s := range suites() {
+		msg := []byte("request op=put")
+		sig := s.Sign(ClientPrincipal(0), msg)
+		if !s.Verify(ClientPrincipal(0), msg, sig) {
+			t.Errorf("%s: client signature rejected", s.Name())
+		}
+		if s.Verify(ClientPrincipal(1), msg, sig) {
+			t.Errorf("%s: signature accepted for wrong client", s.Name())
+		}
+	}
+}
+
+func TestDeterministicKeyDerivation(t *testing.T) {
+	a := NewEd25519Suite(7, 3, 1)
+	b := NewEd25519Suite(7, 3, 1)
+	msg := []byte("same keys from same seed")
+	if !bytes.Equal(a.Sign(ReplicaPrincipal(0), msg), b.Sign(ReplicaPrincipal(0), msg)) {
+		t.Error("same seed produced different ed25519 keys")
+	}
+	cdiff := NewEd25519Suite(8, 3, 1)
+	if bytes.Equal(a.Sign(ReplicaPrincipal(0), msg), cdiff.Sign(ReplicaPrincipal(0), msg)) {
+		t.Error("different seeds produced identical keys")
+	}
+	// Cross-suite verification must fail.
+	sig := a.Sign(ReplicaPrincipal(0), msg)
+	if cdiff.Verify(ReplicaPrincipal(0), msg, sig) {
+		t.Error("key from seed 7 verified under seed 8")
+	}
+}
+
+func TestSignUnknownPrincipalPanics(t *testing.T) {
+	s := NewEd25519Suite(1, 2, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("signing with unknown principal did not panic")
+		}
+	}()
+	s.Sign(ReplicaPrincipal(99), []byte("x"))
+}
+
+func TestRestrictedSuite(t *testing.T) {
+	full := NewEd25519Suite(3, 4, 0)
+	r1 := full.Restrict(ReplicaPrincipal(1))
+	msg := []byte("hello")
+	sig := r1.Sign(ReplicaPrincipal(1), msg)
+	if !r1.Verify(ReplicaPrincipal(1), msg, sig) {
+		t.Fatal("restricted suite rejected own signature")
+	}
+	// It can verify others...
+	other := full.Sign(ReplicaPrincipal(2), msg)
+	if !r1.Verify(ReplicaPrincipal(2), msg, other) {
+		t.Fatal("restricted suite cannot verify peers")
+	}
+	if r1.Name() != full.Name() {
+		t.Error("restricted suite changed scheme name")
+	}
+	// ...but signing as someone else is forgery and must panic.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("forgery attempt did not panic")
+		}
+	}()
+	r1.Sign(ReplicaPrincipal(2), msg)
+}
+
+func TestNoopSuite(t *testing.T) {
+	var s NoopSuite
+	if sig := s.Sign(ReplicaPrincipal(0), []byte("x")); sig != nil {
+		t.Error("noop signature should be nil")
+	}
+	if !s.Verify(Principal(123), []byte("anything"), nil) {
+		t.Error("noop verify should accept everything")
+	}
+	if s.Name() != "none" {
+		t.Error("unexpected suite name")
+	}
+}
+
+// Property: HMAC verification accepts exactly the signer's output and
+// rejects single-bit corruptions.
+func TestHMACPropertyBitFlip(t *testing.T) {
+	s := NewHMACSuite(99, 2, 0)
+	prop := func(msg []byte, flipByte, flipBit uint8) bool {
+		sig := s.Sign(ReplicaPrincipal(0), msg)
+		if !s.Verify(ReplicaPrincipal(0), msg, sig) {
+			return false
+		}
+		bad := append([]byte(nil), sig...)
+		bad[int(flipByte)%len(bad)] ^= 1 << (flipBit % 8)
+		return !s.Verify(ReplicaPrincipal(0), msg, bad)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ed25519 signatures from our deterministic keyring verify for
+// arbitrary messages.
+func TestEd25519PropertyRoundTrip(t *testing.T) {
+	s := NewEd25519Suite(5, 2, 1)
+	prop := func(msg []byte) bool {
+		sig := s.Sign(ClientPrincipal(0), msg)
+		return s.Verify(ClientPrincipal(0), msg, sig) &&
+			!s.Verify(ReplicaPrincipal(0), msg, sig)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

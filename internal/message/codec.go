@@ -1,0 +1,299 @@
+package message
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/crypto"
+	"repro/internal/ids"
+)
+
+// Wire format
+//
+// Every value is encoded deterministically:
+//
+//	u8           one byte
+//	u64 / i64    8 bytes little-endian (i64 two's complement)
+//	bytes        u32 length prefix + raw bytes
+//	digest       32 raw bytes
+//	request      presence byte (0/1) + Op + Timestamp + Client + Sig
+//	signed       Kind + From + View + Seq + Digest + request + Sig
+//	signedSet    u32 count + that many signed records
+//
+// A Message is a fixed field sequence in declaration order, preceded by a
+// one-byte format version so the wire can evolve.
+
+const wireVersion = 1
+
+// maxSliceLen caps every decoded length prefix to keep a malicious peer
+// from making us allocate gigabytes from a tiny frame (the Section 3
+// adversary controls public-cloud nodes, so decode paths must be hostile-
+// input safe).
+const maxSliceLen = 64 << 20
+
+// ErrTruncated is returned when a frame ends before the structure does.
+var ErrTruncated = errors.New("message: truncated frame")
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) u8(v uint8) { e.buf = append(e.buf, v) }
+
+func (e *encoder) u64(v uint64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+}
+
+func (e *encoder) i64(v int64) { e.u64(uint64(v)) }
+
+func (e *encoder) u32(v uint32) {
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, v)
+}
+
+func (e *encoder) bytes(b []byte) {
+	e.u32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+func (e *encoder) digest(d crypto.Digest) { e.buf = append(e.buf, d[:]...) }
+
+func (e *encoder) request(r *Request) {
+	if r == nil {
+		e.u8(0)
+		return
+	}
+	e.u8(1)
+	e.bytes(r.Op)
+	e.u64(r.Timestamp)
+	e.i64(int64(r.Client))
+	e.bytes(r.Sig)
+}
+
+func (e *encoder) signed(s *Signed) {
+	e.u8(uint8(s.Kind))
+	e.i64(int64(s.From))
+	e.u64(uint64(s.View))
+	e.u64(s.Seq)
+	e.digest(s.Digest)
+	e.request(s.Request)
+	e.bytes(s.Sig)
+}
+
+func (e *encoder) signedSet(set []Signed) {
+	e.u32(uint32(len(set)))
+	for i := range set {
+		e.signed(&set[i])
+	}
+}
+
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *decoder) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off+n > len(d.buf) {
+		d.fail(ErrTruncated)
+		return false
+	}
+	return true
+}
+
+func (d *decoder) u8() uint8 {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) i64() int64 { return int64(d.u64()) }
+
+func (d *decoder) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) bytes() []byte {
+	n := int(d.u32())
+	if d.err != nil {
+		return nil
+	}
+	if n > maxSliceLen {
+		d.fail(fmt.Errorf("message: slice length %d exceeds limit", n))
+		return nil
+	}
+	if !d.need(n) {
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[d.off:])
+	d.off += n
+	return out
+}
+
+func (d *decoder) digest() crypto.Digest {
+	var out crypto.Digest
+	if !d.need(crypto.DigestSize) {
+		return out
+	}
+	copy(out[:], d.buf[d.off:])
+	d.off += crypto.DigestSize
+	return out
+}
+
+func (d *decoder) request() *Request {
+	switch d.u8() {
+	case 0:
+		return nil
+	case 1:
+		r := &Request{}
+		r.Op = d.bytes()
+		r.Timestamp = d.u64()
+		r.Client = ids.ClientID(d.i64())
+		r.Sig = d.bytes()
+		return r
+	default:
+		d.fail(errors.New("message: invalid request presence byte"))
+		return nil
+	}
+}
+
+func (d *decoder) signed() Signed {
+	var s Signed
+	s.Kind = Kind(d.u8())
+	s.From = ids.ReplicaID(d.i64())
+	s.View = ids.View(d.u64())
+	s.Seq = d.u64()
+	s.Digest = d.digest()
+	s.Request = d.request()
+	s.Sig = d.bytes()
+	return s
+}
+
+func (d *decoder) signedSet() []Signed {
+	n := int(d.u32())
+	if d.err != nil {
+		return nil
+	}
+	// Each signed record occupies at least 58 bytes on the wire; bound
+	// the count by what the frame could possibly hold.
+	if n > len(d.buf)/58+1 {
+		d.fail(fmt.Errorf("message: signed-set count %d exceeds frame capacity", n))
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]Signed, n)
+	for i := range out {
+		out[i] = d.signed()
+	}
+	return out
+}
+
+// Marshal encodes m into a fresh byte slice.
+func Marshal(m *Message) []byte {
+	var e encoder
+	e.u8(wireVersion)
+	e.u8(uint8(m.Kind))
+	e.i64(int64(m.From))
+	e.u64(uint64(m.View))
+	e.u64(m.Seq)
+	e.digest(m.Digest)
+	e.u8(uint8(m.Mode))
+	e.request(m.Request)
+	e.bytes(m.Result)
+	e.u64(m.Timestamp)
+	e.i64(int64(m.Client))
+	e.digest(m.StateDigest)
+	e.u64(uint64(m.ActiveView))
+	e.signedSet(m.CheckpointProof)
+	e.signedSet(m.Prepares)
+	e.signedSet(m.Commits)
+	e.bytes(m.Sig)
+	return e.buf
+}
+
+// Unmarshal decodes a frame produced by Marshal. It never panics on
+// hostile input; malformed frames return an error.
+func Unmarshal(frame []byte) (*Message, error) {
+	d := decoder{buf: frame}
+	if v := d.u8(); d.err == nil && v != wireVersion {
+		return nil, fmt.Errorf("message: unsupported wire version %d", v)
+	}
+	m := &Message{}
+	m.Kind = Kind(d.u8())
+	m.From = ids.ReplicaID(d.i64())
+	m.View = ids.View(d.u64())
+	m.Seq = d.u64()
+	m.Digest = d.digest()
+	m.Mode = ids.Mode(d.u8())
+	m.Request = d.request()
+	m.Result = d.bytes()
+	m.Timestamp = d.u64()
+	m.Client = ids.ClientID(d.i64())
+	m.StateDigest = d.digest()
+	m.ActiveView = ids.View(d.u64())
+	m.CheckpointProof = d.signedSet()
+	m.Prepares = d.signedSet()
+	m.Commits = d.signedSet()
+	m.Sig = d.bytes()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(frame) {
+		return nil, fmt.Errorf("message: %d trailing bytes", len(frame)-d.off)
+	}
+	return m, nil
+}
+
+// MarshalRequest encodes a bare request (used by D(µ) and client signing
+// tests); the Message envelope embeds requests with the same encoding.
+func MarshalRequest(r *Request) []byte {
+	var e encoder
+	e.request(r)
+	return e.buf
+}
+
+// UnmarshalRequest decodes the output of MarshalRequest.
+func UnmarshalRequest(frame []byte) (*Request, error) {
+	d := decoder{buf: frame}
+	r := d.request()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(frame) {
+		return nil, fmt.Errorf("message: %d trailing bytes", len(frame)-d.off)
+	}
+	if r == nil {
+		return nil, errors.New("message: frame encodes a nil request")
+	}
+	return r, nil
+}

@@ -1,0 +1,341 @@
+// Package message defines every message exchanged by SeeMoRe and the
+// baseline protocols (Paxos, PBFT, S-UpRight), together with a
+// deterministic binary codec. Determinism matters because signatures are
+// computed over encoded bytes: the same logical message must always
+// produce the same bytes on every node.
+//
+// One Message struct covers all protocols; unused fields stay at their
+// zero values and the per-kind validator rejects malformed combinations.
+// This mirrors how the paper layers all of its modes over one
+// communication substrate (BFT-SMaRt's, in their case).
+package message
+
+import (
+	"fmt"
+
+	"repro/internal/crypto"
+	"repro/internal/ids"
+)
+
+// Kind discriminates message types. The names follow the paper's
+// vocabulary (Sections 5.1–5.4); PrePrepare exists for the Peacock mode
+// and the PBFT baseline.
+type Kind uint8
+
+const (
+	// KindInvalid is the zero Kind; it never appears on the wire.
+	KindInvalid Kind = iota
+	// KindRequest is a client's 〈REQUEST, op, ts, ς〉σς.
+	KindRequest
+	// KindPrePrepare is PBFT's/Peacock's 〈PRE-PREPARE, v, n, d〉σp with µ.
+	KindPrePrepare
+	// KindPrepare is 〈PREPARE, v, n, d〉σp (Lion/Dog: primary → all, with
+	// µ attached; PBFT/Peacock: replica → replicas, digest only).
+	KindPrepare
+	// KindAccept is 〈ACCEPT, v, n, d, r〉 (Lion: backup → primary,
+	// unsigned; Dog: proxy → proxies, signed).
+	KindAccept
+	// KindCommit is 〈COMMIT, v, n, d〉 (Lion: primary → all with µ;
+	// Dog/Peacock/PBFT: participant → participants).
+	KindCommit
+	// KindInform is 〈INFORM, v, n, d, r〉σr from proxies to passive nodes
+	// (Dog and Peacock).
+	KindInform
+	// KindReply is 〈REPLY, π, v, ts, u〉σr back to the client.
+	KindReply
+	// KindCheckpoint is 〈CHECKPOINT, n, d〉σr.
+	KindCheckpoint
+	// KindViewChange is 〈VIEW-CHANGE, v+1, n, ξ, P, C〉.
+	KindViewChange
+	// KindNewView is 〈NEW-VIEW, v+1, P′, C′〉σp′.
+	KindNewView
+	// KindModeChange is 〈MODE-CHANGE, v+1, π′〉σs (Section 5.4).
+	KindModeChange
+	// KindStateRequest asks a peer for the snapshot behind its last
+	// stable checkpoint (the "bring slow replicas up to date" path of the
+	// paper's State Transfer subsections).
+	KindStateRequest
+	// KindStateReply carries a stable checkpoint's snapshot (in Result)
+	// together with its sequence number, state digest and proof.
+	KindStateReply
+	kindSentinel // keep last
+)
+
+var kindNames = [...]string{
+	KindInvalid:      "INVALID",
+	KindRequest:      "REQUEST",
+	KindPrePrepare:   "PRE-PREPARE",
+	KindPrepare:      "PREPARE",
+	KindAccept:       "ACCEPT",
+	KindCommit:       "COMMIT",
+	KindInform:       "INFORM",
+	KindReply:        "REPLY",
+	KindCheckpoint:   "CHECKPOINT",
+	KindViewChange:   "VIEW-CHANGE",
+	KindNewView:      "NEW-VIEW",
+	KindModeChange:   "MODE-CHANGE",
+	KindStateRequest: "STATE-REQUEST",
+	KindStateReply:   "STATE-REPLY",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && k != KindInvalid {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Valid reports whether k is a defined wire kind.
+func (k Kind) Valid() bool { return k > KindInvalid && k < kindSentinel }
+
+// Request is µ, a client operation. The digest D(µ) used throughout the
+// protocols is the digest of the request's canonical encoding.
+type Request struct {
+	// Op is the opaque state-machine operation.
+	Op []byte
+	// Timestamp is the client's monotonically increasing timestamp tsς,
+	// used for total ordering of one client's requests and exactly-once
+	// execution (Section 5.1).
+	Timestamp uint64
+	// Client is ς.
+	Client ids.ClientID
+	// Sig is σς over the canonical encoding of (Op, Timestamp, Client).
+	Sig []byte
+}
+
+// SignedBytes returns the bytes a client signature covers.
+func (r *Request) SignedBytes() []byte {
+	var e encoder
+	e.bytes(r.Op)
+	e.u64(r.Timestamp)
+	e.i64(int64(r.Client))
+	return e.buf
+}
+
+// Digest returns D(µ): the digest of the request including its
+// signature, so that two requests with identical payloads from the same
+// client remain distinguishable only by timestamp, as the paper requires
+// for exactly-once semantics.
+func (r *Request) Digest() crypto.Digest {
+	var e encoder
+	e.request(r)
+	return crypto.Sum(e.buf)
+}
+
+// Equal reports deep equality of two requests.
+func (r *Request) Equal(o *Request) bool {
+	if r == nil || o == nil {
+		return r == o
+	}
+	return r.Timestamp == o.Timestamp && r.Client == o.Client &&
+		string(r.Op) == string(o.Op) && string(r.Sig) == string(o.Sig)
+}
+
+// Signed is a compact record of a previously sent signed protocol message
+// (a prepare, commit, or checkpoint). View changes carry sets of these as
+// evidence (the paper's P, C, and ξ), and NEW-VIEW messages carry the
+// reconstructed P′ and C′ — those entries may attach the full request µ.
+type Signed struct {
+	Kind    Kind
+	From    ids.ReplicaID
+	View    ids.View
+	Seq     uint64
+	Digest  crypto.Digest
+	Request *Request // only set where the protocol attaches µ
+	Sig     []byte
+}
+
+// SignedBytes returns the bytes the signature covers: the tuple
+// (Kind, From, View, Seq, Digest) — the request µ travels outside the
+// signature, bound by Digest, exactly as in the paper's 〈〈PREPARE,v,n,d〉σp, µ〉.
+func (s *Signed) SignedBytes() []byte {
+	var e encoder
+	e.u8(uint8(s.Kind))
+	e.i64(int64(s.From))
+	e.u64(uint64(s.View))
+	e.u64(s.Seq)
+	e.digest(s.Digest)
+	return e.buf
+}
+
+// Message is the single wire envelope for every protocol message other
+// than the bare client Request (which also travels wrapped in a Message
+// of KindRequest for uniform transport handling).
+type Message struct {
+	Kind Kind
+	// From is the sending replica, or -1 when the sender is a client
+	// (KindRequest retransmissions).
+	From ids.ReplicaID
+	View ids.View
+	Seq  uint64
+	// Digest is d = D(µ) for agreement messages.
+	Digest crypto.Digest
+	// Mode is π, carried by REPLY (so clients can track the current
+	// mode, Section 5.1) and MODE-CHANGE (the new mode π′, Section 5.4).
+	Mode ids.Mode
+	// Request is µ where the protocol attaches the full request
+	// (REQUEST, Lion/Dog PREPARE, Lion COMMIT, Peacock PRE-PREPARE).
+	Request *Request
+	// Result is u, the execution result in a REPLY.
+	Result []byte
+	// Timestamp is tsς echoed in a REPLY.
+	Timestamp uint64
+	// Client is ς for REPLY routing.
+	Client ids.ClientID
+	// StateDigest is the checkpoint state digest (CHECKPOINT d).
+	StateDigest crypto.Digest
+	// ActiveView is, in a Dog-mode VIEW-CHANGE, the sender's last active
+	// view (the latest view with a non-faulty primary it participated
+	// in). Section 5.2 requires the new primary to collect view-change
+	// messages from the proxies of the last active view.
+	ActiveView ids.View
+	// CheckpointProof is ξ, the checkpoint certificate carried by a
+	// VIEW-CHANGE: the signed CHECKPOINT message(s) proving stability.
+	CheckpointProof []Signed
+	// Prepares is P (VIEW-CHANGE) or P′ (NEW-VIEW).
+	Prepares []Signed
+	// Commits is C (VIEW-CHANGE) or C′ (NEW-VIEW).
+	Commits []Signed
+	// Sig is the sender's signature over SignedBytes, where the kind
+	// requires one.
+	Sig []byte
+}
+
+// SignedBytes returns the canonical bytes covered by Sig. Variable-size
+// payloads (result, evidence sets) are bound by digest so the signature
+// input stays small and unambiguous; the full payloads travel alongside.
+func (m *Message) SignedBytes() []byte {
+	var e encoder
+	e.u8(uint8(m.Kind))
+	e.i64(int64(m.From))
+	e.u64(uint64(m.View))
+	e.u64(m.Seq)
+	e.digest(m.Digest)
+	e.u8(uint8(m.Mode))
+	e.u64(m.Timestamp)
+	e.i64(int64(m.Client))
+	e.digest(m.StateDigest)
+	e.u64(uint64(m.ActiveView))
+	e.digest(crypto.Sum(m.Result))
+	e.digest(digestSigned(m.CheckpointProof))
+	e.digest(digestSigned(m.Prepares))
+	e.digest(digestSigned(m.Commits))
+	return e.buf
+}
+
+func digestSigned(set []Signed) crypto.Digest {
+	if len(set) == 0 {
+		return crypto.Digest{}
+	}
+	var e encoder
+	e.signedSet(set)
+	return crypto.Sum(e.buf)
+}
+
+// String renders a short human-readable form for logs and tests.
+func (m *Message) String() string {
+	return fmt.Sprintf("%s{from=%d v=%d n=%d d=%s}", m.Kind, m.From, m.View, m.Seq, m.Digest)
+}
+
+// Validate performs kind-specific structural checks. It does not verify
+// signatures (the replica does that with its crypto.Suite); it rejects
+// messages whose shape cannot be processed.
+func (m *Message) Validate() error {
+	if !m.Kind.Valid() {
+		return fmt.Errorf("message: invalid kind %d", uint8(m.Kind))
+	}
+	switch m.Kind {
+	case KindRequest:
+		if m.Request == nil {
+			return fmt.Errorf("message: REQUEST without request body")
+		}
+	case KindPrePrepare, KindPrepare:
+		if m.From < 0 {
+			return fmt.Errorf("message: %s without sender", m.Kind)
+		}
+		// Lion/Dog prepare and Peacock pre-prepare carry µ; PBFT-style
+		// inner prepares do not. Both shapes are legal here; protocols
+		// enforce their own expectations.
+	case KindAccept, KindInform:
+		if m.From < 0 {
+			return fmt.Errorf("message: %s without sender", m.Kind)
+		}
+	case KindCommit:
+		if m.From < 0 {
+			return fmt.Errorf("message: COMMIT without sender")
+		}
+	case KindReply:
+		if m.Client < 0 {
+			return fmt.Errorf("message: REPLY without client")
+		}
+		if !m.Mode.Valid() {
+			return fmt.Errorf("message: REPLY with invalid mode %d", int(m.Mode))
+		}
+	case KindCheckpoint:
+		if m.From < 0 {
+			return fmt.Errorf("message: CHECKPOINT without sender")
+		}
+	case KindViewChange:
+		if m.From < 0 {
+			return fmt.Errorf("message: VIEW-CHANGE without sender")
+		}
+		if m.View == 0 {
+			return fmt.Errorf("message: VIEW-CHANGE into view 0")
+		}
+	case KindNewView:
+		if m.From < 0 {
+			return fmt.Errorf("message: NEW-VIEW without sender")
+		}
+		if m.View == 0 {
+			return fmt.Errorf("message: NEW-VIEW for view 0")
+		}
+	case KindModeChange:
+		if m.From < 0 {
+			return fmt.Errorf("message: MODE-CHANGE without sender")
+		}
+		if !m.Mode.Valid() {
+			return fmt.Errorf("message: MODE-CHANGE to invalid mode %d", int(m.Mode))
+		}
+	case KindStateRequest, KindStateReply:
+		if m.From < 0 {
+			return fmt.Errorf("message: %s without sender", m.Kind)
+		}
+	}
+	return nil
+}
+
+// Equal reports deep equality; used by tests and duplicate suppression.
+func (m *Message) Equal(o *Message) bool {
+	if m == nil || o == nil {
+		return m == o
+	}
+	if m.Kind != o.Kind || m.From != o.From || m.View != o.View ||
+		m.Seq != o.Seq || m.Digest != o.Digest || m.Mode != o.Mode ||
+		m.Timestamp != o.Timestamp || m.Client != o.Client ||
+		m.StateDigest != o.StateDigest || m.ActiveView != o.ActiveView ||
+		string(m.Result) != string(o.Result) ||
+		string(m.Sig) != string(o.Sig) ||
+		!m.Request.Equal(o.Request) {
+		return false
+	}
+	return signedSetEqual(m.CheckpointProof, o.CheckpointProof) &&
+		signedSetEqual(m.Prepares, o.Prepares) &&
+		signedSetEqual(m.Commits, o.Commits)
+}
+
+func signedSetEqual(a, b []Signed) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Kind != b[i].Kind || a[i].From != b[i].From ||
+			a[i].View != b[i].View || a[i].Seq != b[i].Seq ||
+			a[i].Digest != b[i].Digest ||
+			string(a[i].Sig) != string(b[i].Sig) ||
+			!a[i].Request.Equal(b[i].Request) {
+			return false
+		}
+	}
+	return true
+}

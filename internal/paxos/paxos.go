@@ -1,0 +1,451 @@
+// Package paxos implements the crash fault-tolerant baseline the paper
+// compares against (its "CFT" line, BFT-SMaRt's optimized Paxos): a
+// Multi-Paxos-style State Machine Replication protocol over 2f+1
+// replicas that tolerates f crash failures with f+1 quorums and two
+// communication phases in the steady state.
+//
+// All replicas are trusted (crash-only), so messages carry MACs only for
+// parity with the other protocols' transport costs (the suite is
+// pluggable; the benchmarks use the same suite for every protocol) and
+// the view change needs no Byzantine evidence: the new leader adopts the
+// highest-viewed accepted value per slot, exactly Paxos's "proposer picks
+// the accepted value of the highest ballot".
+package paxos
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/crypto"
+	"repro/internal/ids"
+	"repro/internal/message"
+	"repro/internal/mlog"
+	"repro/internal/replica"
+	"repro/internal/statemachine"
+	"repro/internal/transport"
+)
+
+type status int
+
+const (
+	statusNormal status = iota
+	statusViewChange
+)
+
+const relaySentinel = ^uint64(0)
+
+// Options assembles one Paxos replica.
+type Options struct {
+	// ID is this replica's identity in [0, N).
+	ID ids.ReplicaID
+	// N is the cluster size (2f+1 tolerates f crashes).
+	N int
+	// Suite authenticates messages (HMAC in the benchmarks).
+	Suite crypto.Suite
+	// Network attaches the replica's endpoint.
+	Network transport.Network
+	// StateMachine is the replicated service.
+	StateMachine statemachine.StateMachine
+	// Timing supplies the timers and checkpoint period.
+	Timing config.Timing
+	// TickInterval overrides the engine tick (default 5ms).
+	TickInterval time.Duration
+}
+
+// Replica is one Paxos node.
+type Replica struct {
+	eng    *replica.Engine
+	n      int
+	timing config.Timing
+
+	view   ids.View
+	status status
+
+	log  *mlog.Log
+	exec *replica.Executor
+
+	nextSeq uint64
+
+	pendingSlots map[uint64]struct{}
+	waitingSince time.Time
+
+	vcVotes    map[ids.View]map[ids.ReplicaID]*message.Message
+	vcTarget   ids.View
+	vcDeadline time.Time
+
+	pendingStable  map[uint64]pendingCheckpoint
+	stateRequested time.Time
+
+	queue []*message.Request
+
+	// inFlight dedups proposed-but-unexecuted requests at the leader.
+	inFlight map[inFlightKey]uint64
+
+	probe atomic.Pointer[Probe]
+}
+
+type inFlightKey struct {
+	client ids.ClientID
+	ts     uint64
+}
+
+type pendingCheckpoint struct {
+	digest crypto.Digest
+	proof  []message.Signed
+}
+
+// Probe mirrors core.Probe for the benchmark harness.
+type Probe struct {
+	OnExecute    func(seq uint64, req *message.Request, result []byte)
+	OnViewChange func(view ids.View)
+}
+
+// NewReplica builds a Paxos replica.
+func NewReplica(opts Options) (*Replica, error) {
+	if opts.N < 3 || opts.N%2 == 0 {
+		return nil, fmt.Errorf("paxos: cluster size must be odd and ≥ 3, got %d", opts.N)
+	}
+	if int(opts.ID) < 0 || int(opts.ID) >= opts.N {
+		return nil, fmt.Errorf("paxos: replica %d outside [0, %d)", opts.ID, opts.N)
+	}
+	if err := opts.Timing.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Replica{
+		n:             opts.N,
+		timing:        opts.Timing,
+		log:           mlog.New(opts.Timing.HighWaterMarkLag),
+		exec:          replica.NewExecutor(opts.StateMachine, opts.Timing.CheckpointPeriod),
+		nextSeq:       1,
+		pendingSlots:  make(map[uint64]struct{}),
+		vcVotes:       make(map[ids.View]map[ids.ReplicaID]*message.Message),
+		pendingStable: make(map[uint64]pendingCheckpoint),
+		inFlight:      make(map[inFlightKey]uint64),
+	}
+	r.eng = replica.NewEngine(replica.Config{
+		ID:           opts.ID,
+		Suite:        opts.Suite,
+		Endpoint:     opts.Network.Endpoint(transport.ReplicaAddr(opts.ID)),
+		TickInterval: opts.TickInterval,
+	})
+	return r, nil
+}
+
+// Quorum returns f+1, the majority quorum.
+func (r *Replica) Quorum() int { return r.n/2 + 1 }
+
+// Leader returns the leader of view v: v mod N.
+func (r *Replica) Leader(v ids.View) ids.ReplicaID {
+	return ids.ReplicaID(int(v % ids.View(r.n)))
+}
+
+func (r *Replica) isLeader() bool { return r.Leader(r.view) == r.eng.ID() }
+
+func (r *Replica) all() []ids.ReplicaID {
+	out := make([]ids.ReplicaID, r.n)
+	for i := range out {
+		out[i] = ids.ReplicaID(i)
+	}
+	return out
+}
+
+// SetProbe installs event callbacks; safe at any time.
+func (r *Replica) SetProbe(p Probe) { r.probe.Store(&p) }
+
+func (r *Replica) loadProbe() *Probe {
+	if p := r.probe.Load(); p != nil {
+		return p
+	}
+	return &Probe{}
+}
+
+// Start launches the replica.
+func (r *Replica) Start() { r.eng.Start(r) }
+
+// Stop terminates the replica.
+func (r *Replica) Stop() { r.eng.Stop() }
+
+// Crash fail-stops the replica.
+func (r *Replica) Crash() { r.eng.Crash() }
+
+// Recover resumes a crashed replica.
+func (r *Replica) Recover() { r.eng.Recover() }
+
+// ID returns the replica identity.
+func (r *Replica) ID() ids.ReplicaID { return r.eng.ID() }
+
+// View returns the current view (safe only after Stop or from probes).
+func (r *Replica) View() ids.View { return r.view }
+
+// LastExecuted returns the execution cursor (same safety caveat).
+func (r *Replica) LastExecuted() uint64 { return r.exec.LastExecuted() }
+
+// StableCheckpoint returns the last stable checkpoint sequence number.
+func (r *Replica) StableCheckpoint() uint64 { return r.log.Low() }
+
+// HandleMessage implements replica.Handler.
+func (r *Replica) HandleMessage(m *message.Message) {
+	switch m.Kind {
+	case message.KindRequest:
+		r.onRequest(m.Request)
+	case message.KindPrepare:
+		r.onPrepare(m)
+	case message.KindAccept:
+		r.onAccept(m)
+	case message.KindCommit:
+		r.onCommit(m)
+	case message.KindCheckpoint:
+		r.onCheckpoint(m)
+	case message.KindViewChange:
+		r.onViewChange(m)
+	case message.KindNewView:
+		r.onNewView(m)
+	case message.KindStateRequest:
+		r.onStateRequest(m)
+	case message.KindStateReply:
+		r.onStateReply(m)
+	}
+}
+
+// HandleTick implements replica.Handler.
+func (r *Replica) HandleTick(now time.Time) {
+	if r.status == statusNormal && !r.waitingSince.IsZero() &&
+		now.Sub(r.waitingSince) > r.timing.ViewChange {
+		r.startViewChange(r.view + 1)
+	}
+	if r.status == statusViewChange && !r.vcDeadline.IsZero() && now.After(r.vcDeadline) {
+		r.startViewChange(r.vcTarget + 1)
+	}
+}
+
+func (r *Replica) markPending(seq uint64) {
+	if _, ok := r.pendingSlots[seq]; ok {
+		return
+	}
+	r.pendingSlots[seq] = struct{}{}
+	if r.waitingSince.IsZero() {
+		r.waitingSince = time.Now()
+	}
+}
+
+func (r *Replica) clearPending(seq uint64) {
+	if _, ok := r.pendingSlots[seq]; !ok {
+		return
+	}
+	delete(r.pendingSlots, seq)
+	if len(r.pendingSlots) == 0 {
+		r.waitingSince = time.Time{}
+	} else {
+		r.waitingSince = time.Now()
+	}
+}
+
+func (r *Replica) resetPending() {
+	r.pendingSlots = make(map[uint64]struct{})
+	r.waitingSince = time.Time{}
+}
+
+func (r *Replica) executeReady() {
+	view := r.view
+	leader := r.Leader(view) == r.eng.ID()
+	executed := r.exec.ExecuteReady(r.log, func(seq uint64, req *message.Request, result []byte) {
+		delete(r.inFlight, inFlightKey{client: req.Client, ts: req.Timestamp})
+		if leader && req.Client >= 0 {
+			r.sendReply(view, req, result)
+		}
+		if p := r.loadProbe(); p.OnExecute != nil {
+			p.OnExecute(seq, req, result)
+		}
+	})
+	if executed > 0 {
+		r.clearPending(relaySentinel)
+		r.maybeCheckpoint()
+		r.drainPendingStable()
+	}
+}
+
+func (r *Replica) sendReply(view ids.View, req *message.Request, result []byte) {
+	rep := &message.Message{
+		Kind:      message.KindReply,
+		View:      view,
+		Mode:      ids.Lion, // mode is meaningless in Paxos; a fixed valid value
+		Timestamp: req.Timestamp,
+		Client:    req.Client,
+		Result:    result,
+	}
+	r.eng.Sign(rep)
+	r.eng.SendClient(req.Client, rep)
+}
+
+func (r *Replica) onRequest(req *message.Request) {
+	if req == nil || req.Client < 0 || !r.eng.VerifyRequest(req) {
+		return
+	}
+	if cached, ok := r.exec.CachedReply(req); ok {
+		r.sendReply(r.view, req, cached)
+		return
+	}
+	if !r.exec.Fresh(req) {
+		return
+	}
+	if r.status != statusNormal {
+		r.queue = append(r.queue, req)
+		return
+	}
+	if r.isLeader() {
+		r.propose(req)
+		return
+	}
+	fwd := &message.Message{Kind: message.KindRequest, Request: req}
+	r.eng.Sign(fwd)
+	r.eng.Send(r.Leader(r.view), fwd)
+	r.markPending(relaySentinel)
+}
+
+func (r *Replica) propose(req *message.Request) {
+	key := inFlightKey{client: req.Client, ts: req.Timestamp}
+	if _, dup := r.inFlight[key]; dup {
+		return
+	}
+	if !r.log.InWindow(r.nextSeq) {
+		r.queue = append(r.queue, req)
+		return
+	}
+	seq := r.nextSeq
+	r.nextSeq++
+	prop := &message.Signed{
+		Kind:    message.KindPrepare,
+		View:    r.view,
+		Seq:     seq,
+		Digest:  req.Digest(),
+		Request: req,
+	}
+	r.eng.SignRecord(prop)
+	entry := r.log.Entry(seq)
+	if entry == nil {
+		return
+	}
+	if err := entry.SetProposal(prop); err != nil {
+		return
+	}
+	r.markPending(seq)
+	r.inFlight[key] = seq
+	entry.AddVote(message.KindAccept, r.view, r.eng.ID(), prop.Digest)
+	r.eng.Multicast(r.all(), signedWire(prop))
+}
+
+func signedWire(s *message.Signed) *message.Message {
+	return &message.Message{
+		Kind: s.Kind, From: s.From, View: s.View, Seq: s.Seq,
+		Digest: s.Digest, Request: s.Request, Sig: s.Sig,
+	}
+}
+
+func wireSigned(m *message.Message) *message.Signed {
+	return &message.Signed{
+		Kind: m.Kind, From: m.From, View: m.View, Seq: m.Seq,
+		Digest: m.Digest, Request: m.Request, Sig: m.Sig,
+	}
+}
+
+// onPrepare: a backup logs the leader's proposal and acknowledges.
+func (r *Replica) onPrepare(m *message.Message) {
+	if r.status != statusNormal || m.View != r.view {
+		return
+	}
+	if m.From != r.Leader(r.view) || m.From == r.eng.ID() {
+		return
+	}
+	s := wireSigned(m)
+	if !r.eng.VerifyRecord(s) || m.Request == nil || m.Request.Digest() != m.Digest {
+		return
+	}
+	entry := r.log.Entry(m.Seq)
+	if entry == nil {
+		return
+	}
+	if err := entry.SetProposal(s); err != nil {
+		return
+	}
+	r.markPending(m.Seq)
+	ack := &message.Message{
+		Kind: message.KindAccept, From: r.eng.ID(),
+		View: r.view, Seq: m.Seq, Digest: m.Digest,
+	}
+	r.eng.Send(m.From, ack)
+}
+
+// onAccept: the leader counts acknowledgements and commits at majority.
+func (r *Replica) onAccept(m *message.Message) {
+	if r.status != statusNormal || m.View != r.view || !r.isLeader() {
+		return
+	}
+	if int(m.From) < 0 || int(m.From) >= r.n || m.From == r.eng.ID() {
+		return
+	}
+	entry := r.log.Peek(m.Seq)
+	if entry == nil || entry.Proposal() == nil {
+		return
+	}
+	prop := entry.Proposal()
+	if prop.View != r.view || prop.Digest != m.Digest {
+		return
+	}
+	entry.AddVote(message.KindAccept, r.view, m.From, m.Digest)
+	if !entry.Committed() &&
+		entry.VoteCount(message.KindAccept, r.view, m.Digest) >= r.Quorum() {
+		entry.MarkCommitted()
+		r.clearPending(entry.Seq())
+		commit := &message.Signed{
+			Kind: message.KindCommit, View: r.view, Seq: entry.Seq(),
+			Digest: prop.Digest, Request: prop.Request,
+		}
+		r.eng.SignRecord(commit)
+		entry.SetCommitCert(commit)
+		r.eng.Multicast(r.all(), signedWire(commit))
+		r.executeReady()
+	}
+}
+
+// onCommit: backups learn the decision.
+func (r *Replica) onCommit(m *message.Message) {
+	if r.status != statusNormal || m.View != r.view {
+		return
+	}
+	if m.From != r.Leader(r.view) || m.From == r.eng.ID() {
+		return
+	}
+	s := wireSigned(m)
+	if !r.eng.VerifyRecord(s) || m.Request == nil || m.Request.Digest() != m.Digest {
+		return
+	}
+	entry := r.log.Entry(m.Seq)
+	if entry == nil {
+		return
+	}
+	if entry.Proposal() == nil {
+		if err := entry.SetProposal(s); err != nil {
+			return
+		}
+	}
+	entry.SetCommitCert(s)
+	entry.MarkCommitted()
+	r.clearPending(m.Seq)
+	r.executeReady()
+}
+
+func (r *Replica) drainQueue() {
+	if !r.isLeader() {
+		r.queue = nil
+		return
+	}
+	q := r.queue
+	r.queue = nil
+	for _, req := range q {
+		if r.exec.Fresh(req) {
+			r.propose(req)
+		}
+	}
+}

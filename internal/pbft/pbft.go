@@ -1,0 +1,489 @@
+// Package pbft implements the Byzantine fault-tolerant baseline (the
+// paper's "BFT" line): Castro & Liskov's PBFT with three phases
+// (pre-prepare, prepare, commit), quadratic message exchange, and
+// PBFT-style view changes and checkpoints.
+//
+// The quorum arithmetic is parameterized by separate Byzantine and crash
+// bounds so the same engine also serves as the paper's simplified
+// UpRight comparator (S-UpRight): plain PBFT runs with (Byz=f, Crash=0)
+// over N=3f+1 replicas and 2f+1 quorums; S-UpRight runs with
+// (Byz=m, Crash=c) over N=3m+2c+1 replicas and 2m+c+1 quorums — exactly
+// the instantiation Section 6 describes ("a PBFT-like protocol with less
+// number of nodes").
+package pbft
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/crypto"
+	"repro/internal/ids"
+	"repro/internal/message"
+	"repro/internal/mlog"
+	"repro/internal/replica"
+	"repro/internal/statemachine"
+	"repro/internal/transport"
+)
+
+type status int
+
+const (
+	statusNormal status = iota
+	statusViewChange
+)
+
+const relaySentinel = ^uint64(0)
+
+// Options assembles one PBFT replica.
+type Options struct {
+	// ID is this replica's identity in [0, N).
+	ID ids.ReplicaID
+	// N is the cluster size.
+	N int
+	// Byz is the Byzantine failure bound (PBFT's f; UpRight's m).
+	Byz int
+	// Crash is the additional crash bound (0 for plain PBFT; UpRight's c).
+	Crash int
+	// Suite signs and verifies messages.
+	Suite crypto.Suite
+	// Network attaches the replica's endpoint.
+	Network transport.Network
+	// StateMachine is the replicated service.
+	StateMachine statemachine.StateMachine
+	// Timing supplies timers and the checkpoint period.
+	Timing config.Timing
+	// TickInterval overrides the engine tick (default 5ms).
+	TickInterval time.Duration
+}
+
+// Replica is one PBFT (or S-UpRight) node.
+type Replica struct {
+	eng    *replica.Engine
+	n      int
+	byz    int
+	crash  int
+	timing config.Timing
+
+	view   ids.View
+	status status
+
+	log  *mlog.Log
+	exec *replica.Executor
+
+	nextSeq uint64
+
+	pendingSlots map[uint64]struct{}
+	waitingSince time.Time
+
+	vcVotes    map[ids.View]map[ids.ReplicaID]*message.Message
+	vcTarget   ids.View
+	vcDeadline time.Time
+
+	pendingStable  map[uint64]pendingCheckpoint
+	stateRequested time.Time
+
+	// inFlight dedups proposed-but-unexecuted requests at the primary
+	// (client retransmission broadcasts are relayed by every backup).
+	inFlight map[inFlightKey]uint64
+
+	probe atomic.Pointer[Probe]
+}
+
+type inFlightKey struct {
+	client ids.ClientID
+	ts     uint64
+}
+
+type pendingCheckpoint struct {
+	digest crypto.Digest
+	proof  []message.Signed
+}
+
+// Probe mirrors core.Probe.
+type Probe struct {
+	OnExecute    func(seq uint64, req *message.Request, result []byte)
+	OnViewChange func(view ids.View)
+}
+
+// NewReplica builds a PBFT/S-UpRight replica.
+func NewReplica(opts Options) (*Replica, error) {
+	if opts.Byz < 0 || opts.Crash < 0 {
+		return nil, fmt.Errorf("pbft: negative failure bound (byz=%d, crash=%d)", opts.Byz, opts.Crash)
+	}
+	min := 3*opts.Byz + 2*opts.Crash + 1
+	if opts.N < min {
+		return nil, fmt.Errorf("pbft: cluster of %d below minimum %d for byz=%d crash=%d",
+			opts.N, min, opts.Byz, opts.Crash)
+	}
+	if int(opts.ID) < 0 || int(opts.ID) >= opts.N {
+		return nil, fmt.Errorf("pbft: replica %d outside [0, %d)", opts.ID, opts.N)
+	}
+	if err := opts.Timing.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Replica{
+		n:             opts.N,
+		byz:           opts.Byz,
+		crash:         opts.Crash,
+		timing:        opts.Timing,
+		log:           mlog.New(opts.Timing.HighWaterMarkLag),
+		exec:          replica.NewExecutor(opts.StateMachine, opts.Timing.CheckpointPeriod),
+		nextSeq:       1,
+		pendingSlots:  make(map[uint64]struct{}),
+		vcVotes:       make(map[ids.View]map[ids.ReplicaID]*message.Message),
+		pendingStable: make(map[uint64]pendingCheckpoint),
+		inFlight:      make(map[inFlightKey]uint64),
+	}
+	r.eng = replica.NewEngine(replica.Config{
+		ID:           opts.ID,
+		Suite:        opts.Suite,
+		Endpoint:     opts.Network.Endpoint(transport.ReplicaAddr(opts.ID)),
+		TickInterval: opts.TickInterval,
+	})
+	return r, nil
+}
+
+// Quorum returns 2·Byz + Crash + 1, the agreement quorum.
+func (r *Replica) Quorum() int { return 2*r.byz + r.crash + 1 }
+
+// WeakQuorum returns Byz+1: enough matching words that one comes from a
+// correct replica.
+func (r *Replica) WeakQuorum() int { return r.byz + 1 }
+
+// Primary returns the primary of view v: v mod N.
+func (r *Replica) Primary(v ids.View) ids.ReplicaID {
+	return ids.ReplicaID(int(v % ids.View(r.n)))
+}
+
+func (r *Replica) isPrimary() bool { return r.Primary(r.view) == r.eng.ID() }
+
+func (r *Replica) all() []ids.ReplicaID {
+	out := make([]ids.ReplicaID, r.n)
+	for i := range out {
+		out[i] = ids.ReplicaID(i)
+	}
+	return out
+}
+
+// SetProbe installs event callbacks; safe at any time.
+func (r *Replica) SetProbe(p Probe) { r.probe.Store(&p) }
+
+func (r *Replica) loadProbe() *Probe {
+	if p := r.probe.Load(); p != nil {
+		return p
+	}
+	return &Probe{}
+}
+
+// Start launches the replica.
+func (r *Replica) Start() { r.eng.Start(r) }
+
+// Stop terminates the replica.
+func (r *Replica) Stop() { r.eng.Stop() }
+
+// Crash fail-stops the replica.
+func (r *Replica) Crash() { r.eng.Crash() }
+
+// Recover resumes a crashed replica.
+func (r *Replica) Recover() { r.eng.Recover() }
+
+// ID returns the replica identity.
+func (r *Replica) ID() ids.ReplicaID { return r.eng.ID() }
+
+// View returns the current view (safe after Stop or from probes).
+func (r *Replica) View() ids.View { return r.view }
+
+// LastExecuted returns the execution cursor (same caveat).
+func (r *Replica) LastExecuted() uint64 { return r.exec.LastExecuted() }
+
+// StableCheckpoint returns the last stable checkpoint sequence number.
+func (r *Replica) StableCheckpoint() uint64 { return r.log.Low() }
+
+// HandleMessage implements replica.Handler.
+func (r *Replica) HandleMessage(m *message.Message) {
+	switch m.Kind {
+	case message.KindRequest:
+		r.onRequest(m.Request)
+	case message.KindPrePrepare:
+		r.onPrePrepare(m)
+	case message.KindPrepare:
+		r.onPrepare(m)
+	case message.KindCommit:
+		r.onCommit(m)
+	case message.KindCheckpoint:
+		r.onCheckpoint(m)
+	case message.KindViewChange:
+		r.onViewChange(m)
+	case message.KindNewView:
+		r.onNewView(m)
+	case message.KindStateRequest:
+		r.onStateRequest(m)
+	case message.KindStateReply:
+		r.onStateReply(m)
+	}
+}
+
+// HandleTick implements replica.Handler.
+func (r *Replica) HandleTick(now time.Time) {
+	if r.status == statusNormal && !r.waitingSince.IsZero() &&
+		now.Sub(r.waitingSince) > r.timing.ViewChange {
+		r.startViewChange(r.view + 1)
+	}
+	if r.status == statusViewChange && !r.vcDeadline.IsZero() && now.After(r.vcDeadline) {
+		joined := 0
+		for v, votes := range r.vcVotes {
+			if v > r.view && len(votes) > joined {
+				joined = len(votes)
+			}
+		}
+		if joined >= r.WeakQuorum() {
+			r.startViewChange(r.vcTarget + 1)
+		} else {
+			r.status = statusNormal
+			r.vcDeadline = time.Time{}
+			r.vcTarget = 0
+			r.resetPending()
+		}
+	}
+}
+
+func (r *Replica) markPending(seq uint64) {
+	if _, ok := r.pendingSlots[seq]; ok {
+		return
+	}
+	r.pendingSlots[seq] = struct{}{}
+	if r.waitingSince.IsZero() {
+		r.waitingSince = time.Now()
+	}
+}
+
+func (r *Replica) clearPending(seq uint64) {
+	if _, ok := r.pendingSlots[seq]; !ok {
+		return
+	}
+	delete(r.pendingSlots, seq)
+	if len(r.pendingSlots) == 0 {
+		r.waitingSince = time.Time{}
+	} else {
+		r.waitingSince = time.Now()
+	}
+}
+
+func (r *Replica) resetPending() {
+	r.pendingSlots = make(map[uint64]struct{})
+	r.waitingSince = time.Time{}
+}
+
+func (r *Replica) executeReady() {
+	view := r.view
+	executed := r.exec.ExecuteReady(r.log, func(seq uint64, req *message.Request, result []byte) {
+		delete(r.inFlight, inFlightKey{client: req.Client, ts: req.Timestamp})
+		// Every PBFT replica replies; the client waits for Byz+1
+		// matching answers.
+		if req.Client >= 0 {
+			r.sendReply(view, req, result)
+		}
+		if p := r.loadProbe(); p.OnExecute != nil {
+			p.OnExecute(seq, req, result)
+		}
+	})
+	if executed > 0 {
+		r.clearPending(relaySentinel)
+		r.maybeCheckpoint()
+		r.drainPendingStable()
+	}
+}
+
+func (r *Replica) sendReply(view ids.View, req *message.Request, result []byte) {
+	rep := &message.Message{
+		Kind:      message.KindReply,
+		View:      view,
+		Mode:      ids.Lion, // unused by PBFT clients; a fixed valid value
+		Timestamp: req.Timestamp,
+		Client:    req.Client,
+		Result:    result,
+	}
+	r.eng.Sign(rep)
+	r.eng.SendClient(req.Client, rep)
+}
+
+func (r *Replica) onRequest(req *message.Request) {
+	if req == nil || req.Client < 0 || !r.eng.VerifyRequest(req) {
+		return
+	}
+	if cached, ok := r.exec.CachedReply(req); ok {
+		r.sendReply(r.view, req, cached)
+		return
+	}
+	if !r.exec.Fresh(req) {
+		return
+	}
+	if r.status != statusNormal {
+		return // the client will retransmit after the view change
+	}
+	if r.isPrimary() {
+		r.propose(req)
+		return
+	}
+	fwd := &message.Message{Kind: message.KindRequest, Request: req}
+	r.eng.Sign(fwd)
+	r.eng.Send(r.Primary(r.view), fwd)
+	r.markPending(relaySentinel)
+}
+
+func (r *Replica) propose(req *message.Request) {
+	key := inFlightKey{client: req.Client, ts: req.Timestamp}
+	if _, dup := r.inFlight[key]; dup {
+		return
+	}
+	if !r.log.InWindow(r.nextSeq) {
+		return // window full; client retransmission will retry
+	}
+	seq := r.nextSeq
+	r.nextSeq++
+	pp := &message.Signed{
+		Kind:    message.KindPrePrepare,
+		View:    r.view,
+		Seq:     seq,
+		Digest:  req.Digest(),
+		Request: req,
+	}
+	r.eng.SignRecord(pp)
+	entry := r.log.Entry(seq)
+	if entry == nil {
+		return
+	}
+	if err := entry.SetProposal(pp); err != nil {
+		return
+	}
+	r.markPending(seq)
+	r.inFlight[key] = seq
+	// The primary's pre-prepare stands in for its prepare vote.
+	entry.AddVote(message.KindPrepare, r.view, r.eng.ID(), pp.Digest)
+	r.eng.Multicast(r.all(), signedWire(pp))
+}
+
+func signedWire(s *message.Signed) *message.Message {
+	return &message.Message{
+		Kind: s.Kind, From: s.From, View: s.View, Seq: s.Seq,
+		Digest: s.Digest, Request: s.Request, Sig: s.Sig,
+	}
+}
+
+func wireSigned(m *message.Message) *message.Signed {
+	return &message.Signed{
+		Kind: m.Kind, From: m.From, View: m.View, Seq: m.Seq,
+		Digest: m.Digest, Request: m.Request, Sig: m.Sig,
+	}
+}
+
+func (r *Replica) onPrePrepare(m *message.Message) {
+	if r.status != statusNormal || m.View != r.view {
+		return
+	}
+	if m.From != r.Primary(r.view) || m.From == r.eng.ID() {
+		return
+	}
+	s := wireSigned(m)
+	if !r.eng.VerifyRecord(s) || m.Request == nil || m.Request.Digest() != m.Digest {
+		return
+	}
+	if !r.eng.VerifyRequest(m.Request) {
+		return
+	}
+	entry := r.log.Entry(m.Seq)
+	if entry == nil {
+		return
+	}
+	if err := entry.SetProposal(s); err != nil {
+		return // equivocation or stale duplicate
+	}
+	r.markPending(m.Seq)
+
+	prep := &message.Signed{Kind: message.KindPrepare, View: r.view, Seq: m.Seq, Digest: m.Digest}
+	r.eng.SignRecord(prep)
+	entry.AddVoteCert(prep)
+	entry.AddVote(message.KindPrepare, r.view, m.From, m.Digest)
+	r.eng.Multicast(r.all(), signedWire(prep))
+	r.maybePrepared(entry)
+}
+
+func (r *Replica) onPrepare(m *message.Message) {
+	if r.status != statusNormal || m.View != r.view {
+		return
+	}
+	if int(m.From) < 0 || int(m.From) >= r.n || m.From == r.eng.ID() {
+		return
+	}
+	s := wireSigned(m)
+	if !r.eng.VerifyRecord(s) {
+		return
+	}
+	entry := r.log.Entry(m.Seq)
+	if entry == nil {
+		return
+	}
+	entry.AddVoteCert(s)
+	r.maybePrepared(entry)
+}
+
+func (r *Replica) maybePrepared(entry *mlog.Entry) {
+	prop := entry.Proposal()
+	if prop == nil || prop.View != r.view {
+		return
+	}
+	d := prop.Digest
+	if entry.VoteCount(message.KindPrepare, r.view, d) < r.Quorum() {
+		return
+	}
+	for _, v := range entry.Voters(message.KindCommit, r.view, d) {
+		if v == r.eng.ID() {
+			return // commit vote already sent
+		}
+	}
+	com := &message.Signed{Kind: message.KindCommit, View: r.view, Seq: entry.Seq(), Digest: d}
+	r.eng.SignRecord(com)
+	entry.AddVoteCert(com)
+	r.eng.Multicast(r.all(), signedWire(com))
+	r.maybeCommitted(entry)
+}
+
+func (r *Replica) onCommit(m *message.Message) {
+	if r.status != statusNormal || m.View != r.view {
+		return
+	}
+	if int(m.From) < 0 || int(m.From) >= r.n || m.From == r.eng.ID() {
+		return
+	}
+	s := wireSigned(m)
+	if !r.eng.VerifyRecord(s) {
+		return
+	}
+	entry := r.log.Entry(m.Seq)
+	if entry == nil {
+		return
+	}
+	entry.AddVoteCert(s)
+	r.maybePrepared(entry)
+	r.maybeCommitted(entry)
+}
+
+func (r *Replica) maybeCommitted(entry *mlog.Entry) {
+	if entry.Committed() {
+		return
+	}
+	prop := entry.Proposal()
+	if prop == nil || prop.View != r.view {
+		return
+	}
+	d := prop.Digest
+	if entry.VoteCount(message.KindPrepare, r.view, d) < r.Quorum() ||
+		entry.VoteCount(message.KindCommit, r.view, d) < r.Quorum() {
+		return
+	}
+	entry.MarkCommitted()
+	r.clearPending(entry.Seq())
+	r.executeReady()
+}

@@ -1,0 +1,465 @@
+package pbft
+
+import (
+	"time"
+
+	"repro/internal/crypto"
+	"repro/internal/ids"
+	"repro/internal/message"
+	"repro/internal/replica"
+)
+
+// PBFT checkpoints, state transfer, and the view change. One deliberate
+// simplification relative to Castro & Liskov: NEW-VIEW messages do not
+// embed the full view-change messages; instead each re-issued slot is
+// selected from prepared certificates carried in the VIEW-CHANGE
+// messages, and every backup independently enforces that a NEW-VIEW
+// never contradicts a prepared certificate it holds locally. Under the
+// crash-style failures the paper's evaluation injects, this yields the
+// same message flow and recovery timing as full PBFT; DESIGN.md records
+// the simplification.
+
+func (r *Replica) maybeCheckpoint() {
+	n := r.exec.LastExecuted()
+	if !r.exec.AtCheckpoint(n) || n <= r.log.Low() {
+		return
+	}
+	snap, ok := r.exec.SnapshotAt(n)
+	if !ok {
+		return
+	}
+	cp := &message.Signed{Kind: message.KindCheckpoint, Seq: n, Digest: replica.DigestOf(snap)}
+	r.eng.SignRecord(cp)
+	r.eng.Multicast(r.all(), signedWire(cp))
+	if count := r.log.AddCheckpointCert(*cp); count >= r.Quorum() {
+		r.stabilizeOrPend(n, cp.Digest, r.log.CheckpointCerts(n, cp.Digest))
+	}
+}
+
+func (r *Replica) onCheckpoint(m *message.Message) {
+	s := wireSigned(m)
+	if int(m.From) < 0 || int(m.From) >= r.n || !r.eng.VerifyRecord(s) {
+		return
+	}
+	if count := r.log.AddCheckpointCert(*s); count >= r.Quorum() {
+		r.stabilizeOrPend(m.Seq, m.Digest, r.log.CheckpointCerts(m.Seq, m.Digest))
+	}
+}
+
+func (r *Replica) stabilizeOrPend(seq uint64, d crypto.Digest, proof []message.Signed) {
+	if seq <= r.log.Low() {
+		return
+	}
+	if snap, ok := r.exec.SnapshotAt(seq); ok {
+		if replica.DigestOf(snap) == d {
+			r.log.MarkStable(seq, d, proof, snap)
+			r.exec.DropSnapshotsBelow(seq)
+			for n := range r.pendingStable {
+				if n <= seq {
+					delete(r.pendingStable, n)
+				}
+			}
+			if r.nextSeq <= seq {
+				r.nextSeq = seq + 1
+			}
+		}
+		return
+	}
+	if r.exec.LastExecuted() < seq {
+		r.pendingStable[seq] = pendingCheckpoint{digest: d, proof: proof}
+		r.maybeRequestState()
+	}
+}
+
+func (r *Replica) drainPendingStable() {
+	for seq, ev := range r.pendingStable {
+		if seq <= r.exec.LastExecuted() {
+			delete(r.pendingStable, seq)
+			r.stabilizeOrPend(seq, ev.digest, ev.proof)
+		}
+	}
+}
+
+func (r *Replica) maybeRequestState() {
+	behind := uint64(0)
+	for seq := range r.pendingStable {
+		if seq > r.exec.LastExecuted() && seq-r.exec.LastExecuted() > behind {
+			behind = seq - r.exec.LastExecuted()
+		}
+	}
+	if behind < r.exec.Period() {
+		return
+	}
+	now := time.Now()
+	if now.Sub(r.stateRequested) < r.timing.ViewChange {
+		return
+	}
+	r.stateRequested = now
+	req := &message.Message{Kind: message.KindStateRequest, Seq: r.exec.LastExecuted()}
+	r.eng.Sign(req)
+	r.eng.Multicast(r.all(), req)
+}
+
+func (r *Replica) onStateRequest(m *message.Message) {
+	if !r.eng.Verify(m) {
+		return
+	}
+	low := r.log.Low()
+	if low == 0 || low <= m.Seq {
+		return
+	}
+	rep := &message.Message{
+		Kind:            message.KindStateReply,
+		Seq:             low,
+		StateDigest:     r.log.StableDigest(),
+		CheckpointProof: r.log.StableProof(),
+		Result:          r.log.StableSnapshot(),
+	}
+	r.eng.Sign(rep)
+	r.eng.Send(m.From, rep)
+}
+
+func (r *Replica) onStateReply(m *message.Message) {
+	if !r.eng.Verify(m) {
+		return
+	}
+	if m.Seq <= r.exec.LastExecuted() {
+		return
+	}
+	if !r.verifyCheckpointProof(m.Seq, m.StateDigest, m.CheckpointProof) {
+		return
+	}
+	if replica.DigestOf(m.Result) != m.StateDigest {
+		return
+	}
+	if err := r.exec.JumpTo(m.Seq, m.Result); err != nil {
+		return
+	}
+	r.log.MarkStable(m.Seq, m.StateDigest, m.CheckpointProof, m.Result)
+	r.exec.DropSnapshotsBelow(m.Seq)
+	for n := range r.pendingStable {
+		if n <= m.Seq {
+			delete(r.pendingStable, n)
+		}
+	}
+	if r.nextSeq <= m.Seq {
+		r.nextSeq = m.Seq + 1
+	}
+	r.resetPending()
+	r.executeReady()
+}
+
+// verifyCheckpointProof accepts Byz+1 distinct well-signed matching
+// CHECKPOINTs (a weak certificate: at least one correct signer).
+func (r *Replica) verifyCheckpointProof(seq uint64, d crypto.Digest, proof []message.Signed) bool {
+	if seq == 0 {
+		return true
+	}
+	seen := make(map[ids.ReplicaID]bool, len(proof))
+	for i := range proof {
+		s := proof[i]
+		if s.Kind != message.KindCheckpoint || s.Seq != seq || s.Digest != d {
+			return false
+		}
+		if seen[s.From] || int(s.From) < 0 || int(s.From) >= r.n {
+			return false
+		}
+		seen[s.From] = true
+		if !r.eng.VerifyRecord(&s) {
+			return false
+		}
+	}
+	return len(seen) >= r.WeakQuorum()
+}
+
+// ---------------------------------------------------------------------------
+// View change
+
+func (r *Replica) startViewChange(target ids.View) {
+	if target <= r.view {
+		return
+	}
+	r.status = statusViewChange
+	r.vcTarget = target
+	r.vcDeadline = time.Now().Add(2 * r.timing.ViewChange)
+	r.resetPending()
+
+	vcm := &message.Message{
+		Kind:            message.KindViewChange,
+		View:            target,
+		Seq:             r.log.Low(),
+		StateDigest:     r.log.StableDigest(),
+		CheckpointProof: r.log.StableProof(),
+		Prepares:        r.log.ProposalsAbove(),
+		Commits:         r.preparedCertificates(),
+	}
+	r.eng.Sign(vcm)
+	r.recordViewChange(vcm)
+	r.eng.Multicast(r.all(), vcm)
+}
+
+// preparedCertificates flattens the prepare votes of every live slot.
+func (r *Replica) preparedCertificates() []message.Signed {
+	var out []message.Signed
+	for _, prop := range r.log.ProposalsAbove() {
+		entry := r.log.Peek(prop.Seq)
+		if entry == nil {
+			continue
+		}
+		out = append(out, entry.VoteCerts(message.KindPrepare, prop.View, prop.Digest)...)
+	}
+	return out
+}
+
+func (r *Replica) onViewChange(m *message.Message) {
+	if m.View <= r.view {
+		return
+	}
+	if int(m.From) < 0 || int(m.From) >= r.n || m.From == r.eng.ID() {
+		return
+	}
+	if !r.eng.Verify(m) {
+		return
+	}
+	if !r.verifyCheckpointProof(m.Seq, m.StateDigest, m.CheckpointProof) {
+		return
+	}
+	r.recordViewChange(m)
+}
+
+func (r *Replica) recordViewChange(m *message.Message) {
+	votes := r.vcVotes[m.View]
+	if votes == nil {
+		votes = make(map[ids.ReplicaID]*message.Message)
+		r.vcVotes[m.View] = votes
+	}
+	if _, dup := votes[m.From]; !dup {
+		votes[m.From] = m
+	}
+	// Join once Byz+1 distinct replicas demand a newer view.
+	if r.status == statusNormal {
+		for v, vs := range r.vcVotes {
+			if v > r.view && len(vs) >= r.WeakQuorum() {
+				join := v
+				for v2, vs2 := range r.vcVotes {
+					if v2 > r.view && v2 < join && len(vs2) >= r.WeakQuorum() {
+						join = v2
+					}
+				}
+				r.startViewChange(join)
+				break
+			}
+		}
+	}
+	if r.Primary(m.View) == r.eng.ID() {
+		r.tryAssembleNewView(m.View)
+	}
+}
+
+func (r *Replica) tryAssembleNewView(target ids.View) {
+	if target <= r.view {
+		return
+	}
+	votes := r.vcVotes[target]
+	if len(votes) < r.Quorum() {
+		return
+	}
+
+	l := r.log.Low()
+	lDigest := r.log.StableDigest()
+	lProof := r.log.StableProof()
+	for _, m := range votes {
+		if m.Seq > l {
+			l, lDigest, lProof = m.Seq, m.StateDigest, m.CheckpointProof
+		}
+	}
+
+	type cand struct {
+		view    ids.View
+		request *message.Request
+		voters  map[ids.ReplicaID]bool
+	}
+	slots := make(map[uint64]map[crypto.Digest]*cand)
+	getCand := func(seq uint64, d crypto.Digest) *cand {
+		byDigest, ok := slots[seq]
+		if !ok {
+			byDigest = make(map[crypto.Digest]*cand)
+			slots[seq] = byDigest
+		}
+		c, ok := byDigest[d]
+		if !ok {
+			c = &cand{voters: make(map[ids.ReplicaID]bool)}
+			byDigest[d] = c
+		}
+		return c
+	}
+	harvest := func(prepares, commits []message.Signed) {
+		for i := range prepares {
+			s := prepares[i]
+			if s.Seq <= l || s.Seq > l+r.timing.HighWaterMarkLag ||
+				s.Kind != message.KindPrePrepare || s.Request == nil ||
+				s.Request.Digest() != s.Digest {
+				continue
+			}
+			if s.From != r.Primary(s.View) || !r.eng.VerifyRecord(&s) {
+				continue
+			}
+			c := getCand(s.Seq, s.Digest)
+			if s.View >= c.view {
+				c.view = s.View
+				c.request = s.Request
+			}
+		}
+		for i := range commits {
+			s := commits[i]
+			if s.Seq <= l || s.Seq > l+r.timing.HighWaterMarkLag ||
+				s.Kind != message.KindPrepare {
+				continue
+			}
+			if int(s.From) < 0 || int(s.From) >= r.n || !r.eng.VerifyRecord(&s) {
+				continue
+			}
+			byDigest, ok := slots[s.Seq]
+			if !ok {
+				continue
+			}
+			if c, ok := byDigest[s.Digest]; ok && c.view == s.View {
+				c.voters[s.From] = true
+			}
+		}
+	}
+	// Two passes so prepare votes can attach to pre-prepares regardless
+	// of the order view-change messages listed them in.
+	for _, m := range votes {
+		harvest(m.Prepares, nil)
+	}
+	harvest(r.log.ProposalsAbove(), nil)
+	for _, m := range votes {
+		harvest(nil, m.Commits)
+	}
+	harvest(nil, r.preparedCertificates())
+
+	h := l
+	for seq := range slots {
+		if seq > h {
+			h = seq
+		}
+	}
+
+	var prepares []message.Signed
+	for seq := l + 1; seq <= h; seq++ {
+		var chosen *cand
+		var chosenD crypto.Digest
+		for d, c := range slots[seq] {
+			// Prepared: pre-prepare plus Quorum-1 prepare votes (the
+			// pre-prepare stands in for the primary's vote).
+			if len(c.voters) >= r.Quorum()-1 {
+				if chosen == nil || c.view > chosen.view {
+					chosen, chosenD = c, d
+				}
+			}
+		}
+		var s message.Signed
+		if chosen != nil {
+			s = message.Signed{Kind: message.KindPrePrepare, View: target, Seq: seq, Digest: chosenD, Request: chosen.request}
+		} else {
+			noop := &message.Request{Client: -1}
+			s = message.Signed{Kind: message.KindPrePrepare, View: target, Seq: seq, Digest: noop.Digest(), Request: noop}
+		}
+		r.eng.SignRecord(&s)
+		prepares = append(prepares, s)
+	}
+
+	nv := &message.Message{
+		Kind:            message.KindNewView,
+		View:            target,
+		Seq:             l,
+		StateDigest:     lDigest,
+		CheckpointProof: lProof,
+		Prepares:        prepares,
+	}
+	r.eng.Sign(nv)
+	r.eng.Multicast(r.all(), nv)
+	r.applyNewView(nv)
+}
+
+func (r *Replica) onNewView(m *message.Message) {
+	if m.View <= r.view {
+		return
+	}
+	if m.From != r.Primary(m.View) {
+		return
+	}
+	if !r.eng.Verify(m) {
+		return
+	}
+	if !r.verifyCheckpointProof(m.Seq, m.StateDigest, m.CheckpointProof) {
+		return
+	}
+	for i := range m.Prepares {
+		s := m.Prepares[i]
+		if s.From != m.From || s.View != m.View || s.Kind != message.KindPrePrepare ||
+			s.Request == nil || s.Request.Digest() != s.Digest || !r.eng.VerifyRecord(&s) {
+			return
+		}
+		// Local safety guard (stands in for full PBFT NEW-VIEW proof
+		// checking): a slot this replica saw prepared must be re-issued
+		// with the same digest.
+		if entry := r.log.Peek(s.Seq); entry != nil {
+			if prop := entry.Proposal(); prop != nil &&
+				entry.VoteCount(message.KindPrepare, prop.View, prop.Digest) >= r.Quorum() &&
+				prop.Digest != s.Digest {
+				return
+			}
+		}
+	}
+	r.applyNewView(m)
+}
+
+func (r *Replica) applyNewView(m *message.Message) {
+	r.view = m.View
+	r.status = statusNormal
+	r.inFlight = make(map[inFlightKey]uint64)
+	r.resetPending()
+	r.vcDeadline = time.Time{}
+	r.vcTarget = 0
+	for v := range r.vcVotes {
+		if v <= m.View {
+			delete(r.vcVotes, v)
+		}
+	}
+	if m.Seq > r.log.Low() {
+		r.stabilizeOrPend(m.Seq, m.StateDigest, m.CheckpointProof)
+	}
+
+	maxSeq := m.Seq
+	for i := range m.Prepares {
+		s := m.Prepares[i]
+		if s.Seq > maxSeq {
+			maxSeq = s.Seq
+		}
+		entry := r.log.Entry(s.Seq)
+		if entry == nil || entry.SetProposal(&s) != nil {
+			continue
+		}
+		if entry.Committed() {
+			continue
+		}
+		r.markPending(s.Seq)
+		entry.AddVote(message.KindPrepare, r.view, m.From, s.Digest)
+		if r.eng.ID() != m.From {
+			prep := &message.Signed{Kind: message.KindPrepare, View: r.view, Seq: s.Seq, Digest: s.Digest}
+			r.eng.SignRecord(prep)
+			entry.AddVoteCert(prep)
+			r.eng.Multicast(r.all(), signedWire(prep))
+		}
+		r.maybePrepared(entry)
+	}
+	if r.nextSeq <= maxSeq {
+		r.nextSeq = maxSeq + 1
+	}
+	r.executeReady()
+	if p := r.loadProbe(); p.OnViewChange != nil {
+		p.OnViewChange(r.view)
+	}
+}

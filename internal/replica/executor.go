@@ -1,0 +1,189 @@
+package replica
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/crypto"
+	"repro/internal/message"
+	"repro/internal/mlog"
+	"repro/internal/statemachine"
+)
+
+// Executor applies committed requests to the state machine in sequence
+// order, maintains the exactly-once client table, and caches snapshots at
+// checkpoint boundaries so checkpoint certificates arriving later can be
+// stabilized against the exact state they describe.
+type Executor struct {
+	sm      statemachine.StateMachine
+	clients *statemachine.ClientTable
+
+	period       uint64
+	lastExecuted uint64
+	snapshots    map[uint64][]byte // composite snapshots at period boundaries
+}
+
+// NewExecutor wires a state machine with a checkpoint period.
+func NewExecutor(sm statemachine.StateMachine, period uint64) *Executor {
+	if period == 0 {
+		panic("replica: zero checkpoint period")
+	}
+	return &Executor{
+		sm:           sm,
+		clients:      statemachine.NewClientTable(),
+		period:       period,
+		lastExecuted: 0,
+		snapshots:    map[uint64][]byte{0: compositeSnapshot(sm, statemachine.NewClientTable())},
+	}
+}
+
+// LastExecuted returns the highest sequence number applied so far.
+func (x *Executor) LastExecuted() uint64 { return x.lastExecuted }
+
+// Period returns the checkpoint period.
+func (x *Executor) Period() uint64 { return x.period }
+
+// Fresh reports whether a client request is newer than the client's last
+// executed one.
+func (x *Executor) Fresh(req *message.Request) bool {
+	return x.clients.Fresh(req.Client, req.Timestamp)
+}
+
+// CachedReply returns the stored reply for an exact retransmission.
+func (x *Executor) CachedReply(req *message.Request) ([]byte, bool) {
+	return x.clients.CachedReply(req.Client, req.Timestamp)
+}
+
+// ExecuteReady applies every consecutively committed slot above
+// LastExecuted. For each applied request it invokes onExec (unless the
+// slot is a no-op). It returns how many slots were executed.
+//
+// Duplicate requests — a client timestamp at or below the last executed
+// one — are not re-applied; the paper's client table semantics make the
+// slot a silent no-op while the cached reply remains available.
+func (x *Executor) ExecuteReady(l *mlog.Log, onExec func(seq uint64, req *message.Request, result []byte)) int {
+	n := 0
+	for {
+		seq := x.lastExecuted + 1
+		entry := l.Peek(seq)
+		if entry == nil || !entry.Committed() || entry.Executed() {
+			// Either the next slot has not committed yet, or it was
+			// garbage-collected below the stable checkpoint — in the
+			// latter case execution catches up via state transfer.
+			return n
+		}
+		req := entry.Request()
+		if req == nil {
+			return n // committed but the request body has not arrived yet
+		}
+		x.applyOne(seq, req, onExec)
+		entry.MarkExecuted()
+		n++
+	}
+}
+
+func (x *Executor) applyOne(seq uint64, req *message.Request, onExec func(uint64, *message.Request, []byte)) {
+	x.lastExecuted = seq
+	switch {
+	case req.Client < 0:
+		// µ∅: transmitted like any request but leaves the state
+		// unchanged (Section 5.1, view changes).
+	case !x.clients.Fresh(req.Client, req.Timestamp):
+		// Already executed for this client: exactly-once suppresses the
+		// re-execution; the cached reply can still be re-sent.
+	default:
+		result := x.sm.Apply(req.Op)
+		x.clients.Record(req.Client, req.Timestamp, result)
+		if onExec != nil {
+			onExec(seq, req, result)
+		}
+	}
+	if seq%x.period == 0 {
+		x.snapshots[seq] = compositeSnapshot(x.sm, x.clients)
+	}
+}
+
+// AtCheckpoint reports whether seq is a checkpoint boundary.
+func (x *Executor) AtCheckpoint(seq uint64) bool { return seq%x.period == 0 }
+
+// SnapshotAt returns the cached composite snapshot taken right after
+// executing seq (a checkpoint boundary).
+func (x *Executor) SnapshotAt(seq uint64) ([]byte, bool) {
+	s, ok := x.snapshots[seq]
+	return s, ok
+}
+
+// DropSnapshotsBelow garbage-collects snapshot cache entries strictly
+// below seq (called when a checkpoint stabilizes).
+func (x *Executor) DropSnapshotsBelow(seq uint64) {
+	for n := range x.snapshots {
+		if n < seq {
+			delete(x.snapshots, n)
+		}
+	}
+}
+
+// JumpTo installs a transferred snapshot for sequence number seq,
+// replacing local state. It refuses to move backwards.
+func (x *Executor) JumpTo(seq uint64, snapshot []byte) error {
+	if seq <= x.lastExecuted {
+		return fmt.Errorf("replica: state transfer to %d behind execution cursor %d", seq, x.lastExecuted)
+	}
+	sm, ct, err := splitComposite(snapshot)
+	if err != nil {
+		return err
+	}
+	if err := x.sm.Restore(sm); err != nil {
+		return err
+	}
+	fresh := statemachine.NewClientTable()
+	if err := fresh.Restore(ct); err != nil {
+		return err
+	}
+	x.clients = fresh
+	x.lastExecuted = seq
+	x.snapshots[seq] = append([]byte(nil), snapshot...)
+	return nil
+}
+
+// StateDigest returns the digest of the current composite state; at a
+// checkpoint boundary this is the digest the protocol puts in its
+// CHECKPOINT message.
+func (x *Executor) StateDigest() crypto.Digest {
+	return crypto.Sum(compositeSnapshot(x.sm, x.clients))
+}
+
+// DigestOf hashes a cached snapshot.
+func DigestOf(snapshot []byte) crypto.Digest { return crypto.Sum(snapshot) }
+
+// compositeSnapshot binds service state and client table: both must
+// match for two replicas to be in the same logical state (a reply cache
+// divergence is a divergence).
+func compositeSnapshot(sm statemachine.StateMachine, ct *statemachine.ClientTable) []byte {
+	s := sm.Snapshot()
+	c := ct.Snapshot()
+	out := make([]byte, 0, 8+len(s)+len(c))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(s)))
+	out = append(out, s...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(c)))
+	out = append(out, c...)
+	return out
+}
+
+func splitComposite(snapshot []byte) (sm, ct []byte, err error) {
+	if len(snapshot) < 4 {
+		return nil, nil, errors.New("replica: short composite snapshot")
+	}
+	n := int(binary.BigEndian.Uint32(snapshot))
+	if 4+n+4 > len(snapshot) {
+		return nil, nil, errors.New("replica: truncated composite snapshot")
+	}
+	sm = snapshot[4 : 4+n]
+	rest := snapshot[4+n:]
+	c := int(binary.BigEndian.Uint32(rest))
+	if 4+c != len(rest) {
+		return nil, nil, errors.New("replica: malformed composite snapshot")
+	}
+	return sm, rest[4:], nil
+}

@@ -1,0 +1,219 @@
+// Package replica provides the runtime shared by every protocol in this
+// repository: the event loop that turns a transport endpoint into a
+// single-threaded message handler, signing/verification helpers bound to
+// a replica identity, and the ordered executor that applies committed
+// requests to the state machine with exactly-once client semantics.
+//
+// Protocol packages (core, paxos, pbft, upright) implement the Handler
+// interface; everything else — inbox draining, frame decoding, tick
+// timers, crash emulation — lives here exactly once.
+package replica
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/crypto"
+	"repro/internal/ids"
+	"repro/internal/message"
+	"repro/internal/transport"
+)
+
+// Handler is a protocol state machine. The engine calls it from a single
+// goroutine, so implementations need no internal locking.
+type Handler interface {
+	// HandleMessage processes one decoded, structurally valid message.
+	// Signature verification is the handler's job (it knows which kinds
+	// must be signed by whom).
+	HandleMessage(m *message.Message)
+	// HandleTick fires roughly every Config.TickInterval with the
+	// current time; protocols run their timeout logic here.
+	HandleTick(now time.Time)
+}
+
+// Config assembles a replica runtime.
+type Config struct {
+	// ID is this replica's identity.
+	ID ids.ReplicaID
+	// Suite signs and verifies protocol messages.
+	Suite crypto.Suite
+	// Endpoint is the attached network endpoint.
+	Endpoint transport.Endpoint
+	// TickInterval drives HandleTick (default 5ms).
+	TickInterval time.Duration
+}
+
+// Engine runs a Handler over an endpoint.
+type Engine struct {
+	id    ids.ReplicaID
+	suite crypto.Suite
+	ep    transport.Endpoint
+	tick  time.Duration
+
+	mu      sync.Mutex
+	crashed bool
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	done     chan struct{}
+}
+
+// NewEngine builds an engine. Call Start to begin processing.
+func NewEngine(cfg Config) *Engine {
+	tick := cfg.TickInterval
+	if tick <= 0 {
+		tick = 5 * time.Millisecond
+	}
+	return &Engine{
+		id:     cfg.ID,
+		suite:  cfg.Suite,
+		ep:     cfg.Endpoint,
+		tick:   tick,
+		stopCh: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// ID returns the replica identity the engine runs as.
+func (e *Engine) ID() ids.ReplicaID { return e.id }
+
+// Start launches the event loop feeding h. It must be called exactly
+// once.
+func (e *Engine) Start(h Handler) {
+	go e.loop(h)
+}
+
+func (e *Engine) loop(h Handler) {
+	defer close(e.done)
+	ticker := time.NewTicker(e.tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.stopCh:
+			return
+		case env, ok := <-e.ep.Inbox():
+			if !ok {
+				return
+			}
+			if e.isCrashed() {
+				continue // a crashed node neither processes nor responds
+			}
+			m, err := message.Unmarshal(env.Frame)
+			if err != nil {
+				continue // hostile or corrupt frame: drop silently
+			}
+			if err := m.Validate(); err != nil {
+				continue
+			}
+			// The link layer authenticates the sender (Section 3.1):
+			// reject frames whose claimed protocol sender does not match
+			// the link-level sender. Client requests arrive from client
+			// addresses with From = -1.
+			if env.From.IsClient() {
+				if m.Kind != message.KindRequest {
+					continue
+				}
+			} else if m.From != env.From.Replica() {
+				continue
+			}
+			h.HandleMessage(m)
+		case now := <-ticker.C:
+			if e.isCrashed() {
+				continue
+			}
+			h.HandleTick(now)
+		}
+	}
+}
+
+// Stop terminates the event loop and waits for it to exit.
+func (e *Engine) Stop() {
+	e.stopOnce.Do(func() { close(e.stopCh) })
+	<-e.done
+}
+
+// Crash puts the replica in fail-stop mode: it stops processing and
+// sending until Recover. This models the paper's private-cloud crash
+// failures ("may fail by stopping, and may restart").
+func (e *Engine) Crash() {
+	e.mu.Lock()
+	e.crashed = true
+	e.mu.Unlock()
+}
+
+// Recover clears the crash flag; the replica resumes from its retained
+// state, like a restarted process recovering from its log.
+func (e *Engine) Recover() {
+	e.mu.Lock()
+	e.crashed = false
+	e.mu.Unlock()
+}
+
+func (e *Engine) isCrashed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.crashed
+}
+
+// Sign stamps m with this replica's identity and signature.
+func (e *Engine) Sign(m *message.Message) {
+	m.From = e.id
+	m.Sig = e.suite.Sign(crypto.ReplicaPrincipal(int(e.id)), m.SignedBytes())
+}
+
+// SignRecord stamps a Signed evidence record.
+func (e *Engine) SignRecord(s *message.Signed) {
+	s.From = e.id
+	s.Sig = e.suite.Sign(crypto.ReplicaPrincipal(int(e.id)), s.SignedBytes())
+}
+
+// Verify checks m's signature against its claimed sender.
+func (e *Engine) Verify(m *message.Message) bool {
+	return e.suite.Verify(crypto.ReplicaPrincipal(int(m.From)), m.SignedBytes(), m.Sig)
+}
+
+// VerifyRecord checks a Signed evidence record.
+func (e *Engine) VerifyRecord(s *message.Signed) bool {
+	return e.suite.Verify(crypto.ReplicaPrincipal(int(s.From)), s.SignedBytes(), s.Sig)
+}
+
+// VerifyRequest checks a client's signature on µ. No-op requests (the
+// µ∅ of view changes, Client < 0) carry no signature and always verify.
+func (e *Engine) VerifyRequest(r *message.Request) bool {
+	if r.Client < 0 {
+		return true
+	}
+	return e.suite.Verify(crypto.ClientPrincipal(int64(r.Client)), r.SignedBytes(), r.Sig)
+}
+
+// Send marshals and transmits m to a replica. A crashed replica sends
+// nothing.
+func (e *Engine) Send(to ids.ReplicaID, m *message.Message) {
+	if e.isCrashed() {
+		return
+	}
+	e.ep.Send(transport.ReplicaAddr(to), message.Marshal(m))
+}
+
+// SendClient transmits m to a client.
+func (e *Engine) SendClient(c ids.ClientID, m *message.Message) {
+	if e.isCrashed() {
+		return
+	}
+	e.ep.Send(transport.ClientAddr(c), message.Marshal(m))
+}
+
+// Multicast transmits m to every listed replica except the sender
+// itself (protocols account for their own vote locally).
+func (e *Engine) Multicast(to []ids.ReplicaID, m *message.Message) {
+	if e.isCrashed() {
+		return
+	}
+	frame := message.Marshal(m)
+	for _, r := range to {
+		if r == e.id {
+			continue
+		}
+		e.ep.Send(transport.ReplicaAddr(r), frame)
+	}
+}

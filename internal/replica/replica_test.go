@@ -1,0 +1,415 @@
+package replica
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/crypto"
+	"repro/internal/ids"
+	"repro/internal/message"
+	"repro/internal/mlog"
+	"repro/internal/statemachine"
+	"repro/internal/transport"
+)
+
+type recordingHandler struct {
+	mu    sync.Mutex
+	msgs  []*message.Message
+	ticks int
+}
+
+func (h *recordingHandler) HandleMessage(m *message.Message) {
+	h.mu.Lock()
+	h.msgs = append(h.msgs, m)
+	h.mu.Unlock()
+}
+
+func (h *recordingHandler) HandleTick(time.Time) {
+	h.mu.Lock()
+	h.ticks++
+	h.mu.Unlock()
+}
+
+func (h *recordingHandler) messageCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.msgs)
+}
+
+func (h *recordingHandler) tickCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ticks
+}
+
+func newTestEngine(t *testing.T, net *transport.SimNetwork, id ids.ReplicaID, suite crypto.Suite) (*Engine, *recordingHandler) {
+	t.Helper()
+	e := NewEngine(Config{
+		ID:           id,
+		Suite:        suite,
+		Endpoint:     net.Endpoint(transport.ReplicaAddr(id)),
+		TickInterval: time.Millisecond,
+	})
+	h := &recordingHandler{}
+	e.Start(h)
+	t.Cleanup(e.Stop)
+	return e, h
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.After(2 * time.Second)
+	for !cond() {
+		select {
+		case <-deadline:
+			t.Fatalf("timed out waiting for %s", what)
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func TestEngineDeliversValidMessages(t *testing.T) {
+	suite := crypto.NewEd25519Suite(1, 2, 0)
+	net := transport.NewSimNetwork(transport.SimConfig{Seed: 1, PrivateSize: 2})
+	defer net.Close()
+	e0, _ := newTestEngine(t, net, 0, suite)
+	_, h1 := newTestEngine(t, net, 1, suite)
+
+	m := &message.Message{Kind: message.KindAccept, View: 1, Seq: 2}
+	e0.Sign(m)
+	e0.Send(1, m)
+	waitFor(t, "message delivery", func() bool { return h1.messageCount() == 1 })
+}
+
+func TestEngineRejectsSpoofedSender(t *testing.T) {
+	suite := crypto.NewEd25519Suite(1, 3, 0)
+	net := transport.NewSimNetwork(transport.SimConfig{Seed: 1, PrivateSize: 3})
+	defer net.Close()
+	e0, _ := newTestEngine(t, net, 0, suite)
+	_, h1 := newTestEngine(t, net, 1, suite)
+
+	// Replica 0 claims to be replica 2 in the protocol header; the link
+	// layer (pairwise-authenticated channels) must reject the frame.
+	m := &message.Message{Kind: message.KindAccept, From: 2, View: 1, Seq: 2}
+	e0.Send(1, m)
+	// And a client address can only carry REQUESTs.
+	cl := net.Endpoint(transport.ClientAddr(0))
+	notReq := &message.Message{Kind: message.KindAccept, From: 0, View: 1, Seq: 1}
+	cl.Send(transport.ReplicaAddr(1), message.Marshal(notReq))
+
+	time.Sleep(50 * time.Millisecond)
+	if h1.messageCount() != 0 {
+		t.Fatalf("spoofed/invalid frames delivered: %d", h1.messageCount())
+	}
+}
+
+func TestEngineDropsGarbageFrames(t *testing.T) {
+	suite := crypto.NewEd25519Suite(1, 2, 0)
+	net := transport.NewSimNetwork(transport.SimConfig{Seed: 1, PrivateSize: 2})
+	defer net.Close()
+	raw := net.Endpoint(transport.ReplicaAddr(0))
+	_, h1 := newTestEngine(t, net, 1, suite)
+	raw.Send(transport.ReplicaAddr(1), []byte{0xde, 0xad})
+	time.Sleep(30 * time.Millisecond)
+	if h1.messageCount() != 0 {
+		t.Fatal("garbage frame reached the handler")
+	}
+}
+
+func TestEngineTicks(t *testing.T) {
+	suite := crypto.NewEd25519Suite(1, 1, 0)
+	net := transport.NewSimNetwork(transport.SimConfig{Seed: 1, PrivateSize: 1})
+	defer net.Close()
+	_, h := newTestEngine(t, net, 0, suite)
+	waitFor(t, "ticks", func() bool { return h.tickCount() >= 3 })
+}
+
+func TestEngineCrashRecover(t *testing.T) {
+	suite := crypto.NewEd25519Suite(1, 2, 0)
+	net := transport.NewSimNetwork(transport.SimConfig{Seed: 1, PrivateSize: 2})
+	defer net.Close()
+	e0, _ := newTestEngine(t, net, 0, suite)
+	e1, h1 := newTestEngine(t, net, 1, suite)
+
+	e1.Crash()
+	m := &message.Message{Kind: message.KindAccept, View: 1, Seq: 1}
+	e0.Sign(m)
+	e0.Send(1, m)
+	time.Sleep(30 * time.Millisecond)
+	if h1.messageCount() != 0 {
+		t.Fatal("crashed replica processed a message")
+	}
+	// A crashed replica does not send either.
+	out := &message.Message{Kind: message.KindAccept, View: 1, Seq: 9}
+	e1.Sign(out)
+	e1.Send(0, out)
+
+	e1.Recover()
+	e0.Send(1, m)
+	waitFor(t, "post-recovery delivery", func() bool { return h1.messageCount() == 1 })
+	if got := h1.messageCount(); got != 1 {
+		t.Fatalf("messages after recovery = %d", got)
+	}
+}
+
+func TestEngineSignVerify(t *testing.T) {
+	suite := crypto.NewEd25519Suite(2, 2, 1)
+	net := transport.NewSimNetwork(transport.SimConfig{Seed: 2, PrivateSize: 2})
+	defer net.Close()
+	e0 := NewEngine(Config{ID: 0, Suite: suite, Endpoint: net.Endpoint(transport.ReplicaAddr(0))})
+	e1 := NewEngine(Config{ID: 1, Suite: suite, Endpoint: net.Endpoint(transport.ReplicaAddr(1))})
+
+	m := &message.Message{Kind: message.KindPrepare, View: 1, Seq: 2, Digest: crypto.Sum([]byte("d"))}
+	e0.Sign(m)
+	if m.From != 0 {
+		t.Fatal("Sign must stamp the sender")
+	}
+	if !e1.Verify(m) {
+		t.Fatal("valid signature rejected")
+	}
+	m.Seq = 3
+	if e1.Verify(m) {
+		t.Fatal("tampered message verified")
+	}
+
+	s := &message.Signed{Kind: message.KindCommit, View: 1, Seq: 2, Digest: crypto.Sum([]byte("d"))}
+	e1.SignRecord(s)
+	if !e0.VerifyRecord(s) {
+		t.Fatal("valid record rejected")
+	}
+	s.Digest = crypto.Sum([]byte("other"))
+	if e0.VerifyRecord(s) {
+		t.Fatal("tampered record verified")
+	}
+
+	// Client request verification.
+	req := &message.Request{Op: []byte("x"), Timestamp: 1, Client: 0}
+	req.Sig = suite.Sign(crypto.ClientPrincipal(0), req.SignedBytes())
+	if !e0.VerifyRequest(req) {
+		t.Fatal("valid client request rejected")
+	}
+	req.Timestamp = 2
+	if e0.VerifyRequest(req) {
+		t.Fatal("tampered client request verified")
+	}
+	noop := &message.Request{Client: -1}
+	if !e0.VerifyRequest(noop) {
+		t.Fatal("no-op request must verify")
+	}
+}
+
+func TestMulticastSkipsSelf(t *testing.T) {
+	suite := crypto.NewEd25519Suite(3, 3, 0)
+	net := transport.NewSimNetwork(transport.SimConfig{Seed: 3, PrivateSize: 3})
+	defer net.Close()
+	e0, h0 := newTestEngine(t, net, 0, suite)
+	_, h1 := newTestEngine(t, net, 1, suite)
+	_, h2 := newTestEngine(t, net, 2, suite)
+
+	m := &message.Message{Kind: message.KindCommit, View: 1, Seq: 1}
+	e0.Sign(m)
+	e0.Multicast([]ids.ReplicaID{0, 1, 2}, m)
+	waitFor(t, "multicast", func() bool { return h1.messageCount() == 1 && h2.messageCount() == 1 })
+	if h0.messageCount() != 0 {
+		t.Fatal("multicast delivered to self")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Executor
+
+func signedReq(suite crypto.Suite, client ids.ClientID, ts uint64, op []byte) *message.Request {
+	r := &message.Request{Op: op, Timestamp: ts, Client: client}
+	r.Sig = suite.Sign(crypto.ClientPrincipal(int64(client)), r.SignedBytes())
+	return r
+}
+
+func commitSlot(t *testing.T, l *mlog.Log, seq uint64, req *message.Request) {
+	t.Helper()
+	e := l.Entry(seq)
+	if e == nil {
+		t.Fatalf("slot %d out of window", seq)
+	}
+	if err := e.SetProposal(&message.Signed{
+		Kind: message.KindPrepare, View: 0, Seq: seq,
+		Digest: req.Digest(), Request: req,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.MarkCommitted()
+}
+
+func TestExecutorOrderAndGaps(t *testing.T) {
+	suite := crypto.NewEd25519Suite(4, 1, 4)
+	x := NewExecutor(statemachine.NewCounter(), 4)
+	l := mlog.New(64)
+
+	var got []uint64
+	on := func(seq uint64, _ *message.Request, _ []byte) { got = append(got, seq) }
+
+	// Commit 2 before 1: nothing executes until the gap closes.
+	commitSlot(t, l, 2, signedReq(suite, 0, 2, nil))
+	if n := x.ExecuteReady(l, on); n != 0 {
+		t.Fatalf("executed %d across a gap", n)
+	}
+	commitSlot(t, l, 1, signedReq(suite, 0, 1, nil))
+	if n := x.ExecuteReady(l, on); n != 2 {
+		t.Fatalf("executed %d, want 2", n)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("execution order %v", got)
+	}
+	if x.LastExecuted() != 2 {
+		t.Fatalf("cursor %d", x.LastExecuted())
+	}
+	// Idempotent.
+	if n := x.ExecuteReady(l, on); n != 0 {
+		t.Fatalf("re-executed %d", n)
+	}
+}
+
+func TestExecutorExactlyOnce(t *testing.T) {
+	suite := crypto.NewEd25519Suite(5, 1, 2)
+	sm := statemachine.NewCounter()
+	x := NewExecutor(sm, 64)
+	l := mlog.New(64)
+
+	req := signedReq(suite, 0, 7, nil)
+	commitSlot(t, l, 1, req)
+	// The same client request committed again at a later slot (e.g. a
+	// retransmission that got re-ordered through a view change).
+	commitSlot(t, l, 2, req)
+	calls := 0
+	x.ExecuteReady(l, func(uint64, *message.Request, []byte) { calls++ })
+	if calls != 1 {
+		t.Fatalf("onExec calls = %d, want 1 (exactly-once)", calls)
+	}
+	if sm.Value() != 1 {
+		t.Fatalf("state machine applied %d times", sm.Value())
+	}
+	if x.LastExecuted() != 2 {
+		t.Fatal("duplicate slot must still advance the cursor")
+	}
+	if rep, ok := x.CachedReply(req); !ok || len(rep) != 8 {
+		t.Fatalf("cached reply missing: %v %v", rep, ok)
+	}
+	if x.Fresh(req) {
+		t.Fatal("executed request still fresh")
+	}
+	if !x.Fresh(signedReq(suite, 0, 8, nil)) {
+		t.Fatal("newer request not fresh")
+	}
+}
+
+func TestExecutorNoOp(t *testing.T) {
+	sm := statemachine.NewCounter()
+	x := NewExecutor(sm, 64)
+	l := mlog.New(64)
+	noop := &message.Request{Client: -1}
+	e := l.Entry(1)
+	e.SetProposal(&message.Signed{Kind: message.KindPrepare, Seq: 1, Digest: noop.Digest(), Request: noop})
+	e.MarkCommitted()
+	calls := 0
+	x.ExecuteReady(l, func(uint64, *message.Request, []byte) { calls++ })
+	if calls != 0 || sm.Value() != 0 {
+		t.Fatal("no-op touched the state machine or produced a reply")
+	}
+	if x.LastExecuted() != 1 {
+		t.Fatal("no-op must advance the cursor")
+	}
+}
+
+func TestExecutorCheckpointSnapshots(t *testing.T) {
+	suite := crypto.NewEd25519Suite(6, 1, 2)
+	x := NewExecutor(statemachine.NewCounter(), 2)
+	l := mlog.New(64)
+	for seq := uint64(1); seq <= 5; seq++ {
+		commitSlot(t, l, seq, signedReq(suite, 0, seq, nil))
+	}
+	x.ExecuteReady(l, nil)
+	if _, ok := x.SnapshotAt(2); !ok {
+		t.Fatal("snapshot at 2 missing")
+	}
+	if _, ok := x.SnapshotAt(4); !ok {
+		t.Fatal("snapshot at 4 missing")
+	}
+	if _, ok := x.SnapshotAt(3); ok {
+		t.Fatal("snapshot at non-boundary 3 present")
+	}
+	if !x.AtCheckpoint(4) || x.AtCheckpoint(5) {
+		t.Fatal("AtCheckpoint wrong")
+	}
+	x.DropSnapshotsBelow(4)
+	if _, ok := x.SnapshotAt(2); ok {
+		t.Fatal("GC left snapshot at 2")
+	}
+	if _, ok := x.SnapshotAt(4); !ok {
+		t.Fatal("GC removed snapshot at 4")
+	}
+}
+
+func TestExecutorStateTransfer(t *testing.T) {
+	suite := crypto.NewEd25519Suite(7, 1, 2)
+	// Source replica executes 4 requests.
+	src := NewExecutor(statemachine.NewCounter(), 2)
+	l := mlog.New(64)
+	for seq := uint64(1); seq <= 4; seq++ {
+		commitSlot(t, l, seq, signedReq(suite, 0, seq, nil))
+	}
+	src.ExecuteReady(l, nil)
+	snap, ok := src.SnapshotAt(4)
+	if !ok {
+		t.Fatal("no snapshot at 4")
+	}
+
+	// Lagging replica jumps straight to 4.
+	dstSM := statemachine.NewCounter()
+	dst := NewExecutor(dstSM, 2)
+	if err := dst.JumpTo(4, snap); err != nil {
+		t.Fatal(err)
+	}
+	if dst.LastExecuted() != 4 {
+		t.Fatalf("cursor = %d", dst.LastExecuted())
+	}
+	if dstSM.Value() != 4 {
+		t.Fatalf("restored state = %d", dstSM.Value())
+	}
+	if dst.StateDigest() != src.StateDigest() {
+		t.Fatal("digests diverge after transfer")
+	}
+	// Exactly-once survives the transfer.
+	if dst.Fresh(signedReq(suite, 0, 4, nil)) {
+		t.Fatal("transferred client table lost")
+	}
+	// Backwards transfer refused.
+	if err := dst.JumpTo(2, snap); err == nil {
+		t.Fatal("backwards state transfer accepted")
+	}
+	// Hostile snapshot refused.
+	if err := dst.JumpTo(10, []byte{1, 2, 3}); err == nil {
+		t.Fatal("malformed snapshot accepted")
+	}
+}
+
+func TestExecutorDigestMatchesCachedSnapshot(t *testing.T) {
+	suite := crypto.NewEd25519Suite(8, 1, 2)
+	x := NewExecutor(statemachine.NewCounter(), 2)
+	l := mlog.New(64)
+	commitSlot(t, l, 1, signedReq(suite, 0, 1, nil))
+	commitSlot(t, l, 2, signedReq(suite, 0, 2, nil))
+	x.ExecuteReady(l, nil)
+	snap, _ := x.SnapshotAt(2)
+	if DigestOf(snap) != x.StateDigest() {
+		t.Fatal("cached snapshot digest != live state digest at the boundary")
+	}
+}
+
+func TestNewExecutorPanicsOnZeroPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero period accepted")
+		}
+	}()
+	NewExecutor(statemachine.NewCounter(), 0)
+}

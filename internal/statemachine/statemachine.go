@@ -1,0 +1,415 @@
+// Package statemachine provides the replicated service layer: the
+// deterministic state machines that SeeMoRe (and the baselines) order
+// operations for, plus the client table that gives exactly-once
+// semantics. Operations must be atomic and deterministic (Section 5 of
+// the paper): the same operation applied to the same state produces the
+// same result on every replica.
+package statemachine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/crypto"
+	"repro/internal/ids"
+)
+
+// StateMachine is the deterministic service replicated by the protocols.
+// Implementations need not be goroutine-safe: each replica applies
+// operations from a single execution goroutine in sequence order.
+type StateMachine interface {
+	// Apply executes one operation and returns its result. Apply must be
+	// deterministic and must not fail: invalid operations return an
+	// encoded error result rather than an error, because every replica
+	// must make the same decision.
+	Apply(op []byte) []byte
+	// Snapshot serializes the full state for checkpointing and state
+	// transfer. The encoding must be canonical: equal states produce
+	// equal bytes, so digests are comparable across replicas.
+	Snapshot() []byte
+	// Restore replaces the state with a previously taken snapshot.
+	Restore(snapshot []byte) error
+}
+
+// Digest hashes a snapshot; the protocols exchange this as the checkpoint
+// state digest d (Section 5.1, State Transfer).
+func Digest(sm StateMachine) crypto.Digest {
+	return crypto.Sum(sm.Snapshot())
+}
+
+// ---------------------------------------------------------------------------
+// KVStore
+
+// KV opcodes. A KV operation is opcode byte + length-prefixed key
+// (+ length-prefixed value for Put).
+const (
+	kvOpGet byte = iota + 1
+	kvOpPut
+	kvOpDelete
+	kvOpAdd // arithmetic add to a uint64-encoded value; used by the bank example
+)
+
+// KV result status bytes.
+const (
+	// KVOK prefixes a successful result; the value (possibly empty)
+	// follows.
+	KVOK byte = iota + 1
+	// KVNotFound is returned by Get/Delete/Add on a missing key.
+	KVNotFound
+	// KVBadOp is returned for a malformed operation.
+	KVBadOp
+)
+
+// KVStore is an in-memory replicated key/value store with canonical
+// snapshots. It is the workhorse state machine for the examples and the
+// integration tests.
+type KVStore struct {
+	data map[string][]byte
+}
+
+// NewKVStore returns an empty store.
+func NewKVStore() *KVStore { return &KVStore{data: make(map[string][]byte)} }
+
+// Len returns the number of keys; handy for tests.
+func (kv *KVStore) Len() int { return len(kv.data) }
+
+// Get reads a key directly (local, not through consensus); examples use
+// it to inspect replica state.
+func (kv *KVStore) Get(key string) ([]byte, bool) {
+	v, ok := kv.data[key]
+	return v, ok
+}
+
+// EncodeGet builds a GET operation.
+func EncodeGet(key string) []byte { return encodeKV(kvOpGet, key, nil) }
+
+// EncodePut builds a PUT operation.
+func EncodePut(key string, value []byte) []byte { return encodeKV(kvOpPut, key, value) }
+
+// EncodeDelete builds a DELETE operation.
+func EncodeDelete(key string) []byte { return encodeKV(kvOpDelete, key, nil) }
+
+// EncodeAdd builds an ADD operation: interprets the stored value as a
+// big-endian uint64 and adds delta (two's-complement wrap). The bank
+// example uses it for balance transfers.
+func EncodeAdd(key string, delta int64) []byte {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(delta))
+	return encodeKV(kvOpAdd, key, buf[:])
+}
+
+func encodeKV(op byte, key string, value []byte) []byte {
+	out := make([]byte, 0, 1+4+len(key)+4+len(value))
+	out = append(out, op)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(key)))
+	out = append(out, key...)
+	if op == kvOpPut || op == kvOpAdd {
+		out = binary.BigEndian.AppendUint32(out, uint32(len(value)))
+		out = append(out, value...)
+	}
+	return out
+}
+
+// DecodeResult splits a KV result into status and payload.
+func DecodeResult(res []byte) (status byte, value []byte) {
+	if len(res) == 0 {
+		return KVBadOp, nil
+	}
+	return res[0], res[1:]
+}
+
+// Apply implements StateMachine.
+func (kv *KVStore) Apply(op []byte) []byte {
+	if len(op) < 5 {
+		return []byte{KVBadOp}
+	}
+	code := op[0]
+	keyLen := int(binary.BigEndian.Uint32(op[1:5]))
+	if 5+keyLen > len(op) {
+		return []byte{KVBadOp}
+	}
+	key := string(op[5 : 5+keyLen])
+	rest := op[5+keyLen:]
+	switch code {
+	case kvOpGet:
+		v, ok := kv.data[key]
+		if !ok {
+			return []byte{KVNotFound}
+		}
+		return append([]byte{KVOK}, v...)
+	case kvOpPut:
+		v, ok := decodeValue(rest)
+		if !ok {
+			return []byte{KVBadOp}
+		}
+		kv.data[key] = append([]byte(nil), v...)
+		return []byte{KVOK}
+	case kvOpDelete:
+		if _, ok := kv.data[key]; !ok {
+			return []byte{KVNotFound}
+		}
+		delete(kv.data, key)
+		return []byte{KVOK}
+	case kvOpAdd:
+		v, ok := decodeValue(rest)
+		if !ok || len(v) != 8 {
+			return []byte{KVBadOp}
+		}
+		cur, ok := kv.data[key]
+		if !ok {
+			return []byte{KVNotFound}
+		}
+		if len(cur) != 8 {
+			return []byte{KVBadOp}
+		}
+		sum := binary.BigEndian.Uint64(cur) + binary.BigEndian.Uint64(v)
+		out := make([]byte, 8)
+		binary.BigEndian.PutUint64(out, sum)
+		kv.data[key] = out
+		return append([]byte{KVOK}, out...)
+	default:
+		return []byte{KVBadOp}
+	}
+}
+
+func decodeValue(b []byte) ([]byte, bool) {
+	if len(b) < 4 {
+		return nil, false
+	}
+	n := int(binary.BigEndian.Uint32(b[:4]))
+	if 4+n != len(b) {
+		return nil, false
+	}
+	return b[4:], true
+}
+
+// Snapshot implements StateMachine with a canonical (key-sorted)
+// encoding.
+func (kv *KVStore) Snapshot() []byte {
+	keys := make([]string, 0, len(kv.data))
+	for k := range kv.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []byte
+	out = binary.BigEndian.AppendUint32(out, uint32(len(keys)))
+	for _, k := range keys {
+		out = binary.BigEndian.AppendUint32(out, uint32(len(k)))
+		out = append(out, k...)
+		v := kv.data[k]
+		out = binary.BigEndian.AppendUint32(out, uint32(len(v)))
+		out = append(out, v...)
+	}
+	return out
+}
+
+// Restore implements StateMachine.
+func (kv *KVStore) Restore(snapshot []byte) error {
+	if len(snapshot) < 4 {
+		return errors.New("statemachine: short snapshot")
+	}
+	n := int(binary.BigEndian.Uint32(snapshot[:4]))
+	data := make(map[string][]byte, n)
+	off := 4
+	for i := 0; i < n; i++ {
+		k, next, err := readChunk(snapshot, off)
+		if err != nil {
+			return err
+		}
+		v, next2, err := readChunk(snapshot, next)
+		if err != nil {
+			return err
+		}
+		data[string(k)] = append([]byte(nil), v...)
+		off = next2
+	}
+	if off != len(snapshot) {
+		return fmt.Errorf("statemachine: %d trailing snapshot bytes", len(snapshot)-off)
+	}
+	kv.data = data
+	return nil
+}
+
+func readChunk(b []byte, off int) ([]byte, int, error) {
+	if off+4 > len(b) {
+		return nil, 0, errors.New("statemachine: truncated snapshot")
+	}
+	n := int(binary.BigEndian.Uint32(b[off:]))
+	off += 4
+	if off+n > len(b) {
+		return nil, 0, errors.New("statemachine: truncated snapshot chunk")
+	}
+	return b[off : off+n], off + n, nil
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+
+// Counter is the minimal deterministic state machine: every operation
+// increments it and returns the new value. The micro-benchmarks (0/0
+// payloads, Section 6.1) use it so that execution cost is negligible.
+type Counter struct {
+	n uint64
+}
+
+// NewCounter returns a zeroed counter.
+func NewCounter() *Counter { return &Counter{} }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Apply implements StateMachine.
+func (c *Counter) Apply(op []byte) []byte {
+	c.n++
+	out := make([]byte, 8)
+	binary.BigEndian.PutUint64(out, c.n)
+	return out
+}
+
+// Snapshot implements StateMachine.
+func (c *Counter) Snapshot() []byte {
+	out := make([]byte, 8)
+	binary.BigEndian.PutUint64(out, c.n)
+	return out
+}
+
+// Restore implements StateMachine.
+func (c *Counter) Restore(snapshot []byte) error {
+	if len(snapshot) != 8 {
+		return errors.New("statemachine: counter snapshot must be 8 bytes")
+	}
+	c.n = binary.BigEndian.Uint64(snapshot)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Echo
+
+// Echo returns a reply of a configured size regardless of the request,
+// letting the 0/4 micro-benchmark (4 KB replies) drive reply-payload cost
+// without a real workload.
+type Echo struct {
+	replySize int
+	applied   uint64
+}
+
+// NewEcho builds an echo machine producing replies of replySize bytes.
+func NewEcho(replySize int) *Echo { return &Echo{replySize: replySize} }
+
+// Apply implements StateMachine.
+func (e *Echo) Apply(op []byte) []byte {
+	e.applied++
+	return make([]byte, e.replySize)
+}
+
+// Snapshot implements StateMachine.
+func (e *Echo) Snapshot() []byte {
+	out := make([]byte, 16)
+	binary.BigEndian.PutUint64(out, uint64(e.replySize))
+	binary.BigEndian.PutUint64(out[8:], e.applied)
+	return out
+}
+
+// Restore implements StateMachine.
+func (e *Echo) Restore(snapshot []byte) error {
+	if len(snapshot) != 16 {
+		return errors.New("statemachine: echo snapshot must be 16 bytes")
+	}
+	e.replySize = int(binary.BigEndian.Uint64(snapshot))
+	e.applied = binary.BigEndian.Uint64(snapshot[8:])
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// ClientTable
+
+// ClientTable records, per client, the timestamp and reply of the last
+// executed request. It provides the exactly-once semantics of
+// Section 5.1: a replica re-sends the cached reply for a retransmitted
+// request instead of re-executing it, and discards stale timestamps.
+// The table is part of replicated state and participates in snapshots.
+type ClientTable struct {
+	last map[ids.ClientID]clientRecord
+}
+
+type clientRecord struct {
+	timestamp uint64
+	reply     []byte
+}
+
+// NewClientTable returns an empty table.
+func NewClientTable() *ClientTable {
+	return &ClientTable{last: make(map[ids.ClientID]clientRecord)}
+}
+
+// Fresh reports whether a request with the given timestamp from client c
+// has not been executed yet (strictly newer than the last executed one).
+func (t *ClientTable) Fresh(c ids.ClientID, timestamp uint64) bool {
+	rec, ok := t.last[c]
+	return !ok || timestamp > rec.timestamp
+}
+
+// CachedReply returns the stored reply if the timestamp matches the last
+// executed request exactly (a retransmission).
+func (t *ClientTable) CachedReply(c ids.ClientID, timestamp uint64) ([]byte, bool) {
+	rec, ok := t.last[c]
+	if !ok || rec.timestamp != timestamp {
+		return nil, false
+	}
+	return rec.reply, true
+}
+
+// Record stores the reply for the client's latest executed request.
+func (t *ClientTable) Record(c ids.ClientID, timestamp uint64, reply []byte) {
+	t.last[c] = clientRecord{timestamp: timestamp, reply: append([]byte(nil), reply...)}
+}
+
+// Snapshot serializes the table canonically (client-ID sorted).
+func (t *ClientTable) Snapshot() []byte {
+	cs := make([]ids.ClientID, 0, len(t.last))
+	for c := range t.last {
+		cs = append(cs, c)
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	var out []byte
+	out = binary.BigEndian.AppendUint32(out, uint32(len(cs)))
+	for _, c := range cs {
+		out = binary.BigEndian.AppendUint64(out, uint64(c))
+		rec := t.last[c]
+		out = binary.BigEndian.AppendUint64(out, rec.timestamp)
+		out = binary.BigEndian.AppendUint32(out, uint32(len(rec.reply)))
+		out = append(out, rec.reply...)
+	}
+	return out
+}
+
+// Restore replaces the table from a snapshot.
+func (t *ClientTable) Restore(snapshot []byte) error {
+	if len(snapshot) < 4 {
+		return errors.New("statemachine: short client-table snapshot")
+	}
+	n := int(binary.BigEndian.Uint32(snapshot[:4]))
+	last := make(map[ids.ClientID]clientRecord, n)
+	off := 4
+	for i := 0; i < n; i++ {
+		if off+20 > len(snapshot) {
+			return errors.New("statemachine: truncated client-table snapshot")
+		}
+		c := ids.ClientID(binary.BigEndian.Uint64(snapshot[off:]))
+		ts := binary.BigEndian.Uint64(snapshot[off+8:])
+		rl := int(binary.BigEndian.Uint32(snapshot[off+16:]))
+		off += 20
+		if off+rl > len(snapshot) {
+			return errors.New("statemachine: truncated client-table reply")
+		}
+		last[c] = clientRecord{timestamp: ts, reply: append([]byte(nil), snapshot[off:off+rl]...)}
+		off += rl
+	}
+	if off != len(snapshot) {
+		return errors.New("statemachine: trailing client-table bytes")
+	}
+	t.last = last
+	return nil
+}

@@ -1,0 +1,314 @@
+package statemachine
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ids"
+)
+
+func TestKVPutGetDelete(t *testing.T) {
+	kv := NewKVStore()
+
+	st, _ := DecodeResult(kv.Apply(EncodeGet("missing")))
+	if st != KVNotFound {
+		t.Fatalf("get missing: status %d, want KVNotFound", st)
+	}
+
+	st, _ = DecodeResult(kv.Apply(EncodePut("k", []byte("v1"))))
+	if st != KVOK {
+		t.Fatalf("put: status %d", st)
+	}
+	st, v := DecodeResult(kv.Apply(EncodeGet("k")))
+	if st != KVOK || string(v) != "v1" {
+		t.Fatalf("get: status %d value %q", st, v)
+	}
+
+	// Overwrite.
+	kv.Apply(EncodePut("k", []byte("v2")))
+	_, v = DecodeResult(kv.Apply(EncodeGet("k")))
+	if string(v) != "v2" {
+		t.Fatalf("overwrite lost: %q", v)
+	}
+
+	st, _ = DecodeResult(kv.Apply(EncodeDelete("k")))
+	if st != KVOK {
+		t.Fatalf("delete: status %d", st)
+	}
+	st, _ = DecodeResult(kv.Apply(EncodeDelete("k")))
+	if st != KVNotFound {
+		t.Fatalf("double delete: status %d, want KVNotFound", st)
+	}
+	if kv.Len() != 0 {
+		t.Fatalf("store not empty: %d keys", kv.Len())
+	}
+}
+
+func TestKVEmptyValueDistinctFromMissing(t *testing.T) {
+	kv := NewKVStore()
+	kv.Apply(EncodePut("k", nil))
+	st, v := DecodeResult(kv.Apply(EncodeGet("k")))
+	if st != KVOK || len(v) != 0 {
+		t.Fatalf("empty value: status %d value %q", st, v)
+	}
+	if _, ok := kv.Get("k"); !ok {
+		t.Fatal("direct Get lost the key")
+	}
+}
+
+func TestKVAdd(t *testing.T) {
+	kv := NewKVStore()
+	// Add to missing key fails.
+	st, _ := DecodeResult(kv.Apply(EncodeAdd("acct", 10)))
+	if st != KVNotFound {
+		t.Fatalf("add to missing key: status %d", st)
+	}
+	// Seed a 100 balance, add +10, -30.
+	seed := make([]byte, 8)
+	binary.BigEndian.PutUint64(seed, 100)
+	kv.Apply(EncodePut("acct", seed))
+	st, v := DecodeResult(kv.Apply(EncodeAdd("acct", 10)))
+	if st != KVOK || binary.BigEndian.Uint64(v) != 110 {
+		t.Fatalf("add: status %d value %d", st, binary.BigEndian.Uint64(v))
+	}
+	st, v = DecodeResult(kv.Apply(EncodeAdd("acct", -30)))
+	if st != KVOK || binary.BigEndian.Uint64(v) != 80 {
+		t.Fatalf("sub: status %d value %d", st, binary.BigEndian.Uint64(v))
+	}
+	// Add to a non-numeric value is a bad op.
+	kv.Apply(EncodePut("s", []byte("hello")))
+	st, _ = DecodeResult(kv.Apply(EncodeAdd("s", 1)))
+	if st != KVBadOp {
+		t.Fatalf("add to string: status %d, want KVBadOp", st)
+	}
+}
+
+func TestKVMalformedOps(t *testing.T) {
+	kv := NewKVStore()
+	bad := [][]byte{
+		nil,
+		{},
+		{kvOpPut},
+		{0xFF, 0, 0, 0, 0},
+		append([]byte{kvOpGet, 0, 0, 0, 10}, []byte("shrt")...), // key length overruns
+		{kvOpPut, 0, 0, 0, 1, 'k'},                              // missing value
+		append([]byte{kvOpPut, 0, 0, 0, 1, 'k', 0, 0, 0, 9}, []byte("x")...),
+	}
+	for i, op := range bad {
+		st, _ := DecodeResult(kv.Apply(op))
+		if st != KVBadOp {
+			t.Errorf("malformed op %d: status %d, want KVBadOp", i, st)
+		}
+	}
+	if kv.Len() != 0 {
+		t.Error("malformed op mutated state")
+	}
+	if st, _ := DecodeResult(nil); st != KVBadOp {
+		t.Error("empty result should decode as KVBadOp")
+	}
+}
+
+func TestKVSnapshotRoundTrip(t *testing.T) {
+	kv := NewKVStore()
+	kv.Apply(EncodePut("a", []byte("1")))
+	kv.Apply(EncodePut("b", []byte("2")))
+	kv.Apply(EncodePut("c", nil))
+	snap := kv.Snapshot()
+
+	other := NewKVStore()
+	if err := other.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(other.Snapshot(), snap) {
+		t.Fatal("snapshot round trip not stable")
+	}
+	_, v := DecodeResult(other.Apply(EncodeGet("b")))
+	if string(v) != "2" {
+		t.Fatalf("restored value %q", v)
+	}
+}
+
+func TestKVSnapshotCanonical(t *testing.T) {
+	// Same logical state built in different orders must produce the same
+	// snapshot bytes, or checkpoint digests would diverge across replicas.
+	a := NewKVStore()
+	a.Apply(EncodePut("x", []byte("1")))
+	a.Apply(EncodePut("y", []byte("2")))
+	b := NewKVStore()
+	b.Apply(EncodePut("y", []byte("2")))
+	b.Apply(EncodePut("x", []byte("1")))
+	if !bytes.Equal(a.Snapshot(), b.Snapshot()) {
+		t.Fatal("snapshot depends on insertion order")
+	}
+	if Digest(a) != Digest(b) {
+		t.Fatal("digests diverge for equal state")
+	}
+}
+
+func TestKVRestoreHostile(t *testing.T) {
+	kv := NewKVStore()
+	bad := [][]byte{
+		nil,
+		{1},
+		{0, 0, 0, 2, 0, 0, 0, 1, 'k'},         // claims 2 entries, holds <1
+		append(NewKVStore().Snapshot(), 0xAA), // trailing bytes
+	}
+	for i, snap := range bad {
+		if err := kv.Restore(snap); err == nil {
+			t.Errorf("hostile snapshot %d accepted", i)
+		}
+	}
+}
+
+// Property: applying the same random operation stream to two stores
+// yields identical snapshots (determinism — the paper's core requirement
+// on the service).
+func TestKVDeterminismProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ops := make([][]byte, 200)
+		keys := []string{"a", "b", "c", "d", "e"}
+		for i := range ops {
+			k := keys[rng.Intn(len(keys))]
+			switch rng.Intn(3) {
+			case 0:
+				v := make([]byte, rng.Intn(16))
+				rng.Read(v)
+				ops[i] = EncodePut(k, v)
+			case 1:
+				ops[i] = EncodeGet(k)
+			default:
+				ops[i] = EncodeDelete(k)
+			}
+		}
+		s1, s2 := NewKVStore(), NewKVStore()
+		for _, op := range ops {
+			r1 := s1.Apply(op)
+			r2 := s2.Apply(op)
+			if !bytes.Equal(r1, r2) {
+				return false
+			}
+		}
+		return bytes.Equal(s1.Snapshot(), s2.Snapshot())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	for i := uint64(1); i <= 5; i++ {
+		res := c.Apply(nil)
+		if got := binary.BigEndian.Uint64(res); got != i {
+			t.Fatalf("apply %d returned %d", i, got)
+		}
+	}
+	if c.Value() != 5 {
+		t.Fatalf("value = %d", c.Value())
+	}
+	snap := c.Snapshot()
+	c2 := NewCounter()
+	if err := c2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Value() != 5 {
+		t.Fatalf("restored value = %d", c2.Value())
+	}
+	if err := c2.Restore([]byte{1, 2}); err == nil {
+		t.Error("short counter snapshot accepted")
+	}
+}
+
+func TestEcho(t *testing.T) {
+	e := NewEcho(4096)
+	res := e.Apply([]byte("ignored"))
+	if len(res) != 4096 {
+		t.Fatalf("reply size %d, want 4096", len(res))
+	}
+	snap := e.Snapshot()
+	e2 := NewEcho(0)
+	if err := e2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(e2.Apply(nil)) != 4096 {
+		t.Error("restored echo lost reply size")
+	}
+	if err := e2.Restore([]byte{1}); err == nil {
+		t.Error("short echo snapshot accepted")
+	}
+	// Digest changes as operations are applied (applied counter is state).
+	if Digest(e) == Digest(NewEcho(4096)) {
+		t.Error("echo digest ignores applied count")
+	}
+}
+
+func TestClientTableExactlyOnce(t *testing.T) {
+	tbl := NewClientTable()
+	c := ids.ClientID(3)
+
+	if !tbl.Fresh(c, 1) {
+		t.Fatal("first request should be fresh")
+	}
+	if _, ok := tbl.CachedReply(c, 1); ok {
+		t.Fatal("cache hit before any execution")
+	}
+	tbl.Record(c, 1, []byte("r1"))
+	if tbl.Fresh(c, 1) {
+		t.Error("executed timestamp still fresh")
+	}
+	if tbl.Fresh(c, 0) {
+		t.Error("older timestamp fresh")
+	}
+	if !tbl.Fresh(c, 2) {
+		t.Error("newer timestamp not fresh")
+	}
+	rep, ok := tbl.CachedReply(c, 1)
+	if !ok || string(rep) != "r1" {
+		t.Errorf("cached reply = %q, %v", rep, ok)
+	}
+	if _, ok := tbl.CachedReply(c, 2); ok {
+		t.Error("cache hit for unexecuted timestamp")
+	}
+	// Other clients are independent.
+	if !tbl.Fresh(ids.ClientID(4), 1) {
+		t.Error("client 4 affected by client 3")
+	}
+}
+
+func TestClientTableSnapshot(t *testing.T) {
+	tbl := NewClientTable()
+	tbl.Record(1, 10, []byte("a"))
+	tbl.Record(2, 20, nil)
+	snap := tbl.Snapshot()
+
+	tbl2 := NewClientTable()
+	if err := tbl2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if rep, ok := tbl2.CachedReply(1, 10); !ok || string(rep) != "a" {
+		t.Error("restored table lost client 1")
+	}
+	if tbl2.Fresh(2, 20) {
+		t.Error("restored table lost client 2 timestamp")
+	}
+	if !bytes.Equal(tbl2.Snapshot(), snap) {
+		t.Error("client-table snapshot not stable")
+	}
+	// Canonical: insertion order must not matter.
+	tbl3 := NewClientTable()
+	tbl3.Record(2, 20, nil)
+	tbl3.Record(1, 10, []byte("a"))
+	if !bytes.Equal(tbl3.Snapshot(), snap) {
+		t.Error("client-table snapshot depends on insertion order")
+	}
+	// Hostile restores.
+	for i, bad := range [][]byte{nil, {0, 0, 0, 5}, append(snap, 1)} {
+		if err := NewClientTable().Restore(bad); err == nil {
+			t.Errorf("hostile client-table snapshot %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,432 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+)
+
+func TestAddrNamespaces(t *testing.T) {
+	r := ReplicaAddr(3)
+	c := ClientAddr(0)
+	if r.IsClient() {
+		t.Error("replica address reported as client")
+	}
+	if !c.IsClient() {
+		t.Error("client address not reported as client")
+	}
+	if r.Replica() != 3 {
+		t.Errorf("Replica() = %d", r.Replica())
+	}
+	if c.Client() != 0 {
+		t.Errorf("Client() = %d", c.Client())
+	}
+	if ClientAddr(5).Client() != 5 {
+		t.Error("client round trip failed")
+	}
+	if r.String() != "replica:3" || c.String() != "client:0" {
+		t.Errorf("String() = %q, %q", r, c)
+	}
+	// Namespaces never collide.
+	seen := map[Addr]bool{}
+	for i := 0; i < 50; i++ {
+		seen[ReplicaAddr(ids.ReplicaID(i))] = true
+	}
+	for i := int64(0); i < 50; i++ {
+		if seen[ClientAddr(ids.ClientID(i))] {
+			t.Fatalf("client %d collides with a replica addr", i)
+		}
+	}
+}
+
+func TestAddrPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { ClientAddr(0).Replica() },
+		func() { ReplicaAddr(0).Client() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("namespace misuse did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func zeroLatency(private int, seed int64) SimConfig {
+	return SimConfig{Seed: seed, PrivateSize: private, InboxSize: 64}
+}
+
+func recvOne(t *testing.T, ep Endpoint, timeout time.Duration) Envelope {
+	t.Helper()
+	select {
+	case env, ok := <-ep.Inbox():
+		if !ok {
+			t.Fatal("inbox closed")
+		}
+		return env
+	case <-time.After(timeout):
+		t.Fatalf("no delivery to %s within %v", ep.Addr(), timeout)
+		return Envelope{}
+	}
+}
+
+func TestSimDelivery(t *testing.T) {
+	n := NewSimNetwork(zeroLatency(1, 1))
+	defer n.Close()
+	a := n.Endpoint(ReplicaAddr(0))
+	b := n.Endpoint(ReplicaAddr(1))
+	a.Send(b.Addr(), []byte("hello"))
+	env := recvOne(t, b, time.Second)
+	if env.From != a.Addr() || string(env.Frame) != "hello" {
+		t.Fatalf("got %+v", env)
+	}
+	// Client to replica too.
+	cl := n.Endpoint(ClientAddr(0))
+	cl.Send(a.Addr(), []byte("req"))
+	env = recvOne(t, a, time.Second)
+	if env.From != cl.Addr() || string(env.Frame) != "req" {
+		t.Fatalf("got %+v", env)
+	}
+	st := n.Stats()
+	if st.Sent != 2 || st.Delivered != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.BytesSent != 8 {
+		t.Errorf("bytes = %d, want 8", st.BytesSent)
+	}
+}
+
+func TestSimFIFOWithoutJitter(t *testing.T) {
+	n := NewSimNetwork(zeroLatency(1, 2))
+	defer n.Close()
+	a := n.Endpoint(ReplicaAddr(0))
+	b := n.Endpoint(ReplicaAddr(1))
+	const k = 50
+	for i := 0; i < k; i++ {
+		a.Send(b.Addr(), []byte{byte(i)})
+	}
+	for i := 0; i < k; i++ {
+		env := recvOne(t, b, time.Second)
+		if env.Frame[0] != byte(i) {
+			t.Fatalf("out of order: got %d at position %d", env.Frame[0], i)
+		}
+	}
+}
+
+func TestSimLatencyClasses(t *testing.T) {
+	cfg := SimConfig{
+		Seed:            1,
+		PrivateSize:     2,
+		IntraPrivate:    1 * time.Millisecond,
+		IntraPublic:     2 * time.Millisecond,
+		CrossCloud:      30 * time.Millisecond,
+		ClientToPrivate: 3 * time.Millisecond,
+		ClientToPublic:  4 * time.Millisecond,
+	}
+	n := NewSimNetwork(cfg)
+	defer n.Close()
+	priv0 := n.Endpoint(ReplicaAddr(0))
+	priv1 := n.Endpoint(ReplicaAddr(1))
+	pub := n.Endpoint(ReplicaAddr(2))
+
+	// Intra-private delivery must beat the cross-cloud one even when the
+	// cross-cloud frame is sent first.
+	pub.Send(priv0.Addr(), []byte("far"))
+	priv1.Send(priv0.Addr(), []byte("near"))
+	first := recvOne(t, priv0, time.Second)
+	second := recvOne(t, priv0, time.Second)
+	if string(first.Frame) != "near" || string(second.Frame) != "far" {
+		t.Fatalf("latency classes not honored: first=%q second=%q", first.Frame, second.Frame)
+	}
+}
+
+func TestSimDrop(t *testing.T) {
+	cfg := zeroLatency(1, 3)
+	cfg.DropRate = 1.0
+	n := NewSimNetwork(cfg)
+	defer n.Close()
+	a := n.Endpoint(ReplicaAddr(0))
+	b := n.Endpoint(ReplicaAddr(1))
+	a.Send(b.Addr(), []byte("x"))
+	select {
+	case <-b.Inbox():
+		t.Fatal("frame delivered despite 100% loss")
+	case <-time.After(30 * time.Millisecond):
+	}
+	if st := n.Stats(); st.DroppedLoss != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSimDuplication(t *testing.T) {
+	cfg := zeroLatency(1, 4)
+	cfg.DupRate = 1.0
+	n := NewSimNetwork(cfg)
+	defer n.Close()
+	a := n.Endpoint(ReplicaAddr(0))
+	b := n.Endpoint(ReplicaAddr(1))
+	a.Send(b.Addr(), []byte("x"))
+	recvOne(t, b, time.Second)
+	recvOne(t, b, time.Second) // the duplicate
+	if st := n.Stats(); st.Duplicated != 1 || st.Delivered != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSimPartition(t *testing.T) {
+	n := NewSimNetwork(zeroLatency(1, 5))
+	defer n.Close()
+	a := n.Endpoint(ReplicaAddr(0))
+	b := n.Endpoint(ReplicaAddr(1))
+	c := n.Endpoint(ReplicaAddr(2))
+
+	n.Block(a.Addr(), b.Addr())
+	a.Send(b.Addr(), []byte("blocked"))
+	a.Send(c.Addr(), []byte("open"))
+	env := recvOne(t, c, time.Second)
+	if string(env.Frame) != "open" {
+		t.Fatalf("unexpected frame %q", env.Frame)
+	}
+	select {
+	case <-b.Inbox():
+		t.Fatal("blocked link delivered")
+	case <-time.After(30 * time.Millisecond):
+	}
+
+	n.Unblock(a.Addr(), b.Addr())
+	a.Send(b.Addr(), []byte("healed"))
+	if env := recvOne(t, b, time.Second); string(env.Frame) != "healed" {
+		t.Fatalf("unexpected frame %q", env.Frame)
+	}
+
+	// Isolation cuts everything.
+	n.Isolate(a.Addr())
+	a.Send(b.Addr(), []byte("dead"))
+	c.Send(a.Addr(), []byte("dead"))
+	select {
+	case <-b.Inbox():
+		t.Fatal("isolated node sent")
+	case <-a.Inbox():
+		t.Fatal("isolated node received")
+	case <-time.After(30 * time.Millisecond):
+	}
+	n.Heal(a.Addr())
+	a.Send(b.Addr(), []byte("alive"))
+	if env := recvOne(t, b, time.Second); string(env.Frame) != "alive" {
+		t.Fatalf("unexpected frame %q", env.Frame)
+	}
+}
+
+func TestSimPartitionCutsInFlight(t *testing.T) {
+	cfg := zeroLatency(1, 6)
+	cfg.IntraPrivate = 50 * time.Millisecond
+	cfg.PrivateSize = 2
+	n := NewSimNetwork(cfg)
+	defer n.Close()
+	a := n.Endpoint(ReplicaAddr(0))
+	b := n.Endpoint(ReplicaAddr(1))
+	a.Send(b.Addr(), []byte("in flight"))
+	n.Isolate(b.Addr()) // partition starts while the frame is in the air
+	select {
+	case <-b.Inbox():
+		t.Fatal("in-flight frame crossed a partition")
+	case <-time.After(120 * time.Millisecond):
+	}
+}
+
+func TestSimInboxOverflow(t *testing.T) {
+	cfg := zeroLatency(1, 7)
+	cfg.InboxSize = 4
+	n := NewSimNetwork(cfg)
+	defer n.Close()
+	a := n.Endpoint(ReplicaAddr(0))
+	b := n.Endpoint(ReplicaAddr(1))
+	for i := 0; i < 64; i++ {
+		a.Send(b.Addr(), []byte{byte(i)})
+	}
+	deadline := time.After(time.Second)
+	for {
+		st := n.Stats()
+		if st.Delivered+st.DroppedOverflow == 64 {
+			if st.DroppedOverflow == 0 {
+				t.Fatal("expected overflow drops with a 4-slot inbox")
+			}
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("stats never settled: %+v", st)
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func TestSimSendToUnattached(t *testing.T) {
+	n := NewSimNetwork(zeroLatency(1, 8))
+	defer n.Close()
+	a := n.Endpoint(ReplicaAddr(0))
+	a.Send(ReplicaAddr(9), []byte("void"))
+	deadline := time.After(time.Second)
+	for {
+		if st := n.Stats(); st.DroppedNoRecipient == 1 {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("drop not recorded: %+v", n.Stats())
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func TestSimEndpointClose(t *testing.T) {
+	n := NewSimNetwork(zeroLatency(1, 9))
+	defer n.Close()
+	a := n.Endpoint(ReplicaAddr(0))
+	b := n.Endpoint(ReplicaAddr(1))
+	b.Close()
+	if _, ok := <-b.Inbox(); ok {
+		t.Fatal("closed endpoint inbox still open")
+	}
+	a.Send(b.Addr(), []byte("x")) // must not panic
+	b.Send(a.Addr(), []byte("x")) // closed sender: dropped
+	select {
+	case <-a.Inbox():
+		t.Fatal("closed endpoint managed to send")
+	case <-time.After(20 * time.Millisecond):
+	}
+	// Re-attach after close gets a fresh endpoint.
+	b2 := n.Endpoint(ReplicaAddr(1))
+	a.Send(b2.Addr(), []byte("fresh"))
+	if env := recvOne(t, b2, time.Second); string(env.Frame) != "fresh" {
+		t.Fatalf("got %q", env.Frame)
+	}
+}
+
+func TestSimNetworkClose(t *testing.T) {
+	n := NewSimNetwork(zeroLatency(1, 10))
+	a := n.Endpoint(ReplicaAddr(0))
+	n.Close()
+	if _, ok := <-a.Inbox(); ok {
+		t.Fatal("inbox open after network close")
+	}
+	a.Send(ReplicaAddr(1), []byte("x")) // must not panic
+	// Endpoint after close is dead.
+	dead := n.Endpoint(ReplicaAddr(5))
+	if _, ok := <-dead.Inbox(); ok {
+		t.Fatal("post-close endpoint has a live inbox")
+	}
+	n.Close() // double close is fine
+}
+
+func TestSimManyConcurrentSenders(t *testing.T) {
+	cfg := zeroLatency(2, 11)
+	cfg.InboxSize = 2048 // hold the full burst: this test checks delivery, not overflow
+	n := NewSimNetwork(cfg)
+	defer n.Close()
+	dst := n.Endpoint(ReplicaAddr(0))
+	const senders, per = 8, 100
+	for s := 1; s <= senders; s++ {
+		ep := n.Endpoint(ReplicaAddr(ids.ReplicaID(s)))
+		go func(ep Endpoint) {
+			for i := 0; i < per; i++ {
+				ep.Send(dst.Addr(), []byte("m"))
+			}
+		}(ep)
+	}
+	got := 0
+	timeout := time.After(5 * time.Second)
+	for got < senders*per {
+		select {
+		case _, ok := <-dst.Inbox():
+			if !ok {
+				t.Fatal("inbox closed early")
+			}
+			got++
+		case <-timeout:
+			t.Fatalf("received %d of %d", got, senders*per)
+		}
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	a, err := NewTCPNode(ReplicaAddr(0), "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewTCPNode(ReplicaAddr(1), "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.AddPeer(b.Addr(), b.ListenAddr())
+	b.AddPeer(a.Addr(), a.ListenAddr())
+
+	a.Send(b.Addr(), []byte("over tcp"))
+	env := recvOne(t, b, 2*time.Second)
+	if env.From != a.Addr() || string(env.Frame) != "over tcp" {
+		t.Fatalf("got %+v", env)
+	}
+	// Reply path.
+	b.Send(a.Addr(), []byte("ack"))
+	env = recvOne(t, a, 2*time.Second)
+	if env.From != b.Addr() || string(env.Frame) != "ack" {
+		t.Fatalf("got %+v", env)
+	}
+}
+
+func TestTCPUnknownPeerAndClose(t *testing.T) {
+	a, err := NewTCPNode(ReplicaAddr(0), "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Send(ReplicaAddr(9), []byte("void")) // unknown peer: silent drop
+	a.Close()
+	if _, ok := <-a.Inbox(); ok {
+		t.Fatal("inbox open after close")
+	}
+	a.Send(ReplicaAddr(9), []byte("void")) // after close: silent drop
+	a.Close()                              // double close
+}
+
+func TestTCPManyFrames(t *testing.T) {
+	a, _ := NewTCPNode(ReplicaAddr(0), "127.0.0.1:0", nil)
+	defer a.Close()
+	b, _ := NewTCPNode(ReplicaAddr(1), "127.0.0.1:0", nil)
+	defer b.Close()
+	a.AddPeer(b.Addr(), b.ListenAddr())
+	const k = 500
+	go func() {
+		for i := 0; i < k; i++ {
+			a.Send(b.Addr(), []byte(fmt.Sprintf("frame-%04d", i)))
+		}
+	}()
+	for i := 0; i < k; i++ {
+		env := recvOne(t, b, 5*time.Second)
+		if want := fmt.Sprintf("frame-%04d", i); string(env.Frame) != want {
+			t.Fatalf("frame %d = %q, want %q (TCP must be FIFO)", i, env.Frame, want)
+		}
+	}
+}
+
+func TestSingleNetwork(t *testing.T) {
+	sim := NewSimNetwork(SimConfig{Seed: 1, PrivateSize: 1})
+	defer sim.Close()
+	ep := sim.Endpoint(ReplicaAddr(0))
+	n := Single(ep)
+	if n.Endpoint(ReplicaAddr(0)) != ep {
+		t.Fatal("single network lost its endpoint")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign address did not panic")
+		}
+	}()
+	n.Endpoint(ReplicaAddr(1))
+}

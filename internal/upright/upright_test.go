@@ -1,0 +1,54 @@
+package upright
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/crypto"
+	"repro/internal/ids"
+	"repro/internal/pbft"
+	"repro/internal/statemachine"
+	"repro/internal/transport"
+)
+
+func TestSizing(t *testing.T) {
+	cases := []struct{ m, c, n, q int }{
+		{1, 1, 6, 4},  // the paper's f=2 scenario
+		{2, 2, 11, 7}, // Fig 2(b)
+		{3, 1, 12, 8}, // Fig 2(c)
+		{1, 3, 10, 6}, // Fig 2(d)
+		{0, 1, 3, 2},  // degenerate crash-only
+	}
+	for _, tc := range cases {
+		if got := NetworkSize(tc.m, tc.c); got != tc.n {
+			t.Errorf("NetworkSize(%d,%d) = %d, want %d", tc.m, tc.c, got, tc.n)
+		}
+		if got := Quorum(tc.m, tc.c); got != tc.q {
+			t.Errorf("Quorum(%d,%d) = %d, want %d", tc.m, tc.c, got, tc.q)
+		}
+	}
+}
+
+func TestNewReplicaDerivesSize(t *testing.T) {
+	net := transport.NewSimNetwork(transport.SimConfig{Seed: 1, PrivateSize: 6})
+	defer net.Close()
+	suite := crypto.NewHMACSuite(1, 6, 0)
+	r, err := NewReplica(Options{
+		Byz: 1, Crash: 1,
+		Base: pbft.Options{
+			ID: 0, Suite: suite, Network: net,
+			StateMachine: statemachine.NewCounter(),
+			Timing:       config.DefaultTiming(),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Quorum() != 4 {
+		t.Fatalf("quorum = %d, want 4", r.Quorum())
+	}
+	if _, err := NewReplica(Options{Byz: -1}); err == nil {
+		t.Fatal("negative bound accepted")
+	}
+	_ = ids.ReplicaID(0)
+}
