@@ -1,0 +1,44 @@
+# Makefile — the same entry points CI uses, so humans and the pipeline
+# never drift apart. `make help` lists targets.
+
+GO      ?= go
+PKGS    ?= ./...
+COVER   ?= coverage.out
+
+.PHONY: all build test race bench fmt fmt-check vet cover clean help
+
+all: build test ## build everything, then run the tests
+
+build: ## compile every package and command
+	$(GO) build $(PKGS)
+
+test: ## run the full test suite
+	$(GO) test $(PKGS)
+
+race: ## run the test suite under the race detector
+	$(GO) test -race $(PKGS)
+
+bench: ## regenerate the paper's figures/tables via the root benchmarks
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+fmt: ## gofmt all source in place
+	gofmt -w .
+
+fmt-check: ## fail if any file needs gofmt (CI gate)
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet: ## static analysis
+	$(GO) vet $(PKGS)
+
+cover: ## run tests with coverage and print the summary
+	$(GO) test -coverprofile=$(COVER) $(PKGS)
+	$(GO) tool cover -func=$(COVER) | tail -1
+
+clean: ## remove build artifacts
+	rm -f $(COVER)
+	$(GO) clean
+
+help: ## show this help
+	@grep -E '^[a-z-]+:.*##' $(MAKEFILE_LIST) | \
+		awk -F':.*## ' '{printf "  %-10s %s\n", $$1, $$2}'

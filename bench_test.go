@@ -180,6 +180,21 @@ func BenchmarkAblationCheckpointPeriod(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationBatchSize sweeps the primary's request batch size
+// (1, 8, 64) across all three SeeMoRe modes: the batched-vs-unbatched
+// throughput comparison for the request-batching pipeline.
+func BenchmarkAblationBatchSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := bench.AblationBatchSizeAllModes(benchClients(), benchOpts(), benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			bench.PrintAblation(os.Stdout, "request batch size (all modes, 0/0, ed25519)", "clients", series)
+		}
+	}
+}
+
 // BenchmarkAblationCrossCloudLatency sweeps the private↔public distance
 // to find the Lion/Peacock crossover that motivates Section 5.3.
 func BenchmarkAblationCrossCloudLatency(b *testing.B) {

@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, table1, fig2a, fig2b, fig2c, fig2d, fig3a, fig3b, fig4, ablation-signer, ablation-proxies, ablation-commit, ablation-checkpoint, ablation-crosscloud")
+		exp     = flag.String("exp", "all", "experiment: all, table1, fig2a, fig2b, fig2c, fig2d, fig3a, fig3b, fig4, ablation-signer, ablation-proxies, ablation-commit, ablation-checkpoint, ablation-crosscloud, ablation-batch")
 		measure = flag.Duration("measure", 500*time.Millisecond, "measurement window per load point")
 		warmup  = flag.Duration("warmup", 150*time.Millisecond, "warmup before each measurement")
 		clients = flag.String("clients", "1,2,4,8,16,32,64", "comma-separated closed-loop client counts")
@@ -97,6 +97,12 @@ func main() {
 				log.Fatal(err)
 			}
 			bench.PrintAblation(os.Stdout, "checkpoint period (Lion, 0/0)", "clients", series)
+		case "ablation-batch":
+			series, err := bench.AblationBatchSizeAllModes(counts, opts, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			bench.PrintAblation(os.Stdout, "request batch size (all modes, 0/0, ed25519)", "clients", series)
 		case "ablation-crosscloud":
 			lat := []time.Duration{50 * time.Microsecond, 250 * time.Microsecond, time.Millisecond, 4 * time.Millisecond}
 			series, err := bench.AblationCrossCloudLatency(lat, 16, opts, *seed)
@@ -114,7 +120,7 @@ func main() {
 		for _, name := range []string{
 			"table1", "fig2a", "fig2b", "fig2c", "fig2d", "fig3a", "fig3b", "fig4",
 			"ablation-signer", "ablation-proxies", "ablation-commit",
-			"ablation-checkpoint", "ablation-crosscloud",
+			"ablation-checkpoint", "ablation-crosscloud", "ablation-batch",
 		} {
 			fmt.Printf("=== %s ===\n", name)
 			run(name)

@@ -32,17 +32,19 @@ import (
 
 func main() {
 	var (
-		id      = flag.Int("id", 0, "replica id in [0, S+P)")
-		s       = flag.Int("s", 2, "private cloud size S")
-		p       = flag.Int("p", 4, "public cloud size P")
-		c       = flag.Int("c", 1, "crash bound c (private cloud)")
-		m       = flag.Int("m", 1, "Byzantine bound m (public cloud)")
-		mode    = flag.String("mode", "lion", "initial mode: lion, dog, peacock")
-		listen  = flag.String("listen", "127.0.0.1:7000", "listen address")
-		peers   = flag.String("peers", "", "comma-separated id=host:port peer list")
-		seed    = flag.Int64("seed", 1, "shared key-derivation seed")
-		clients = flag.Int64("clients", 64, "number of client identities in the keyring")
-		suite   = flag.String("suite", "ed25519", "signature suite: ed25519, hmac, none")
+		id       = flag.Int("id", 0, "replica id in [0, S+P)")
+		s        = flag.Int("s", 2, "private cloud size S")
+		p        = flag.Int("p", 4, "public cloud size P")
+		c        = flag.Int("c", 1, "crash bound c (private cloud)")
+		m        = flag.Int("m", 1, "Byzantine bound m (public cloud)")
+		mode     = flag.String("mode", "lion", "initial mode: lion, dog, peacock")
+		listen   = flag.String("listen", "127.0.0.1:7000", "listen address")
+		peers    = flag.String("peers", "", "comma-separated id=host:port peer list")
+		seed     = flag.Int64("seed", 1, "shared key-derivation seed")
+		clients  = flag.Int64("clients", 64, "number of client identities in the keyring")
+		suite    = flag.String("suite", "ed25519", "signature suite: ed25519, hmac, none")
+		batch    = flag.Int("batch", 1, "max requests per consensus slot (1 disables batching)")
+		batchTmo = flag.Duration("batch-timeout", config.DefaultBatchTimeout, "partial-batch flush deadline")
 	)
 	flag.Parse()
 
@@ -57,6 +59,10 @@ func main() {
 	cl, err := config.NewCluster(mb, md, config.DefaultTiming())
 	if err != nil {
 		log.Fatalf("cluster config: %v", err)
+	}
+	cl.Batching = config.Batching{BatchSize: *batch, BatchTimeout: *batchTmo}
+	if err := cl.Batching.Validate(); err != nil {
+		log.Fatalf("batching: %v", err)
 	}
 
 	peerMap, err := parsePeers(*peers)

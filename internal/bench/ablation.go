@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/config"
 	"repro/internal/ids"
 	"repro/internal/transport"
 )
@@ -73,6 +74,49 @@ func AblationCommitPayload(clientCounts []int, opts Options, seed int64) ([]Seri
 			return out, err
 		}
 		out = append(out, s)
+	}
+	return out, nil
+}
+
+// BatchSizes is the request-batching sweep used by the batching
+// ablation: unbatched, a small batch, and a deep batch.
+func BatchSizes() []int { return []int{1, 8, 64} }
+
+// AblationBatchSize sweeps the primary's request batch size on one
+// SeeMoRe mode. Batching amortizes a whole agreement round — and its
+// per-message signing work — over up to BatchSize requests, which is
+// the standard BFT throughput lever the paper's per-request rounds
+// leave on the table. Ed25519 signatures (the paper's standard
+// assumption) make the amortized cost visible.
+func AblationBatchSize(mode ids.Mode, clientCounts []int, opts Options, seed int64) ([]Series, error) {
+	var out []Series
+	for _, bs := range BatchSizes() {
+		spec := cluster.Spec{
+			Protocol: cluster.SeeMoRe, Mode: mode,
+			Crash: 1, Byz: 1, Suite: "ed25519", Seed: seed,
+			Batching: config.Batching{BatchSize: bs},
+		}
+		s, err := Sweep(fmt.Sprintf("%s/batch=%d", mode, bs), spec, Benchmark00(), clientCounts, opts)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// AblationBatchSizeAllModes runs the batch-size sweep over Lion, Dog
+// and Peacock, returning one series per (mode, batch size) pair — the
+// batched-vs-unbatched throughput comparison across every consensus
+// mode.
+func AblationBatchSizeAllModes(clientCounts []int, opts Options, seed int64) ([]Series, error) {
+	var out []Series
+	for _, mode := range []ids.Mode{ids.Lion, ids.Dog, ids.Peacock} {
+		series, err := AblationBatchSize(mode, clientCounts, opts, seed)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, series...)
 	}
 	return out, nil
 }

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/ids"
 )
 
 // Short measurement windows keep the test suite quick while still
@@ -282,6 +284,39 @@ func TestAblationProxyCount(t *testing.T) {
 	}
 }
 
+func TestAblationBatchSize(t *testing.T) {
+	series, err := AblationBatchSize(ids.Lion, []int{16}, quickOpts(), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != len(BatchSizes()) {
+		t.Fatalf("%d series, want %d", len(series), len(BatchSizes()))
+	}
+	byLabel := map[string]float64{}
+	for _, s := range series {
+		if Peak(s) <= 0 {
+			t.Fatalf("%s: no throughput", s.Label)
+		}
+		byLabel[s.Label] = Peak(s)
+	}
+	// Unbatched must not implausibly beat deep batching under 16
+	// concurrent clients (allow generous noise; the real comparison is
+	// the BenchmarkAblationBatchSize run). Not meaningful under race
+	// instrumentation.
+	if raceEnabled {
+		t.Skip("performance ordering is not meaningful under the race detector")
+	}
+	if byLabel["Lion/batch=1"] > byLabel["Lion/batch=64"]*1.5 {
+		t.Errorf("batch=1 (%f) implausibly faster than batch=64 (%f)",
+			byLabel["Lion/batch=1"], byLabel["Lion/batch=64"])
+	}
+	var buf bytes.Buffer
+	PrintAblation(&buf, "request batch size", "clients", series)
+	if !strings.Contains(buf.String(), "Lion/batch=8") {
+		t.Fatal("printer output wrong")
+	}
+}
+
 func TestAblationCommitPayload(t *testing.T) {
 	series, err := AblationCommitPayload([]int{4}, quickOpts(), 9)
 	if err != nil {
@@ -318,7 +353,11 @@ func TestAblationCrossCloudLatencyCrossover(t *testing.T) {
 	if len(lion.Points) != 2 || len(peacock.Points) != 2 {
 		t.Fatalf("points missing: lion=%d peacock=%d", len(lion.Points), len(peacock.Points))
 	}
-	// Far regime: Peacock wins.
+	// Far regime: Peacock wins. Only meaningful without race
+	// instrumentation, which skews the simulated-latency comparison.
+	if raceEnabled {
+		t.Skip("performance ordering is not meaningful under the race detector")
+	}
 	if peacock.Points[1].Throughput <= lion.Points[1].Throughput {
 		t.Errorf("at 2ms cross-cloud, Peacock (%.0f) should beat Lion (%.0f)",
 			peacock.Points[1].Throughput, lion.Points[1].Throughput)

@@ -1,0 +1,9 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector instruments this test
+// binary. Performance-ordering assertions are skipped under race: the
+// instrumentation slows protocol goroutines by an order of magnitude,
+// which inverts comparisons that hold on uninstrumented builds.
+const raceEnabled = false

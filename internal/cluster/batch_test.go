@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/ids"
+	"repro/internal/statemachine"
+)
+
+// runConcurrent drives `clients` closed-loop clients (distinct IDs) so
+// the primary actually sees concurrent load to pack into batches.
+func runConcurrent(t *testing.T, c *Cluster, clients, per int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for cid := 0; cid < clients; cid++ {
+		wg.Add(1)
+		go func(cid int) {
+			defer wg.Done()
+			cl := c.NewClient(ids.ClientID(cid))
+			for i := 0; i < per; i++ {
+				res, err := cl.Invoke(statemachine.EncodePut(fmt.Sprintf("c%d-k%d", cid, i), []byte("v")))
+				if err != nil {
+					t.Errorf("client %d put %d: %v", cid, i, err)
+					return
+				}
+				if st, _ := statemachine.DecodeResult(res); st != statemachine.KVOK {
+					t.Errorf("client %d put %d: status %d", cid, i, st)
+					return
+				}
+			}
+		}(cid)
+	}
+	wg.Wait()
+}
+
+// TestAllProtocolsEndToEndBatched runs every protocol — the three
+// SeeMoRe modes, Paxos, PBFT and S-UpRight — with request batching
+// enabled and concurrent clients, and checks convergence.
+func TestAllProtocolsEndToEndBatched(t *testing.T) {
+	batching := config.Batching{BatchSize: 8, BatchTimeout: 4 * time.Millisecond}
+	specs := []struct {
+		name string
+		spec Spec
+	}{
+		{"SeeMoRe-Lion", Spec{Protocol: SeeMoRe, Mode: ids.Lion}},
+		{"SeeMoRe-Dog", Spec{Protocol: SeeMoRe, Mode: ids.Dog}},
+		{"SeeMoRe-Peacock", Spec{Protocol: SeeMoRe, Mode: ids.Peacock}},
+		{"CFT", Spec{Protocol: Paxos}},
+		{"BFT", Spec{Protocol: PBFT}},
+		{"S-UpRight", Spec{Protocol: UpRight}},
+	}
+	for _, tc := range specs {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			spec := tc.spec
+			spec.Crash, spec.Byz = 1, 1
+			spec.Timing = testTiming()
+			spec.Batching = batching
+			spec.Seed = 31
+			c, err := New(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Stop()
+			runConcurrent(t, c, 6, 5)
+			verifyConvergence(t, c, nil)
+		})
+	}
+}
+
+// TestBatchedCrashRecovery: batching stays correct across a primary
+// crash and the resulting view change in a full cluster deployment.
+func TestBatchedCrashRecovery(t *testing.T) {
+	spec := Spec{
+		Protocol: SeeMoRe, Mode: ids.Lion, Crash: 1, Byz: 1,
+		Timing: testTiming(), Seed: 32,
+		Batching: config.Batching{BatchSize: 4, BatchTimeout: 3 * time.Millisecond},
+	}
+	c, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	runConcurrent(t, c, 4, 3)
+	c.CrashNode(0) // Lion primary of view 0
+	cl := c.NewClient(40)
+	for i := 0; i < 5; i++ {
+		res, err := cl.Invoke(statemachine.EncodePut(fmt.Sprintf("post-%d", i), []byte("v")))
+		if err != nil {
+			t.Fatalf("post-crash put %d: %v", i, err)
+		}
+		if st, _ := statemachine.DecodeResult(res); st != statemachine.KVOK {
+			t.Fatalf("post-crash put %d: status %d", i, st)
+		}
+	}
+	verifyConvergence(t, c, map[ids.ReplicaID]bool{0: true})
+}

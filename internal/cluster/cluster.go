@@ -66,6 +66,9 @@ type Spec struct {
 	// Timing supplies protocol timers; zero value uses defaults tuned
 	// for the simulated network.
 	Timing config.Timing
+	// Batching configures request batching at the primary/leader of
+	// every protocol; the zero value runs one request per slot.
+	Batching config.Batching
 	// Net configures the simulated network; zero value uses
 	// transport.LAN.
 	Net *transport.SimConfig
@@ -230,6 +233,7 @@ func (c *Cluster) buildNode(id ids.ReplicaID) (Node, error) {
 		if err != nil {
 			return nil, err
 		}
+		cl.Batching = c.Spec.Batching
 		return core.NewReplica(core.Options{
 			ID: id, Cluster: cl, Suite: c.SuiteImpl, Network: c.nodeNet,
 			StateMachine: sm, TickInterval: c.Spec.TickInterval,
@@ -238,20 +242,23 @@ func (c *Cluster) buildNode(id ids.ReplicaID) (Node, error) {
 	case Paxos:
 		return paxos.NewReplica(paxos.Options{
 			ID: id, N: c.N, Suite: c.SuiteImpl, Network: c.nodeNet,
-			StateMachine: sm, Timing: c.timing, TickInterval: c.Spec.TickInterval,
+			StateMachine: sm, Timing: c.timing, Batching: c.Spec.Batching,
+			TickInterval: c.Spec.TickInterval,
 		})
 	case PBFT:
 		f := c.Spec.Crash + c.Spec.Byz
 		return pbft.NewReplica(pbft.Options{
 			ID: id, N: c.N, Byz: f, Crash: 0,
 			Suite: c.SuiteImpl, Network: c.nodeNet,
-			StateMachine: sm, Timing: c.timing, TickInterval: c.Spec.TickInterval,
+			StateMachine: sm, Timing: c.timing, Batching: c.Spec.Batching,
+			TickInterval: c.Spec.TickInterval,
 		})
 	case UpRight:
 		return pbft.NewReplica(pbft.Options{
 			ID: id, N: c.N, Byz: c.Spec.Byz, Crash: c.Spec.Crash,
 			Suite: c.SuiteImpl, Network: c.nodeNet,
-			StateMachine: sm, Timing: c.timing, TickInterval: c.Spec.TickInterval,
+			StateMachine: sm, Timing: c.timing, Batching: c.Spec.Batching,
+			TickInterval: c.Spec.TickInterval,
 		})
 	default:
 		return nil, fmt.Errorf("cluster: unknown protocol")

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/ids"
+	"repro/internal/message"
 )
 
 // Errors returned by the planner. Each corresponds to one of the
@@ -167,17 +168,70 @@ func (t Timing) Validate() error {
 	return nil
 }
 
+// Batching governs how a primary packs client requests into consensus
+// slots. Amortizing one agreement round (and its signing/MAC work) over
+// many requests is the standard BFT throughput lever; the zero value
+// means one request per slot, which is byte-and-behavior identical to
+// the pre-batching protocol.
+type Batching struct {
+	// BatchSize is the maximum number of requests per slot. Values ≤ 1
+	// disable batching: every request is proposed immediately in the
+	// legacy single-request format.
+	BatchSize int
+	// BatchTimeout bounds how long a partial batch may wait for more
+	// requests before the primary flushes it anyway. Ignored when
+	// BatchSize ≤ 1; defaults to DefaultBatchTimeout when batching is on
+	// and no timeout is set.
+	BatchTimeout time.Duration
+}
+
+// DefaultBatchTimeout is the flush deadline used when batching is
+// enabled without an explicit timeout: short enough to stay invisible
+// next to protocol round trips, long enough to fill batches under
+// load. Timeout flushes run on engine ticks; replicas cap their tick
+// at BatchTimeout when batching is on so the deadline holds.
+const DefaultBatchTimeout = 2 * time.Millisecond
+
+// Validate rejects nonsensical batching values.
+func (b Batching) Validate() error {
+	if b.BatchSize > message.MaxBatch {
+		return fmt.Errorf("config: BatchSize %d exceeds wire limit %d", b.BatchSize, message.MaxBatch)
+	}
+	if b.BatchTimeout < 0 {
+		return errors.New("config: negative BatchTimeout")
+	}
+	return nil
+}
+
+// Normalized returns the batching knobs with defaults applied:
+// BatchSize floors at 1 and an unset timeout becomes
+// DefaultBatchTimeout when batching is enabled.
+func (b Batching) Normalized() Batching {
+	if b.BatchSize < 1 {
+		b.BatchSize = 1
+	}
+	if b.BatchSize > 1 && b.BatchTimeout <= 0 {
+		b.BatchTimeout = DefaultBatchTimeout
+	}
+	return b
+}
+
 // Cluster is the full static configuration of one SeeMoRe deployment:
-// membership, initial mode, and timers.
+// membership, initial mode, timers, and request batching.
 type Cluster struct {
 	Membership ids.Membership
 	// InitialMode is the mode the cluster boots in (view 0).
 	InitialMode ids.Mode
 	Timing      Timing
+	// Batching configures request batching at the primary; the zero
+	// value runs one request per slot.
+	Batching Batching
 }
 
 // NewCluster validates the pieces together: the membership must support
-// the initial mode and the timing must be sane.
+// the initial mode and the timing must be sane. Batching starts at the
+// zero value (unbatched); set the field before building replicas to
+// turn it on.
 func NewCluster(mb ids.Membership, mode ids.Mode, timing Timing) (Cluster, error) {
 	if !mode.Valid() {
 		return Cluster{}, fmt.Errorf("config: invalid initial mode %d", int(mode))

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/crypto"
+	"repro/internal/ids"
+	"repro/internal/statemachine"
+	"repro/internal/transport"
+)
+
+// newBatchHarness is newHarness with request batching enabled.
+func newBatchHarness(t *testing.T, mb ids.Membership, mode ids.Mode, seed int64, b config.Batching) *harness {
+	t.Helper()
+	cl, err := config.NewCluster(mb, mode, fastTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Batching = b
+	h := &harness{
+		t:       t,
+		mb:      mb,
+		cluster: cl,
+		suite:   crypto.NewEd25519Suite(seed, mb.N(), 64),
+		net:     transport.NewSimNetwork(transport.LAN(mb.S(), seed)),
+	}
+	for _, id := range mb.All() {
+		kv := statemachine.NewKVStore()
+		r, err := NewReplica(Options{
+			ID:           id,
+			Cluster:      cl,
+			Suite:        h.suite,
+			Network:      h.net,
+			StateMachine: kv,
+			TickInterval: 2 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.replicas = append(h.replicas, r)
+		h.kvs = append(h.kvs, kv)
+	}
+	for _, r := range h.replicas {
+		r.Start()
+	}
+	t.Cleanup(h.stop)
+	return h
+}
+
+// runBatchClients issues `per` puts from each of `clients` concurrent
+// closed-loop clients (IDs starting at firstID; a fresh Client restarts
+// its timestamp counter, so waves must not reuse IDs) and fails the
+// test on any error.
+func runBatchClients(t *testing.T, h *harness, firstID, clients, per int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for cid := firstID; cid < firstID+clients; cid++ {
+		wg.Add(1)
+		go func(cid int) {
+			defer wg.Done()
+			c := h.client(ids.ClientID(cid))
+			for i := 0; i < per; i++ {
+				key := fmt.Sprintf("c%d-k%d", cid, i)
+				res, err := c.Invoke(statemachine.EncodePut(key, []byte("v")))
+				if err != nil {
+					t.Errorf("client %d put %d: %v", cid, i, err)
+					return
+				}
+				if st, _ := statemachine.DecodeResult(res); st != statemachine.KVOK {
+					t.Errorf("client %d put %d: status %d", cid, i, st)
+					return
+				}
+			}
+		}(cid)
+	}
+	wg.Wait()
+}
+
+// TestBatchTimeoutFlushesPartialBatch: with a batch size far above the
+// offered load, a lone request only commits because the primary's
+// BatchTimeout flushes the partial batch.
+func TestBatchTimeoutFlushesPartialBatch(t *testing.T) {
+	for _, mode := range []ids.Mode{ids.Lion, ids.Dog, ids.Peacock} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			h := newBatchHarness(t, baseMembership(), mode, 11, config.Batching{
+				BatchSize:    64,
+				BatchTimeout: 5 * time.Millisecond,
+			})
+			c := h.client(0)
+			start := time.Now()
+			h.mustPut(c, "lonely", "request")
+			if elapsed := time.Since(start); elapsed > h.cluster.Timing.ClientRetry {
+				t.Errorf("partial batch waited %v — flushed only by client retry, not BatchTimeout", elapsed)
+			}
+			h.mustGet(c, "lonely", "request")
+			h.verifyConvergence(nil)
+		})
+	}
+}
+
+// TestBatchFullFlushPacksSlots: concurrent clients fill batches, so the
+// committed sequence numbers stay well below the number of executed
+// requests — the amortization the batching knobs exist for. Per-request
+// replies from multi-request slots are implicitly proven by every
+// Invoke returning its own result.
+func TestBatchFullFlushPacksSlots(t *testing.T) {
+	for _, mode := range []ids.Mode{ids.Lion, ids.Dog, ids.Peacock} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			h := newBatchHarness(t, baseMembership(), mode, 12, config.Batching{
+				BatchSize:    4,
+				BatchTimeout: 4 * time.Millisecond,
+			})
+			const clients, per = 8, 6
+			runBatchClients(t, h, 0, clients, per)
+			h.verifyConvergence(nil)
+			total := uint64(clients * per)
+			slots := h.replicas[0].LastExecuted()
+			if slots >= total {
+				t.Fatalf("no batching happened: %d slots for %d requests", slots, total)
+			}
+			if h.kvs[0].Len() != clients*per {
+				t.Fatalf("replica 0 has %d keys, want %d", h.kvs[0].Len(), clients*per)
+			}
+			t.Logf("%s: %d requests in %d slots", mode, total, slots)
+		})
+	}
+}
+
+// TestBatchPerRequestReplies: one committed batch slot answers every
+// client individually — four clients issue one request each, the batch
+// fills exactly, and each client gets its own correct reply.
+func TestBatchPerRequestReplies(t *testing.T) {
+	h := newBatchHarness(t, baseMembership(), ids.Lion, 13, config.Batching{
+		BatchSize:    4,
+		BatchTimeout: 200 * time.Millisecond, // so only a full batch flushes
+	})
+	var wg sync.WaitGroup
+	results := make([]string, 4)
+	for cid := 0; cid < 4; cid++ {
+		wg.Add(1)
+		go func(cid int) {
+			defer wg.Done()
+			c := h.client(ids.ClientID(cid))
+			key := fmt.Sprintf("mine-%d", cid)
+			if _, err := c.Invoke(statemachine.EncodePut(key, []byte(fmt.Sprintf("val-%d", cid)))); err != nil {
+				t.Errorf("client %d put: %v", cid, err)
+				return
+			}
+			res, err := c.Invoke(statemachine.EncodeGet(key))
+			if err != nil {
+				t.Errorf("client %d get: %v", cid, err)
+				return
+			}
+			_, v := statemachine.DecodeResult(res)
+			results[cid] = string(v)
+		}(cid)
+	}
+	wg.Wait()
+	for cid, v := range results {
+		if want := fmt.Sprintf("val-%d", cid); v != want {
+			t.Errorf("client %d read %q, want %q (reply routing inside a batch)", cid, v, want)
+		}
+	}
+	h.verifyConvergence(nil)
+}
+
+// TestBatchSurvivesViewChange: batched slots sit in the log when the
+// primary dies; the view change must carry the whole batches through
+// the P/C evidence sets into the new view so no request is lost and all
+// replicas converge.
+func TestBatchSurvivesViewChange(t *testing.T) {
+	h := newBatchHarness(t, baseMembership(), ids.Lion, 14, config.Batching{
+		BatchSize:    4,
+		BatchTimeout: 3 * time.Millisecond,
+	})
+	// Load the log with batched slots (checkpoint period is 16, so
+	// recent batches stay above the stable checkpoint and will ride the
+	// view-change evidence).
+	runBatchClients(t, h, 0, 4, 4)
+
+	h.replicas[0].Crash() // Lion primary of view 0
+	// Concurrent clients force the view change and keep the new view
+	// busy with fresh batches.
+	runBatchClients(t, h, 20, 4, 3)
+
+	c := h.client(9)
+	h.mustPut(c, "after", "viewchange")
+	h.mustGet(c, "c0-k0", "v") // pre-crash batched request survived
+	h.mustGet(c, "after", "viewchange")
+
+	h.verifyConvergence(map[ids.ReplicaID]bool{0: true})
+	for _, r := range h.replicas[1:] {
+		if r.View() == 0 {
+			t.Errorf("replica %d still in view 0 after primary crash", r.ID())
+		}
+	}
+}
+
+// TestBatchModeSwitchWhileBatching: the Section 5.4 mode switch is a
+// view change; batched slots must survive it too.
+func TestBatchModeSwitchWhileBatching(t *testing.T) {
+	h := newBatchHarness(t, baseMembership(), ids.Lion, 15, config.Batching{
+		BatchSize:    4,
+		BatchTimeout: 3 * time.Millisecond,
+	})
+	runBatchClients(t, h, 0, 4, 4)
+
+	// Watch for the switch through probes (race-free while running).
+	var inDog atomic.Int32
+	for _, r := range h.replicas {
+		r.SetProbe(Probe{OnViewChange: func(_ ids.View, m ids.Mode) {
+			if m == ids.Dog {
+				inDog.Add(1)
+			}
+		}})
+	}
+	// Switch Lion → Dog: the driver is the trusted primary of view 1.
+	driver := h.mb.Transferer(ids.Dog, 1)
+	h.replicas[driver].RequestModeSwitch(ids.Dog)
+	waitFor(t, "mode switch to Dog", 3*time.Second, func() bool {
+		return int(inDog.Load()) >= h.mb.N()-1
+	})
+
+	runBatchClients(t, h, 20, 4, 3)
+	c := h.client(9)
+	h.mustGet(c, "c1-k1", "v")
+	h.verifyConvergence(nil)
+	for _, r := range h.replicas {
+		if r.Mode() != ids.Dog {
+			t.Errorf("replica %d in mode %s, want Dog", r.ID(), r.Mode())
+		}
+	}
+}

@@ -99,6 +99,10 @@ type Replica struct {
 	// in progress on the primary.
 	queue []*message.Request
 
+	// batcher accumulates requests at the primary until the batch fills
+	// or BatchTimeout expires (see replica.Batcher).
+	batcher *replica.Batcher
+
 	// inFlight dedups requests the primary has proposed but not yet seen
 	// executed, keyed by (client, timestamp). Without it a client's
 	// retransmission broadcast — relayed to the primary by every backup —
@@ -145,9 +149,13 @@ func NewReplica(opts Options) (*Replica, error) {
 	if err := opts.Cluster.Timing.Validate(); err != nil {
 		return nil, err
 	}
+	if err := opts.Cluster.Batching.Validate(); err != nil {
+		return nil, err
+	}
 	r := &Replica{
 		mb:            mb,
 		timing:        opts.Cluster.Timing,
+		batcher:       replica.NewBatcher(opts.Cluster.Batching),
 		leanCommits:   opts.LeanCommits,
 		mode:          opts.Cluster.InitialMode,
 		log:           mlog.New(opts.Cluster.Timing.HighWaterMarkLag),
@@ -159,10 +167,13 @@ func NewReplica(opts Options) (*Replica, error) {
 	}
 	r.vc.reset()
 	r.eng = replica.NewEngine(replica.Config{
-		ID:           opts.ID,
-		Suite:        opts.Suite,
-		Endpoint:     opts.Network.Endpoint(transport.ReplicaAddr(opts.ID)),
-		TickInterval: opts.TickInterval,
+		ID:       opts.ID,
+		Suite:    opts.Suite,
+		Endpoint: opts.Network.Endpoint(transport.ReplicaAddr(opts.ID)),
+		// Timeout flushes run on ticks, so the tick must not exceed
+		// BatchTimeout or the flush deadline silently degrades to the
+		// tick interval.
+		TickInterval: r.batcher.TickInterval(opts.TickInterval),
 	})
 	return r, nil
 }
@@ -262,6 +273,11 @@ func (r *Replica) HandleMessage(m *message.Message) {
 
 // HandleTick implements replica.Handler: timeout processing.
 func (r *Replica) HandleTick(now time.Time) {
+	// A partial batch older than BatchTimeout is flushed so a lull in
+	// client traffic cannot strand buffered requests.
+	if r.status == statusNormal && r.batcher.Due(now) {
+		r.proposeBatch(r.batcher.Take())
+	}
 	// Outstanding prepared-but-uncommitted work past τ: suspect the
 	// primary and start a view change (Section 5.1, View Changes).
 	if r.status == statusNormal && !r.waitingSince.IsZero() &&
@@ -409,7 +425,7 @@ func (r *Replica) onRequest(req *message.Request) {
 		return
 	}
 	if r.isPrimary() {
-		r.proposeRequest(req)
+		r.admitRequest(req)
 		return
 	}
 	// Not the primary: relay and arm the suspicion timer keyed on a
@@ -420,18 +436,45 @@ func (r *Replica) onRequest(req *message.Request) {
 	r.markPending(relaySentinel)
 }
 
-// proposeRequest assigns the next sequence number and starts the
-// mode-specific agreement (the primary's half of Algorithms 1 and 2, or
-// PBFT pre-prepare in Peacock).
-func (r *Replica) proposeRequest(req *message.Request) {
+// admitRequest is the primary's intake: unbatched configurations
+// propose immediately (the legacy single-request slot); batched ones
+// accumulate until BatchSize requests are buffered or BatchTimeout
+// expires (HandleTick flushes stragglers).
+func (r *Replica) admitRequest(req *message.Request) {
+	if !r.batcher.Enabled() {
+		r.proposeBatch([]*message.Request{req})
+		return
+	}
 	key := inFlightKey{client: req.Client, ts: req.Timestamp}
 	if _, dup := r.inFlight[key]; dup {
 		return // already ordered; the commit is in flight
 	}
+	if r.batcher.Add(req) {
+		r.proposeBatch(r.batcher.Take())
+	}
+}
+
+// proposeBatch assigns the next sequence number to a request set and
+// starts the mode-specific agreement (the primary's half of Algorithms 1
+// and 2, or PBFT pre-prepare in Peacock). A single-request set produces
+// a slot byte-identical to the pre-batching protocol.
+func (r *Replica) proposeBatch(reqs []*message.Request) {
+	// Drop requests that got ordered while the batch was buffering.
+	kept := make([]*message.Request, 0, len(reqs))
+	for _, req := range reqs {
+		key := inFlightKey{client: req.Client, ts: req.Timestamp}
+		if _, dup := r.inFlight[key]; dup {
+			continue // already ordered; the commit is in flight
+		}
+		kept = append(kept, req)
+	}
+	if len(kept) == 0 {
+		return
+	}
 	if !r.log.InWindow(r.nextSeq) {
 		// The window is full: the primary must wait for a checkpoint to
-		// stabilize. Buffer the request.
-		r.queue = append(r.queue, req)
+		// stabilize. Buffer the requests.
+		r.queue = append(r.queue, kept...)
 		return
 	}
 	seq := r.nextSeq
@@ -442,12 +485,12 @@ func (r *Replica) proposeRequest(req *message.Request) {
 		kind = message.KindPrePrepare
 	}
 	prop := &message.Signed{
-		Kind:    kind,
-		View:    r.view,
-		Seq:     seq,
-		Digest:  req.Digest(),
-		Request: req,
+		Kind:   kind,
+		View:   r.view,
+		Seq:    seq,
+		Digest: message.BatchDigest(kept),
 	}
+	prop.SetRequests(kept)
 	r.eng.SignRecord(prop)
 
 	entry := r.log.Entry(seq)
@@ -460,15 +503,17 @@ func (r *Replica) proposeRequest(req *message.Request) {
 	r.markPending(seq)
 
 	wire := &message.Message{
-		Kind:    kind,
-		View:    r.view,
-		Seq:     seq,
-		Digest:  prop.Digest,
-		Request: req,
-		Sig:     prop.Sig,
+		Kind:   kind,
+		View:   r.view,
+		Seq:    seq,
+		Digest: prop.Digest,
+		Sig:    prop.Sig,
 	}
+	wire.SetRequests(kept)
 	wire.From = r.eng.ID()
-	r.inFlight[key] = seq
+	for _, req := range kept {
+		r.inFlight[inFlightKey{client: req.Client, ts: req.Timestamp}] = seq
+	}
 	// The primary's proposal is broadcast to every replica in all three
 	// modes (Lion: Algorithm 1; Dog: Algorithm 2; Peacock: the paper's
 	// first modification to PBFT).
@@ -489,8 +534,12 @@ func (r *Replica) proposeRequest(req *message.Request) {
 }
 
 // drainQueue re-proposes requests buffered during a view change; the new
-// primary calls it after entering the view.
+// primary calls it after entering the view. An unflushed batch from the
+// previous view joins the queue first so no admitted request is lost.
 func (r *Replica) drainQueue() {
+	if b := r.batcher.Take(); len(b) > 0 {
+		r.queue = append(b, r.queue...)
+	}
 	if !r.isPrimary() {
 		r.queue = nil
 		return
@@ -499,7 +548,8 @@ func (r *Replica) drainQueue() {
 	r.queue = nil
 	for _, req := range q {
 		if r.exec.Fresh(req) {
-			r.proposeRequest(req)
+			r.admitRequest(req)
 		}
 	}
+	r.proposeBatch(r.batcher.Take())
 }

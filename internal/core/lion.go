@@ -20,6 +20,7 @@ func signedFromWire(m *message.Message) *message.Signed {
 		Seq:     m.Seq,
 		Digest:  m.Digest,
 		Request: m.Request,
+		Batch:   m.Batch,
 		Sig:     m.Sig,
 	}
 }
@@ -33,20 +34,25 @@ func wireFromSigned(s *message.Signed) *message.Message {
 		Seq:     s.Seq,
 		Digest:  s.Digest,
 		Request: s.Request,
+		Batch:   s.Batch,
 		Sig:     s.Sig,
 	}
 }
 
-// validProposalPayload checks that an attached request matches the
-// proposal digest and carries a valid client signature.
+// validProposalPayload checks that an attached payload — one request or
+// a whole batch — matches the proposal digest and that every member
+// carries a valid client signature.
 func (r *Replica) validProposalPayload(m *message.Message) bool {
-	if m.Request == nil {
+	reqs := m.Requests()
+	if len(reqs) == 0 || message.BatchDigest(reqs) != m.Digest {
 		return false
 	}
-	if m.Request.Digest() != m.Digest {
-		return false
+	for _, req := range reqs {
+		if !r.eng.VerifyRequest(req) {
+			return false
+		}
 	}
-	return r.eng.VerifyRequest(m.Request)
+	return true
 }
 
 // hasOwnVote reports whether this replica already voted (kind) on the
@@ -179,14 +185,14 @@ func (r *Replica) lionCommit(entry *mlog.Entry) {
 
 	prop := entry.Proposal()
 	commit := &message.Signed{
-		Kind:    message.KindCommit,
-		View:    r.view,
-		Seq:     entry.Seq(),
-		Digest:  prop.Digest,
-		Request: prop.Request,
+		Kind:   message.KindCommit,
+		View:   r.view,
+		Seq:    entry.Seq(),
+		Digest: prop.Digest,
 	}
+	commit.SetRequests(prop.Requests())
 	if r.leanCommits {
-		commit.Request = nil
+		commit.ClearRequests()
 	}
 	r.eng.SignRecord(commit)
 	entry.SetCommitCert(commit)
@@ -209,11 +215,6 @@ func (r *Replica) lionOnCommit(m *message.Message) {
 	if !r.eng.VerifyRecord(s) {
 		return
 	}
-	// A lean commit (digest only) is valid evidence when this replica
-	// already holds the matching PREPARE; a full commit also supplies µ.
-	if m.Request != nil && !r.validProposalPayload(m) {
-		return
-	}
 	entry := r.log.Entry(m.Seq)
 	if entry == nil {
 		return
@@ -222,13 +223,20 @@ func (r *Replica) lionOnCommit(m *message.Message) {
 		return // conflicting with the logged proposal: impossible from a trusted primary
 	}
 	if entry.Proposal() == nil {
-		if m.Request == nil {
+		if len(m.Requests()) == 0 {
 			// Digest-only commit without a prior prepare: nothing to
 			// execute; checkpoint state transfer will cover the gap.
 			return
 		}
 		// No PREPARE seen: adopt the commit itself as the proposal so the
-		// request body is available for execution and view changes.
+		// request body is available for execution and view changes. Only
+		// this adoption path needs the payload checked — when the
+		// matching PREPARE is already logged, the digest equality above
+		// vouches for the (already verified) payload, so commits don't
+		// re-verify every batch member's client signature.
+		if !r.validProposalPayload(m) {
+			return
+		}
 		if err := entry.SetProposal(s); err != nil {
 			return
 		}

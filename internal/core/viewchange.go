@@ -245,8 +245,10 @@ type slotEvidence struct {
 }
 
 type candidate struct {
-	view    ids.View
-	request *message.Request
+	view ids.View
+	// requests is the slot payload behind the digest: one request, or
+	// the full batch of a batched slot.
+	requests []*message.Request
 	// reporters counts distinct view-change senders whose P set contains
 	// a proposal for this digest (the Lion 2m+c+1 rule).
 	reporters map[ids.ReplicaID]bool
@@ -297,11 +299,11 @@ func (r *Replica) composeNewView(target ids.View, targetMode ids.Mode, quorum []
 		}
 		if s.View >= c.view {
 			c.view = s.View
-			if s.Request != nil {
-				c.request = s.Request
+			if reqs := s.Requests(); len(reqs) > 0 {
+				c.requests = reqs
 			}
-		} else if c.request == nil && s.Request != nil {
-			c.request = s.Request
+		} else if len(c.requests) == 0 {
+			c.requests = s.Requests()
 		}
 		c.reporters[from] = true
 		return c
@@ -379,15 +381,17 @@ func (r *Replica) composeNewView(target ids.View, targetMode ids.Mode, quorum []
 	}
 	var newPrepares, newCommits []message.Signed
 	for seq := l + 1; seq <= h; seq++ {
-		d, req, committed := r.selectDigest(oldMode, evidence[seq])
-		if req == nil {
+		d, reqs, committed := r.selectDigest(oldMode, evidence[seq])
+		if len(reqs) == 0 {
 			// No usable evidence: fill the hole with µ∅ (a no-op that is
 			// ordered like any request but leaves the state unchanged).
-			req = &message.Request{Client: -1}
-			d = req.Digest()
+			noop := &message.Request{Client: -1}
+			reqs = []*message.Request{noop}
+			d = noop.Digest()
 			committed = false
 		}
-		s := message.Signed{Kind: propKind, View: target, Seq: seq, Digest: d, Request: req}
+		s := message.Signed{Kind: propKind, View: target, Seq: seq, Digest: d}
+		s.SetRequests(reqs)
 		if committed && targetMode == ids.Lion {
 			s.Kind = message.KindCommit
 			r.eng.SignRecord(&s)
@@ -416,7 +420,8 @@ func (r *Replica) composeNewView(target ids.View, targetMode ids.Mode, quorum []
 // never lie), or the untrusted primary of the entry's view (or a trusted
 // transferer re-issue) for Peacock.
 func (r *Replica) validEvidenceProposal(oldMode ids.Mode, s *message.Signed) bool {
-	if s.Request == nil || s.Request.Digest() != s.Digest {
+	reqs := s.Requests()
+	if len(reqs) == 0 || message.BatchDigest(reqs) != s.Digest {
 		return false
 	}
 	switch oldMode {
@@ -439,24 +444,24 @@ func (r *Replica) validEvidenceProposal(oldMode ids.Mode, s *message.Signed) boo
 }
 
 // selectDigest applies the paper's three-step rule to one slot's
-// evidence, returning the chosen digest, its request, and whether the
-// slot is proven committed.
-func (r *Replica) selectDigest(oldMode ids.Mode, ev *slotEvidence) (crypto.Digest, *message.Request, bool) {
+// evidence, returning the chosen digest, its request payload (one
+// request or a whole batch), and whether the slot is proven committed.
+func (r *Replica) selectDigest(oldMode ids.Mode, ev *slotEvidence) (crypto.Digest, []*message.Request, bool) {
 	if ev == nil {
 		return crypto.Digest{}, nil, false
 	}
 	// Step 1: explicit commit evidence.
 	if ev.committed {
-		if c := ev.candidates[ev.committedD]; c != nil && c.request != nil {
-			return ev.committedD, c.request, true
+		if c := ev.candidates[ev.committedD]; c != nil && len(c.requests) > 0 {
+			return ev.committedD, c.requests, true
 		}
 	}
 	// Step 2: enough matching prepares to prove a quorum accepted.
 	switch oldMode {
 	case ids.Lion:
 		for d, c := range ev.candidates {
-			if len(c.reporters) >= r.mb.AgreementQuorum(ids.Lion) && c.request != nil {
-				return d, c.request, true
+			if len(c.reporters) >= r.mb.AgreementQuorum(ids.Lion) && len(c.requests) > 0 {
+				return d, c.requests, true
 			}
 		}
 	case ids.Peacock:
@@ -465,21 +470,21 @@ func (r *Replica) selectDigest(oldMode ids.Mode, ev *slotEvidence) (crypto.Diges
 		var bestD crypto.Digest
 		var best *candidate
 		for d, c := range ev.candidates {
-			if len(c.prepareVoters) >= 2*r.mb.M() && c.request != nil {
+			if len(c.prepareVoters) >= 2*r.mb.M() && len(c.requests) > 0 {
 				if best == nil || c.view > best.view {
 					best, bestD = c, d
 				}
 			}
 		}
 		if best != nil {
-			return bestD, best.request, false
+			return bestD, best.requests, false
 		}
 	}
 	// Step 3: any valid proposal; prefer the highest view.
 	var bestD crypto.Digest
 	var best *candidate
 	for d, c := range ev.candidates {
-		if c.request == nil {
+		if len(c.requests) == 0 {
 			continue
 		}
 		if best == nil || c.view > best.view {
@@ -487,7 +492,7 @@ func (r *Replica) selectDigest(oldMode ids.Mode, ev *slotEvidence) (crypto.Diges
 		}
 	}
 	if best != nil {
-		return bestD, best.request, false
+		return bestD, best.requests, false
 	}
 	return crypto.Digest{}, nil, false
 }
@@ -512,12 +517,13 @@ func (r *Replica) onNewView(m *message.Message) {
 		return
 	}
 	// Every re-issued entry must be signed by the collector for this
-	// view and carry its request.
+	// view and carry its request payload (lone request or batch).
 	for _, set := range [][]message.Signed{m.Prepares, m.Commits} {
 		for i := range set {
 			s := set[i]
-			if s.From != m.From || s.View != m.View || s.Request == nil ||
-				s.Request.Digest() != s.Digest || !r.eng.VerifyRecord(&s) {
+			reqs := s.Requests()
+			if s.From != m.From || s.View != m.View || len(reqs) == 0 ||
+				message.BatchDigest(reqs) != s.Digest || !r.eng.VerifyRecord(&s) {
 				return
 			}
 		}

@@ -1,0 +1,175 @@
+package message
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ids"
+)
+
+func batchOf(n int) []*Request {
+	out := make([]*Request, n)
+	for i := range out {
+		out[i] = &Request{
+			Op:        []byte{byte(i), 'o', 'p'},
+			Timestamp: uint64(i + 1),
+			Client:    ids.ClientID(i % 3),
+			Sig:       []byte{byte(i), 9},
+		}
+	}
+	return out
+}
+
+func TestBatchDigestSingleMatchesRequestDigest(t *testing.T) {
+	r := sampleRequest()
+	if BatchDigest([]*Request{r}) != r.Digest() {
+		t.Fatal("single-request batch digest must equal D(µ)")
+	}
+}
+
+func TestBatchDigestOrderSensitive(t *testing.T) {
+	b := batchOf(3)
+	d1 := BatchDigest(b)
+	swapped := []*Request{b[1], b[0], b[2]}
+	if d1 == BatchDigest(swapped) {
+		t.Fatal("batch digest must bind request order")
+	}
+	if d1 == BatchDigest(b[:2]) {
+		t.Fatal("batch digest must bind the member count")
+	}
+}
+
+func TestBatchMessageRoundTrip(t *testing.T) {
+	b := batchOf(4)
+	m := &Message{
+		Kind:   KindPrepare,
+		From:   1,
+		View:   2,
+		Seq:    9,
+		Digest: BatchDigest(b),
+		Batch:  b,
+		Sig:    []byte{1, 2},
+	}
+	got, err := Unmarshal(Marshal(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("batched message did not round-trip")
+	}
+	if len(got.Batch) != 4 || got.Request != nil {
+		t.Fatalf("payload shape lost: batch=%d request=%v", len(got.Batch), got.Request)
+	}
+}
+
+func TestBatchSignedSetRoundTrip(t *testing.T) {
+	b := batchOf(2)
+	s := Signed{Kind: KindPrePrepare, From: 2, View: 1, Seq: 4, Digest: BatchDigest(b), Batch: b, Sig: []byte{3}}
+	m := &Message{Kind: KindNewView, From: 0, View: 1, Prepares: []Signed{s}, Sig: []byte{1}}
+	got, err := Unmarshal(Marshal(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("signed batch evidence did not round-trip")
+	}
+}
+
+// TestUnbatchedFramesByteCompatible pins the batching change to the
+// pre-batching wire format: a message whose payload is a single Request
+// must encode exactly as it did before Batch existed (presence byte 1,
+// no count field).
+func TestUnbatchedFramesByteCompatible(t *testing.T) {
+	m := sampleMessage()
+	frame := Marshal(m)
+	// Re-encode the same logical message through SetRequests: one
+	// request must land in Request, not Batch, leaving bytes unchanged.
+	m2 := *m
+	m2.SetRequests([]*Request{m.Request})
+	if len(m2.Batch) != 0 {
+		t.Fatal("SetRequests of one request must use the legacy Request field")
+	}
+	if !bytes.Equal(frame, Marshal(&m2)) {
+		t.Fatal("single-request frame changed byte layout")
+	}
+}
+
+func TestSetRequestsShapes(t *testing.T) {
+	var s Signed
+	s.SetRequests(nil)
+	if s.Request != nil || s.Batch != nil || s.Requests() != nil {
+		t.Fatal("empty payload must stay empty")
+	}
+	b := batchOf(3)
+	s.SetRequests(b)
+	if s.Request != nil || len(s.Batch) != 3 || len(s.Requests()) != 3 {
+		t.Fatal("multi-request payload must ride in Batch")
+	}
+	s.SetRequests(b[:1])
+	if s.Request == nil || s.Batch != nil || len(s.Requests()) != 1 {
+		t.Fatal("single-request payload must ride in Request")
+	}
+	s.ClearRequests()
+	if s.Requests() != nil {
+		t.Fatal("ClearRequests must strip the payload")
+	}
+}
+
+func TestValidateRejectsMalformedBatches(t *testing.T) {
+	b := batchOf(2)
+	both := &Message{Kind: KindPrepare, From: 0, Batch: b, Request: b[0]}
+	if both.Validate() == nil {
+		t.Error("Request and Batch together must be rejected")
+	}
+	nilMember := &Message{Kind: KindPrepare, From: 0, Batch: []*Request{b[0], nil}}
+	if nilMember.Validate() == nil {
+		t.Error("nil batch member must be rejected")
+	}
+	ok := &Message{Kind: KindPrepare, From: 0, Digest: BatchDigest(b), Batch: b}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("well-formed batch rejected: %v", err)
+	}
+}
+
+func TestDecodeRejectsHostileBatches(t *testing.T) {
+	b := batchOf(2)
+	// Hand-encode a frame prefix up to the payload slot, then attach a
+	// hostile batch: the decoder must error, never panic or allocate
+	// unbounded memory.
+	prefix := func() *encoder {
+		var e encoder
+		e.u8(wireVersion)
+		e.u8(uint8(KindPrepare))
+		e.i64(0) // from
+		e.u64(0) // view
+		e.u64(1) // seq
+		e.digest(BatchDigest(b))
+		e.u8(0) // mode
+		return &e
+	}
+	// Count far beyond what the frame can hold.
+	e := prefix()
+	e.u8(2)
+	e.u32(0x7fffffff)
+	if _, err := Unmarshal(e.buf); err == nil {
+		t.Error("oversized batch count must be rejected")
+	}
+	// A batch of one on the wire is also malformed (it must use the
+	// legacy single-request encoding).
+	e = prefix()
+	e.u8(2)
+	e.u32(1)
+	e.request(b[0])
+	if _, err := Unmarshal(e.buf); err == nil {
+		t.Error("wire batch of one must be rejected")
+	}
+	// A nil member inside a batch is malformed.
+	e = prefix()
+	e.u8(2)
+	e.u32(2)
+	e.request(b[0])
+	e.u8(0) // presence 0: nil member
+	if _, err := Unmarshal(e.buf); err == nil {
+		t.Error("nil batch member on the wire must be rejected")
+	}
+}

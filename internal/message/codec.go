@@ -18,7 +18,10 @@ import (
 //	bytes        u32 length prefix + raw bytes
 //	digest       32 raw bytes
 //	request      presence byte (0/1) + Op + Timestamp + Client + Sig
-//	signed       Kind + From + View + Seq + Digest + request + Sig
+//	payload      presence byte 0 (none), 1 (one request), or 2 (batch:
+//	             u32 count + that many request records) — so unbatched
+//	             frames are byte-identical to the pre-batching format
+//	signed       Kind + From + View + Seq + Digest + payload + Sig
 //	signedSet    u32 count + that many signed records
 //
 // A Message is a fixed field sequence in declaration order, preceded by a
@@ -68,13 +71,28 @@ func (e *encoder) request(r *Request) {
 	e.bytes(r.Sig)
 }
 
+// payload encodes the Request/Batch pair occupying one proposal slot.
+// Batches use presence byte 2 so every non-batched message keeps the
+// exact byte layout of the pre-batching wire format.
+func (e *encoder) payload(r *Request, batch []*Request) {
+	if len(batch) == 0 {
+		e.request(r)
+		return
+	}
+	e.u8(2)
+	e.u32(uint32(len(batch)))
+	for _, br := range batch {
+		e.request(br)
+	}
+}
+
 func (e *encoder) signed(s *Signed) {
 	e.u8(uint8(s.Kind))
 	e.i64(int64(s.From))
 	e.u64(uint64(s.View))
 	e.u64(s.Seq)
 	e.digest(s.Digest)
-	e.request(s.Request)
+	e.payload(s.Request, s.Batch)
 	e.bytes(s.Sig)
 }
 
@@ -173,15 +191,62 @@ func (d *decoder) request() *Request {
 	case 0:
 		return nil
 	case 1:
-		r := &Request{}
-		r.Op = d.bytes()
-		r.Timestamp = d.u64()
-		r.Client = ids.ClientID(d.i64())
-		r.Sig = d.bytes()
-		return r
+		return d.requestBody()
 	default:
 		d.fail(errors.New("message: invalid request presence byte"))
 		return nil
+	}
+}
+
+func (d *decoder) requestBody() *Request {
+	r := &Request{}
+	r.Op = d.bytes()
+	r.Timestamp = d.u64()
+	r.Client = ids.ClientID(d.i64())
+	r.Sig = d.bytes()
+	return r
+}
+
+// payload decodes the request/batch slot written by encoder.payload.
+func (d *decoder) payload() (*Request, []*Request) {
+	switch d.u8() {
+	case 0:
+		return nil, nil
+	case 1:
+		return d.requestBody(), nil
+	case 2:
+		n := int(d.u32())
+		if d.err != nil {
+			return nil, nil
+		}
+		// Each batched request occupies at least 25 bytes on the wire
+		// (presence + op length + timestamp + client + sig length); bound
+		// the count by the frame before allocating, then by the protocol
+		// limit.
+		if n > len(d.buf)/25+1 || n > MaxBatch {
+			d.fail(fmt.Errorf("message: batch count %d exceeds limit", n))
+			return nil, nil
+		}
+		if n < 2 {
+			d.fail(errors.New("message: batch must carry at least two requests"))
+			return nil, nil
+		}
+		out := make([]*Request, 0, n)
+		for i := 0; i < n; i++ {
+			r := d.request()
+			if d.err != nil {
+				return nil, nil
+			}
+			if r == nil {
+				d.fail(errors.New("message: nil request inside batch"))
+				return nil, nil
+			}
+			out = append(out, r)
+		}
+		return nil, out
+	default:
+		d.fail(errors.New("message: invalid payload presence byte"))
+		return nil, nil
 	}
 }
 
@@ -192,7 +257,7 @@ func (d *decoder) signed() Signed {
 	s.View = ids.View(d.u64())
 	s.Seq = d.u64()
 	s.Digest = d.digest()
-	s.Request = d.request()
+	s.Request, s.Batch = d.payload()
 	s.Sig = d.bytes()
 	return s
 }
@@ -228,7 +293,7 @@ func Marshal(m *Message) []byte {
 	e.u64(m.Seq)
 	e.digest(m.Digest)
 	e.u8(uint8(m.Mode))
-	e.request(m.Request)
+	e.payload(m.Request, m.Batch)
 	e.bytes(m.Result)
 	e.u64(m.Timestamp)
 	e.i64(int64(m.Client))
@@ -255,7 +320,7 @@ func Unmarshal(frame []byte) (*Message, error) {
 	m.Seq = d.u64()
 	m.Digest = d.digest()
 	m.Mode = ids.Mode(d.u8())
-	m.Request = d.request()
+	m.Request, m.Batch = d.payload()
 	m.Result = d.bytes()
 	m.Timestamp = d.u64()
 	m.Client = ids.ClientID(d.i64())

@@ -132,6 +132,42 @@ func (r *Request) Equal(o *Request) bool {
 		string(r.Op) == string(o.Op) && string(r.Sig) == string(o.Sig)
 }
 
+// MaxBatch caps how many requests one proposal may carry. It bounds both
+// the primary's batching knob and what a decoder will accept from a
+// hostile peer.
+const MaxBatch = 4096
+
+// BatchDigest returns the digest binding a proposal to its request set.
+// A single-request set digests to exactly D(µ), so an unbatched proposal
+// is indistinguishable — in bytes and in digest — from today's
+// single-request slots; larger sets hash the ordered list of member
+// digests under a domain-separation tag.
+func BatchDigest(reqs []*Request) crypto.Digest {
+	if len(reqs) == 1 {
+		return reqs[0].Digest()
+	}
+	var e encoder
+	e.u8('B') // domain separation from single-request digests
+	e.u32(uint32(len(reqs)))
+	for _, r := range reqs {
+		d := r.Digest()
+		e.digest(d)
+	}
+	return crypto.Sum(e.buf)
+}
+
+func batchEqual(a, b []*Request) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // Signed is a compact record of a previously sent signed protocol message
 // (a prepare, commit, or checkpoint). View changes carry sets of these as
 // evidence (the paper's P, C, and ξ), and NEW-VIEW messages carry the
@@ -142,9 +178,51 @@ type Signed struct {
 	View    ids.View
 	Seq     uint64
 	Digest  crypto.Digest
-	Request *Request // only set where the protocol attaches µ
-	Sig     []byte
+	Request *Request // only set where the protocol attaches a lone µ
+	// Batch carries the full request set of a batched slot (two or more
+	// requests; single-request proposals use Request so their wire frames
+	// stay identical to the pre-batching format). Digest covers the set
+	// via BatchDigest.
+	Batch []*Request
+	Sig   []byte
 }
+
+// payloadRequests implements Requests for both payload-carrying record
+// types: the batch if present, the lone request wrapped, or nil.
+func payloadRequests(r *Request, batch []*Request) []*Request {
+	if len(batch) > 0 {
+		return batch
+	}
+	if r != nil {
+		return []*Request{r}
+	}
+	return nil
+}
+
+// splitPayload canonicalizes a request set for the wire: one request
+// rides in the Request field (byte-compatible with unbatched slots),
+// more ride in Batch.
+func splitPayload(reqs []*Request) (*Request, []*Request) {
+	switch len(reqs) {
+	case 0:
+		return nil, nil
+	case 1:
+		return reqs[0], nil
+	default:
+		return nil, reqs
+	}
+}
+
+// Requests returns the slot payload as a slice: the batch if present,
+// the lone request wrapped, or nil when the record carries no payload.
+func (s *Signed) Requests() []*Request { return payloadRequests(s.Request, s.Batch) }
+
+// SetRequests attaches a payload in canonical form: one request rides in
+// Request (wire-compatible with unbatched slots), more ride in Batch.
+func (s *Signed) SetRequests(reqs []*Request) { s.Request, s.Batch = splitPayload(reqs) }
+
+// ClearRequests strips the payload (lean commits, vote certificates).
+func (s *Signed) ClearRequests() { s.Request, s.Batch = nil, nil }
 
 // SignedBytes returns the bytes the signature covers: the tuple
 // (Kind, From, View, Seq, Digest) — the request µ travels outside the
@@ -177,6 +255,11 @@ type Message struct {
 	// Request is µ where the protocol attaches the full request
 	// (REQUEST, Lion/Dog PREPARE, Lion COMMIT, Peacock PRE-PREPARE).
 	Request *Request
+	// Batch is the request set of a batched proposal (two or more
+	// requests; a single request travels in Request so unbatched frames
+	// keep the pre-batching byte layout). Digest binds the set via
+	// BatchDigest.
+	Batch []*Request
 	// Result is u, the execution result in a REPLY.
 	Result []byte
 	// Timestamp is tsς echoed in a REPLY.
@@ -201,6 +284,13 @@ type Message struct {
 	// requires one.
 	Sig []byte
 }
+
+// Requests returns the message payload as a slice (see Signed.Requests).
+func (m *Message) Requests() []*Request { return payloadRequests(m.Request, m.Batch) }
+
+// SetRequests attaches a payload in canonical form (see
+// Signed.SetRequests).
+func (m *Message) SetRequests(reqs []*Request) { m.Request, m.Batch = splitPayload(reqs) }
 
 // SignedBytes returns the canonical bytes covered by Sig. Variable-size
 // payloads (result, evidence sets) are bound by digest so the signature
@@ -244,6 +334,24 @@ func (m *Message) String() string {
 func (m *Message) Validate() error {
 	if !m.Kind.Valid() {
 		return fmt.Errorf("message: invalid kind %d", uint8(m.Kind))
+	}
+	if len(m.Batch) > 0 {
+		if m.Request != nil {
+			return fmt.Errorf("message: %s with both Request and Batch set", m.Kind)
+		}
+		if len(m.Batch) == 1 {
+			// The decoder rejects wire batches of one; a single request
+			// must use the legacy Request field (SetRequests does this).
+			return fmt.Errorf("message: %s batch of one (use Request)", m.Kind)
+		}
+		if len(m.Batch) > MaxBatch {
+			return fmt.Errorf("message: batch of %d exceeds limit %d", len(m.Batch), MaxBatch)
+		}
+		for _, r := range m.Batch {
+			if r == nil {
+				return fmt.Errorf("message: %s batch with nil request", m.Kind)
+			}
+		}
 	}
 	switch m.Kind {
 	case KindRequest:
@@ -316,7 +424,8 @@ func (m *Message) Equal(o *Message) bool {
 		m.StateDigest != o.StateDigest || m.ActiveView != o.ActiveView ||
 		string(m.Result) != string(o.Result) ||
 		string(m.Sig) != string(o.Sig) ||
-		!m.Request.Equal(o.Request) {
+		!m.Request.Equal(o.Request) ||
+		!batchEqual(m.Batch, o.Batch) {
 		return false
 	}
 	return signedSetEqual(m.CheckpointProof, o.CheckpointProof) &&
@@ -333,7 +442,8 @@ func signedSetEqual(a, b []Signed) bool {
 			a[i].View != b[i].View || a[i].Seq != b[i].Seq ||
 			a[i].Digest != b[i].Digest ||
 			string(a[i].Sig) != string(b[i].Sig) ||
-			!a[i].Request.Equal(b[i].Request) {
+			!a[i].Request.Equal(b[i].Request) ||
+			!batchEqual(a[i].Batch, b[i].Batch) {
 			return false
 		}
 	}

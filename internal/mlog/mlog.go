@@ -82,8 +82,8 @@ func (e *Entry) SetProposal(p *message.Signed) error {
 		return fmt.Errorf("mlog: conflicting proposal for seq %d in view %d (equivocation)", e.seq, p.View)
 	}
 	// Same view, same digest: keep the richer copy (one of them may
-	// carry the request body).
-	if e.proposal.Request == nil && p.Request != nil {
+	// carry the request payload).
+	if len(e.proposal.Requests()) == 0 && len(p.Requests()) > 0 {
 		cp := *p
 		e.proposal = &cp
 	}
@@ -93,12 +93,26 @@ func (e *Entry) SetProposal(p *message.Signed) error {
 // Proposal returns the recorded proposal, or nil.
 func (e *Entry) Proposal() *message.Signed { return e.proposal }
 
-// Request returns the request attached to the proposal, if any.
+// Request returns the request attached to the proposal, if any. For
+// batched slots it returns the first request; execution paths use
+// Requests.
 func (e *Entry) Request() *message.Request {
 	if e.proposal == nil {
 		return nil
 	}
-	return e.proposal.Request
+	if reqs := e.proposal.Requests(); len(reqs) > 0 {
+		return reqs[0]
+	}
+	return nil
+}
+
+// Requests returns the full ordered request payload of the slot: the
+// proposal's batch, or its lone request wrapped, or nil.
+func (e *Entry) Requests() []*message.Request {
+	if e.proposal == nil {
+		return nil
+	}
+	return e.proposal.Requests()
 }
 
 // SetCommitCert stores a primary-signed COMMIT as view-change evidence.
@@ -148,7 +162,7 @@ func (e *Entry) AddVoteCert(s *message.Signed) bool {
 		e.certs = make(map[voteKey]message.Signed, 8)
 	}
 	cp := *s
-	cp.Request = nil // certificates never need the request body
+	cp.ClearRequests() // certificates never need the request payload
 	e.certs[voteKey{kind: s.Kind, view: s.View, from: s.From}] = cp
 	return true
 }

@@ -50,6 +50,9 @@ type Options struct {
 	StateMachine statemachine.StateMachine
 	// Timing supplies the timers and checkpoint period.
 	Timing config.Timing
+	// Batching configures request batching at the leader (zero value:
+	// one request per slot).
+	Batching config.Batching
 	// TickInterval overrides the engine tick (default 5ms).
 	TickInterval time.Duration
 }
@@ -83,6 +86,10 @@ type Replica struct {
 	// inFlight dedups proposed-but-unexecuted requests at the leader.
 	inFlight map[inFlightKey]uint64
 
+	// batcher accumulates requests at the leader until the batch fills
+	// or BatchTimeout expires (see replica.Batcher).
+	batcher *replica.Batcher
+
 	probe atomic.Pointer[Probe]
 }
 
@@ -113,9 +120,13 @@ func NewReplica(opts Options) (*Replica, error) {
 	if err := opts.Timing.Validate(); err != nil {
 		return nil, err
 	}
+	if err := opts.Batching.Validate(); err != nil {
+		return nil, err
+	}
 	r := &Replica{
 		n:             opts.N,
 		timing:        opts.Timing,
+		batcher:       replica.NewBatcher(opts.Batching),
 		log:           mlog.New(opts.Timing.HighWaterMarkLag),
 		exec:          replica.NewExecutor(opts.StateMachine, opts.Timing.CheckpointPeriod),
 		nextSeq:       1,
@@ -128,7 +139,7 @@ func NewReplica(opts Options) (*Replica, error) {
 		ID:           opts.ID,
 		Suite:        opts.Suite,
 		Endpoint:     opts.Network.Endpoint(transport.ReplicaAddr(opts.ID)),
-		TickInterval: opts.TickInterval,
+		TickInterval: r.batcher.TickInterval(opts.TickInterval),
 	})
 	return r, nil
 }
@@ -211,6 +222,9 @@ func (r *Replica) HandleMessage(m *message.Message) {
 
 // HandleTick implements replica.Handler.
 func (r *Replica) HandleTick(now time.Time) {
+	if r.status == statusNormal && r.batcher.Due(now) {
+		r.proposeBatch(r.batcher.Take())
+	}
 	if r.status == statusNormal && !r.waitingSince.IsZero() &&
 		now.Sub(r.waitingSince) > r.timing.ViewChange {
 		r.startViewChange(r.view + 1)
@@ -295,7 +309,7 @@ func (r *Replica) onRequest(req *message.Request) {
 		return
 	}
 	if r.isLeader() {
-		r.propose(req)
+		r.admitRequest(req)
 		return
 	}
 	fwd := &message.Message{Kind: message.KindRequest, Request: req}
@@ -304,24 +318,45 @@ func (r *Replica) onRequest(req *message.Request) {
 	r.markPending(relaySentinel)
 }
 
-func (r *Replica) propose(req *message.Request) {
+// admitRequest buffers or proposes a request depending on the batching
+// knobs (see core's admitRequest; same policy).
+func (r *Replica) admitRequest(req *message.Request) {
+	if !r.batcher.Enabled() {
+		r.proposeBatch([]*message.Request{req})
+		return
+	}
 	key := inFlightKey{client: req.Client, ts: req.Timestamp}
 	if _, dup := r.inFlight[key]; dup {
 		return
 	}
+	if r.batcher.Add(req) {
+		r.proposeBatch(r.batcher.Take())
+	}
+}
+
+func (r *Replica) proposeBatch(reqs []*message.Request) {
+	kept := make([]*message.Request, 0, len(reqs))
+	for _, req := range reqs {
+		if _, dup := r.inFlight[inFlightKey{client: req.Client, ts: req.Timestamp}]; !dup {
+			kept = append(kept, req)
+		}
+	}
+	if len(kept) == 0 {
+		return
+	}
 	if !r.log.InWindow(r.nextSeq) {
-		r.queue = append(r.queue, req)
+		r.queue = append(r.queue, kept...)
 		return
 	}
 	seq := r.nextSeq
 	r.nextSeq++
 	prop := &message.Signed{
-		Kind:    message.KindPrepare,
-		View:    r.view,
-		Seq:     seq,
-		Digest:  req.Digest(),
-		Request: req,
+		Kind:   message.KindPrepare,
+		View:   r.view,
+		Seq:    seq,
+		Digest: message.BatchDigest(kept),
 	}
+	prop.SetRequests(kept)
 	r.eng.SignRecord(prop)
 	entry := r.log.Entry(seq)
 	if entry == nil {
@@ -331,7 +366,9 @@ func (r *Replica) propose(req *message.Request) {
 		return
 	}
 	r.markPending(seq)
-	r.inFlight[key] = seq
+	for _, req := range kept {
+		r.inFlight[inFlightKey{client: req.Client, ts: req.Timestamp}] = seq
+	}
 	entry.AddVote(message.KindAccept, r.view, r.eng.ID(), prop.Digest)
 	r.eng.Multicast(r.all(), signedWire(prop))
 }
@@ -339,15 +376,23 @@ func (r *Replica) propose(req *message.Request) {
 func signedWire(s *message.Signed) *message.Message {
 	return &message.Message{
 		Kind: s.Kind, From: s.From, View: s.View, Seq: s.Seq,
-		Digest: s.Digest, Request: s.Request, Sig: s.Sig,
+		Digest: s.Digest, Request: s.Request, Batch: s.Batch, Sig: s.Sig,
 	}
 }
 
 func wireSigned(m *message.Message) *message.Signed {
 	return &message.Signed{
 		Kind: m.Kind, From: m.From, View: m.View, Seq: m.Seq,
-		Digest: m.Digest, Request: m.Request, Sig: m.Sig,
+		Digest: m.Digest, Request: m.Request, Batch: m.Batch, Sig: m.Sig,
 	}
+}
+
+// validPayload checks the attached payload (lone request or batch)
+// against the proposal digest. Crash-only trust: no client signature
+// re-verification on the replica path (the leader verified on intake).
+func validPayload(m *message.Message) bool {
+	reqs := m.Requests()
+	return len(reqs) > 0 && message.BatchDigest(reqs) == m.Digest
 }
 
 // onPrepare: a backup logs the leader's proposal and acknowledges.
@@ -359,7 +404,7 @@ func (r *Replica) onPrepare(m *message.Message) {
 		return
 	}
 	s := wireSigned(m)
-	if !r.eng.VerifyRecord(s) || m.Request == nil || m.Request.Digest() != m.Digest {
+	if !r.eng.VerifyRecord(s) || !validPayload(m) {
 		return
 	}
 	entry := r.log.Entry(m.Seq)
@@ -400,7 +445,7 @@ func (r *Replica) onAccept(m *message.Message) {
 		r.clearPending(entry.Seq())
 		commit := &message.Signed{
 			Kind: message.KindCommit, View: r.view, Seq: entry.Seq(),
-			Digest: prop.Digest, Request: prop.Request,
+			Digest: prop.Digest, Request: prop.Request, Batch: prop.Batch,
 		}
 		r.eng.SignRecord(commit)
 		entry.SetCommitCert(commit)
@@ -418,7 +463,7 @@ func (r *Replica) onCommit(m *message.Message) {
 		return
 	}
 	s := wireSigned(m)
-	if !r.eng.VerifyRecord(s) || m.Request == nil || m.Request.Digest() != m.Digest {
+	if !r.eng.VerifyRecord(s) || !validPayload(m) {
 		return
 	}
 	entry := r.log.Entry(m.Seq)
@@ -437,6 +482,9 @@ func (r *Replica) onCommit(m *message.Message) {
 }
 
 func (r *Replica) drainQueue() {
+	if b := r.batcher.Take(); len(b) > 0 {
+		r.queue = append(b, r.queue...)
+	}
 	if !r.isLeader() {
 		r.queue = nil
 		return
@@ -445,7 +493,8 @@ func (r *Replica) drainQueue() {
 	r.queue = nil
 	for _, req := range q {
 		if r.exec.Fresh(req) {
-			r.propose(req)
+			r.admitRequest(req)
 		}
 	}
+	r.proposeBatch(r.batcher.Take())
 }

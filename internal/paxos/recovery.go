@@ -223,12 +223,13 @@ func (r *Replica) tryAssembleNewView(target ids.View) {
 	type slotPick struct {
 		view      ids.View
 		digest    crypto.Digest
-		request   *message.Request
+		requests  []*message.Request
 		committed bool
 	}
 	picks := make(map[uint64]*slotPick)
 	consider := func(s *message.Signed, committed bool) {
-		if s.Seq <= l || s.Seq > l+r.timing.HighWaterMarkLag || s.Request == nil {
+		reqs := s.Requests()
+		if s.Seq <= l || s.Seq > l+r.timing.HighWaterMarkLag || len(reqs) == 0 {
 			return
 		}
 		p, ok := picks[s.Seq]
@@ -238,11 +239,11 @@ func (r *Replica) tryAssembleNewView(target ids.View) {
 		}
 		if committed && !p.committed {
 			p.committed = true
-			p.view, p.digest, p.request = s.View, s.Digest, s.Request
+			p.view, p.digest, p.requests = s.View, s.Digest, reqs
 			return
 		}
-		if !p.committed && (p.request == nil || s.View > p.view) {
-			p.view, p.digest, p.request = s.View, s.Digest, s.Request
+		if !p.committed && (len(p.requests) == 0 || s.View > p.view) {
+			p.view, p.digest, p.requests = s.View, s.Digest, reqs
 		}
 	}
 	harvest := func(m *message.Message) {
@@ -275,14 +276,15 @@ func (r *Replica) tryAssembleNewView(target ids.View) {
 	var prepares, commits []message.Signed
 	for seq := l + 1; seq <= h; seq++ {
 		p := picks[seq]
-		if p == nil || p.request == nil {
+		if p == nil || len(p.requests) == 0 {
 			noop := &message.Request{Client: -1}
 			s := message.Signed{Kind: message.KindPrepare, View: target, Seq: seq, Digest: noop.Digest(), Request: noop}
 			r.eng.SignRecord(&s)
 			prepares = append(prepares, s)
 			continue
 		}
-		s := message.Signed{View: target, Seq: seq, Digest: p.digest, Request: p.request}
+		s := message.Signed{View: target, Seq: seq, Digest: p.digest}
+		s.SetRequests(p.requests)
 		if p.committed {
 			s.Kind = message.KindCommit
 			r.eng.SignRecord(&s)
@@ -321,8 +323,9 @@ func (r *Replica) onNewView(m *message.Message) {
 	for _, set := range [][]message.Signed{m.Prepares, m.Commits} {
 		for i := range set {
 			s := set[i]
-			if s.From != m.From || s.View != m.View || s.Request == nil ||
-				s.Request.Digest() != s.Digest || !r.eng.VerifyRecord(&s) {
+			reqs := s.Requests()
+			if s.From != m.From || s.View != m.View || len(reqs) == 0 ||
+				message.BatchDigest(reqs) != s.Digest || !r.eng.VerifyRecord(&s) {
 				return
 			}
 		}

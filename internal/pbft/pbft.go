@@ -54,6 +54,9 @@ type Options struct {
 	StateMachine statemachine.StateMachine
 	// Timing supplies timers and the checkpoint period.
 	Timing config.Timing
+	// Batching configures request batching at the primary (zero value:
+	// one request per slot).
+	Batching config.Batching
 	// TickInterval overrides the engine tick (default 5ms).
 	TickInterval time.Duration
 }
@@ -87,6 +90,10 @@ type Replica struct {
 	// inFlight dedups proposed-but-unexecuted requests at the primary
 	// (client retransmission broadcasts are relayed by every backup).
 	inFlight map[inFlightKey]uint64
+
+	// batcher accumulates requests at the primary until the batch fills
+	// or BatchTimeout expires (see replica.Batcher).
+	batcher *replica.Batcher
 
 	probe atomic.Pointer[Probe]
 }
@@ -123,11 +130,15 @@ func NewReplica(opts Options) (*Replica, error) {
 	if err := opts.Timing.Validate(); err != nil {
 		return nil, err
 	}
+	if err := opts.Batching.Validate(); err != nil {
+		return nil, err
+	}
 	r := &Replica{
 		n:             opts.N,
 		byz:           opts.Byz,
 		crash:         opts.Crash,
 		timing:        opts.Timing,
+		batcher:       replica.NewBatcher(opts.Batching),
 		log:           mlog.New(opts.Timing.HighWaterMarkLag),
 		exec:          replica.NewExecutor(opts.StateMachine, opts.Timing.CheckpointPeriod),
 		nextSeq:       1,
@@ -140,7 +151,7 @@ func NewReplica(opts Options) (*Replica, error) {
 		ID:           opts.ID,
 		Suite:        opts.Suite,
 		Endpoint:     opts.Network.Endpoint(transport.ReplicaAddr(opts.ID)),
-		TickInterval: opts.TickInterval,
+		TickInterval: r.batcher.TickInterval(opts.TickInterval),
 	})
 	return r, nil
 }
@@ -227,6 +238,9 @@ func (r *Replica) HandleMessage(m *message.Message) {
 
 // HandleTick implements replica.Handler.
 func (r *Replica) HandleTick(now time.Time) {
+	if r.status == statusNormal && r.batcher.Due(now) {
+		r.proposeBatch(r.batcher.Take())
+	}
 	if r.status == statusNormal && !r.waitingSince.IsZero() &&
 		now.Sub(r.waitingSince) > r.timing.ViewChange {
 		r.startViewChange(r.view + 1)
@@ -324,7 +338,7 @@ func (r *Replica) onRequest(req *message.Request) {
 		return // the client will retransmit after the view change
 	}
 	if r.isPrimary() {
-		r.propose(req)
+		r.admitRequest(req)
 		return
 	}
 	fwd := &message.Message{Kind: message.KindRequest, Request: req}
@@ -333,9 +347,30 @@ func (r *Replica) onRequest(req *message.Request) {
 	r.markPending(relaySentinel)
 }
 
-func (r *Replica) propose(req *message.Request) {
+// admitRequest buffers or proposes a request depending on the batching
+// knobs (see core's admitRequest; same policy).
+func (r *Replica) admitRequest(req *message.Request) {
+	if !r.batcher.Enabled() {
+		r.proposeBatch([]*message.Request{req})
+		return
+	}
 	key := inFlightKey{client: req.Client, ts: req.Timestamp}
 	if _, dup := r.inFlight[key]; dup {
+		return
+	}
+	if r.batcher.Add(req) {
+		r.proposeBatch(r.batcher.Take())
+	}
+}
+
+func (r *Replica) proposeBatch(reqs []*message.Request) {
+	kept := make([]*message.Request, 0, len(reqs))
+	for _, req := range reqs {
+		if _, dup := r.inFlight[inFlightKey{client: req.Client, ts: req.Timestamp}]; !dup {
+			kept = append(kept, req)
+		}
+	}
+	if len(kept) == 0 {
 		return
 	}
 	if !r.log.InWindow(r.nextSeq) {
@@ -344,12 +379,12 @@ func (r *Replica) propose(req *message.Request) {
 	seq := r.nextSeq
 	r.nextSeq++
 	pp := &message.Signed{
-		Kind:    message.KindPrePrepare,
-		View:    r.view,
-		Seq:     seq,
-		Digest:  req.Digest(),
-		Request: req,
+		Kind:   message.KindPrePrepare,
+		View:   r.view,
+		Seq:    seq,
+		Digest: message.BatchDigest(kept),
 	}
+	pp.SetRequests(kept)
 	r.eng.SignRecord(pp)
 	entry := r.log.Entry(seq)
 	if entry == nil {
@@ -359,7 +394,9 @@ func (r *Replica) propose(req *message.Request) {
 		return
 	}
 	r.markPending(seq)
-	r.inFlight[key] = seq
+	for _, req := range kept {
+		r.inFlight[inFlightKey{client: req.Client, ts: req.Timestamp}] = seq
+	}
 	// The primary's pre-prepare stands in for its prepare vote.
 	entry.AddVote(message.KindPrepare, r.view, r.eng.ID(), pp.Digest)
 	r.eng.Multicast(r.all(), signedWire(pp))
@@ -368,15 +405,30 @@ func (r *Replica) propose(req *message.Request) {
 func signedWire(s *message.Signed) *message.Message {
 	return &message.Message{
 		Kind: s.Kind, From: s.From, View: s.View, Seq: s.Seq,
-		Digest: s.Digest, Request: s.Request, Sig: s.Sig,
+		Digest: s.Digest, Request: s.Request, Batch: s.Batch, Sig: s.Sig,
 	}
 }
 
 func wireSigned(m *message.Message) *message.Signed {
 	return &message.Signed{
 		Kind: m.Kind, From: m.From, View: m.View, Seq: m.Seq,
-		Digest: m.Digest, Request: m.Request, Sig: m.Sig,
+		Digest: m.Digest, Request: m.Request, Batch: m.Batch, Sig: m.Sig,
 	}
+}
+
+// validPayload checks the attached payload (lone request or batch)
+// against the proposal digest and the client signatures.
+func (r *Replica) validPayload(m *message.Message) bool {
+	reqs := m.Requests()
+	if len(reqs) == 0 || message.BatchDigest(reqs) != m.Digest {
+		return false
+	}
+	for _, req := range reqs {
+		if !r.eng.VerifyRequest(req) {
+			return false
+		}
+	}
+	return true
 }
 
 func (r *Replica) onPrePrepare(m *message.Message) {
@@ -387,10 +439,7 @@ func (r *Replica) onPrePrepare(m *message.Message) {
 		return
 	}
 	s := wireSigned(m)
-	if !r.eng.VerifyRecord(s) || m.Request == nil || m.Request.Digest() != m.Digest {
-		return
-	}
-	if !r.eng.VerifyRequest(m.Request) {
+	if !r.eng.VerifyRecord(s) || !r.validPayload(m) {
 		return
 	}
 	entry := r.log.Entry(m.Seq)

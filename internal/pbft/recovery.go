@@ -275,9 +275,9 @@ func (r *Replica) tryAssembleNewView(target ids.View) {
 	}
 
 	type cand struct {
-		view    ids.View
-		request *message.Request
-		voters  map[ids.ReplicaID]bool
+		view     ids.View
+		requests []*message.Request
+		voters   map[ids.ReplicaID]bool
 	}
 	slots := make(map[uint64]map[crypto.Digest]*cand)
 	getCand := func(seq uint64, d crypto.Digest) *cand {
@@ -296,9 +296,10 @@ func (r *Replica) tryAssembleNewView(target ids.View) {
 	harvest := func(prepares, commits []message.Signed) {
 		for i := range prepares {
 			s := prepares[i]
+			reqs := s.Requests()
 			if s.Seq <= l || s.Seq > l+r.timing.HighWaterMarkLag ||
-				s.Kind != message.KindPrePrepare || s.Request == nil ||
-				s.Request.Digest() != s.Digest {
+				s.Kind != message.KindPrePrepare || len(reqs) == 0 ||
+				message.BatchDigest(reqs) != s.Digest {
 				continue
 			}
 			if s.From != r.Primary(s.View) || !r.eng.VerifyRecord(&s) {
@@ -307,7 +308,7 @@ func (r *Replica) tryAssembleNewView(target ids.View) {
 			c := getCand(s.Seq, s.Digest)
 			if s.View >= c.view {
 				c.view = s.View
-				c.request = s.Request
+				c.requests = reqs
 			}
 		}
 		for i := range commits {
@@ -361,7 +362,8 @@ func (r *Replica) tryAssembleNewView(target ids.View) {
 		}
 		var s message.Signed
 		if chosen != nil {
-			s = message.Signed{Kind: message.KindPrePrepare, View: target, Seq: seq, Digest: chosenD, Request: chosen.request}
+			s = message.Signed{Kind: message.KindPrePrepare, View: target, Seq: seq, Digest: chosenD}
+			s.SetRequests(chosen.requests)
 		} else {
 			noop := &message.Request{Client: -1}
 			s = message.Signed{Kind: message.KindPrePrepare, View: target, Seq: seq, Digest: noop.Digest(), Request: noop}
@@ -398,8 +400,9 @@ func (r *Replica) onNewView(m *message.Message) {
 	}
 	for i := range m.Prepares {
 		s := m.Prepares[i]
+		reqs := s.Requests()
 		if s.From != m.From || s.View != m.View || s.Kind != message.KindPrePrepare ||
-			s.Request == nil || s.Request.Digest() != s.Digest || !r.eng.VerifyRecord(&s) {
+			len(reqs) == 0 || message.BatchDigest(reqs) != s.Digest || !r.eng.VerifyRecord(&s) {
 			return
 		}
 		// Local safety guard (stands in for full PBFT NEW-VIEW proof
@@ -457,6 +460,16 @@ func (r *Replica) applyNewView(m *message.Message) {
 	}
 	if r.nextSeq <= maxSeq {
 		r.nextSeq = maxSeq + 1
+	}
+	// A batch buffered before the view change: the new primary re-admits
+	// what is still fresh; everyone else drops it (clients retransmit).
+	if b := r.batcher.Take(); len(b) > 0 && r.isPrimary() {
+		for _, req := range b {
+			if r.exec.Fresh(req) {
+				r.admitRequest(req)
+			}
+		}
+		r.proposeBatch(r.batcher.Take())
 	}
 	r.executeReady()
 	if p := r.loadProbe(); p.OnViewChange != nil {

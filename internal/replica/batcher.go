@@ -1,0 +1,82 @@
+package replica
+
+import (
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/ids"
+	"repro/internal/message"
+)
+
+// Batcher is the protocol-agnostic half of request batching: it buffers
+// client requests at a primary until the batch fills or its oldest
+// request has waited BatchTimeout. The protocol owns everything else —
+// when to call it, sequence assignment, and what "propose" means.
+// Engine-goroutine confined; no locking.
+type Batcher struct {
+	cfg   config.Batching
+	buf   []*message.Request
+	seen  map[batchKey]struct{}
+	since time.Time
+}
+
+type batchKey struct {
+	client ids.ClientID
+	ts     uint64
+}
+
+// NewBatcher builds a batcher from normalized knobs.
+func NewBatcher(cfg config.Batching) *Batcher {
+	return &Batcher{cfg: cfg.Normalized()}
+}
+
+// Enabled reports whether batching is on (BatchSize > 1). When false,
+// callers should propose each request immediately in the legacy
+// single-request format.
+func (b *Batcher) Enabled() bool { return b.cfg.BatchSize > 1 }
+
+// Add buffers a request unless an identical (client, timestamp) pair is
+// already waiting, and reports whether the batch is now full and must
+// be flushed.
+func (b *Batcher) Add(req *message.Request) (full bool) {
+	k := batchKey{client: req.Client, ts: req.Timestamp}
+	if _, dup := b.seen[k]; dup {
+		return false // already buffered (retransmission relay)
+	}
+	if b.seen == nil {
+		b.seen = make(map[batchKey]struct{}, b.cfg.BatchSize)
+	}
+	if len(b.buf) == 0 {
+		b.since = time.Now()
+	}
+	b.seen[k] = struct{}{}
+	b.buf = append(b.buf, req)
+	return len(b.buf) >= b.cfg.BatchSize
+}
+
+// Due reports whether a partial batch has waited past BatchTimeout.
+func (b *Batcher) Due(now time.Time) bool {
+	return len(b.buf) > 0 && now.Sub(b.since) >= b.cfg.BatchTimeout
+}
+
+// Take drains and returns the buffered batch (nil when empty).
+func (b *Batcher) Take() []*message.Request {
+	out := b.buf
+	b.buf = nil
+	b.seen = nil
+	b.since = time.Time{}
+	return out
+}
+
+// Len returns how many requests are waiting.
+func (b *Batcher) Len() int { return len(b.buf) }
+
+// TickInterval caps an engine tick so BatchTimeout can actually be
+// honored: timeout flushes run on ticks, so a tick longer than the
+// timeout would silently quantize the deadline up to the tick.
+func (b *Batcher) TickInterval(base time.Duration) time.Duration {
+	if b.Enabled() && (base <= 0 || base > b.cfg.BatchTimeout) {
+		return b.cfg.BatchTimeout
+	}
+	return base
+}

@@ -56,12 +56,14 @@ func (x *Executor) CachedReply(req *message.Request) ([]byte, bool) {
 }
 
 // ExecuteReady applies every consecutively committed slot above
-// LastExecuted. For each applied request it invokes onExec (unless the
-// slot is a no-op). It returns how many slots were executed.
+// LastExecuted. A slot carries one request or a whole batch; every
+// request in the slot is applied in batch order and onExec fires once
+// per applied request (no-ops excluded). It returns how many slots were
+// executed.
 //
 // Duplicate requests — a client timestamp at or below the last executed
 // one — are not re-applied; the paper's client table semantics make the
-// slot a silent no-op while the cached reply remains available.
+// request a silent no-op while the cached reply remains available.
 func (x *Executor) ExecuteReady(l *mlog.Log, onExec func(seq uint64, req *message.Request, result []byte)) int {
 	n := 0
 	for {
@@ -73,18 +75,23 @@ func (x *Executor) ExecuteReady(l *mlog.Log, onExec func(seq uint64, req *messag
 			// latter case execution catches up via state transfer.
 			return n
 		}
-		req := entry.Request()
-		if req == nil {
-			return n // committed but the request body has not arrived yet
+		reqs := entry.Requests()
+		if len(reqs) == 0 {
+			return n // committed but the request payload has not arrived yet
 		}
-		x.applyOne(seq, req, onExec)
+		x.lastExecuted = seq
+		for _, req := range reqs {
+			x.applyOne(seq, req, onExec)
+		}
+		if seq%x.period == 0 {
+			x.snapshots[seq] = compositeSnapshot(x.sm, x.clients)
+		}
 		entry.MarkExecuted()
 		n++
 	}
 }
 
 func (x *Executor) applyOne(seq uint64, req *message.Request, onExec func(uint64, *message.Request, []byte)) {
-	x.lastExecuted = seq
 	switch {
 	case req.Client < 0:
 		// µ∅: transmitted like any request but leaves the state
@@ -98,9 +105,6 @@ func (x *Executor) applyOne(seq uint64, req *message.Request, onExec func(uint64
 		if onExec != nil {
 			onExec(seq, req, result)
 		}
-	}
-	if seq%x.period == 0 {
-		x.snapshots[seq] = compositeSnapshot(x.sm, x.clients)
 	}
 }
 
