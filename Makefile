@@ -5,7 +5,7 @@ GO      ?= go
 PKGS    ?= ./...
 COVER   ?= coverage.out
 
-.PHONY: all build test race bench fmt fmt-check vet cover clean help
+.PHONY: all build test race bench fmt fmt-check vet doclint cover clean help
 
 all: build test ## build everything, then run the tests
 
@@ -30,6 +30,16 @@ fmt-check: ## fail if any file needs gofmt (CI gate)
 
 vet: ## static analysis
 	$(GO) vet $(PKGS)
+
+doclint: ## fail if any internal package lacks a package comment (godoc gate)
+	@missing=0; for d in internal/*/; do \
+		pkg=$$(basename $$d); \
+		grep -qs "^// Package $$pkg " $$d*.go || { echo "missing package doc: $$d"; missing=1; }; \
+	done; \
+	for d in ./internal/core ./internal/replica ./internal/message ./internal/config; do \
+		$(GO) doc $$d >/dev/null || missing=1; \
+	done; \
+	exit $$missing
 
 cover: ## run tests with coverage and print the summary
 	$(GO) test -coverprofile=$(COVER) $(PKGS)

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/ids"
 )
 
 // benchOpts returns measurement windows sized for `go test -bench`: long
@@ -191,6 +192,22 @@ func BenchmarkAblationBatchSize(b *testing.B) {
 		}
 		if i == 0 {
 			bench.PrintAblation(os.Stdout, "request batch size (all modes, 0/0, ed25519)", "clients", series)
+		}
+	}
+}
+
+// BenchmarkAblationPipeline crosses the primary's pipeline depth
+// (1 = stop-and-wait, 4, 16) with the batch size (1, 8) on Lion: how
+// much throughput comes from overlapping agreement round trips versus
+// packing more requests per slot.
+func BenchmarkAblationPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := bench.AblationPipeline(ids.Lion, benchClients(), benchOpts(), benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			bench.PrintAblation(os.Stdout, "pipeline depth × batch size (Lion, 0/0, ed25519)", "clients", series)
 		}
 	}
 }

@@ -6,7 +6,9 @@
 //	seemore-bench -exp table1
 //	seemore-bench -exp fig4
 //	seemore-bench -exp ablation-signer
+//	seemore-bench -exp ablation-pipeline
 //	seemore-bench -exp fig2a -measure 1s -clients 1,4,16,64,128
+//	seemore-bench -exp fig2a -pipeline 16      # pipelined primaries everywhere
 package main
 
 import (
@@ -19,16 +21,19 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/config"
+	"repro/internal/ids"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, table1, fig2a, fig2b, fig2c, fig2d, fig3a, fig3b, fig4, ablation-signer, ablation-proxies, ablation-commit, ablation-checkpoint, ablation-crosscloud, ablation-batch")
-		measure = flag.Duration("measure", 500*time.Millisecond, "measurement window per load point")
-		warmup  = flag.Duration("warmup", 150*time.Millisecond, "warmup before each measurement")
-		clients = flag.String("clients", "1,2,4,8,16,32,64", "comma-separated closed-loop client counts")
-		seed    = flag.Int64("seed", 1, "simulation seed")
-		reqs    = flag.Int("table1-requests", 100, "requests per protocol for Table 1 message counting")
+		exp      = flag.String("exp", "all", "experiment: all, table1, fig2a, fig2b, fig2c, fig2d, fig3a, fig3b, fig4, ablation-signer, ablation-proxies, ablation-commit, ablation-checkpoint, ablation-crosscloud, ablation-batch, ablation-pipeline")
+		measure  = flag.Duration("measure", 500*time.Millisecond, "measurement window per load point")
+		warmup   = flag.Duration("warmup", 150*time.Millisecond, "warmup before each measurement")
+		clients  = flag.String("clients", "1,2,4,8,16,32,64", "comma-separated closed-loop client counts")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		pipeline = flag.Int("pipeline", 0, "pipeline depth applied to every experiment cluster (0: off)")
+		reqs     = flag.Int("table1-requests", 100, "requests per protocol for Table 1 message counting")
 	)
 	flag.Parse()
 
@@ -36,7 +41,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := bench.Options{Warmup: *warmup, Measure: *measure}
+	opts := bench.Options{
+		Warmup: *warmup, Measure: *measure,
+		Pipeline: config.Pipelining{Depth: *pipeline},
+	}
 
 	run := func(name string) {
 		switch name {
@@ -103,6 +111,12 @@ func main() {
 				log.Fatal(err)
 			}
 			bench.PrintAblation(os.Stdout, "request batch size (all modes, 0/0, ed25519)", "clients", series)
+		case "ablation-pipeline":
+			series, err := bench.AblationPipeline(ids.Lion, counts, opts, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			bench.PrintAblation(os.Stdout, "pipeline depth × batch size (Lion, 0/0, ed25519)", "clients", series)
 		case "ablation-crosscloud":
 			lat := []time.Duration{50 * time.Microsecond, 250 * time.Microsecond, time.Millisecond, 4 * time.Millisecond}
 			series, err := bench.AblationCrossCloudLatency(lat, 16, opts, *seed)
@@ -121,6 +135,7 @@ func main() {
 			"table1", "fig2a", "fig2b", "fig2c", "fig2d", "fig3a", "fig3b", "fig4",
 			"ablation-signer", "ablation-proxies", "ablation-commit",
 			"ablation-checkpoint", "ablation-crosscloud", "ablation-batch",
+			"ablation-pipeline",
 		} {
 			fmt.Printf("=== %s ===\n", name)
 			run(name)

@@ -45,6 +45,7 @@ func main() {
 		suite    = flag.String("suite", "ed25519", "signature suite: ed25519, hmac, none")
 		batch    = flag.Int("batch", 1, "max requests per consensus slot (1 disables batching)")
 		batchTmo = flag.Duration("batch-timeout", config.DefaultBatchTimeout, "partial-batch flush deadline")
+		pipeline = flag.Int("pipeline", 0, "max consensus slots the primary keeps in flight (0 disables pipelining)")
 	)
 	flag.Parse()
 
@@ -63,6 +64,10 @@ func main() {
 	cl.Batching = config.Batching{BatchSize: *batch, BatchTimeout: *batchTmo}
 	if err := cl.Batching.Validate(); err != nil {
 		log.Fatalf("batching: %v", err)
+	}
+	cl.Pipelining = config.Pipelining{Depth: *pipeline}
+	if err := cl.Pipelining.Validate(); err != nil {
+		log.Fatalf("pipelining: %v", err)
 	}
 
 	peerMap, err := parsePeers(*peers)

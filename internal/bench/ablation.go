@@ -121,6 +121,47 @@ func AblationBatchSizeAllModes(clientCounts []int, opts Options, seed int64) ([]
 	return out, nil
 }
 
+// PipelineDepths is the proposal-window sweep of the pipelining
+// ablation: stop-and-wait, a shallow window, and a deep one.
+func PipelineDepths() []int { return []int{1, 4, 16} }
+
+// AblationPipelineCrossCloud is the inter-cloud one-way latency the
+// pipelining ablation runs under: what the pipeline exists to hide is
+// the agreement round trips between the private and public clouds, so
+// the sweep uses the paper's hybrid setting (clouds a WAN hop apart)
+// rather than the µs-scale LAN where crypto, not latency, is the
+// ceiling.
+const AblationPipelineCrossCloud = time.Millisecond
+
+// AblationPipeline crosses pipeline depth with batch size on one
+// SeeMoRe mode. Depth 1 is stop-and-wait — one slot must commit before
+// the next is proposed — so the sweep isolates how much throughput
+// comes from overlapping the agreement round trips of independent slots
+// versus from packing more requests into each slot. Ed25519 keeps the
+// signing cost realistic (it is what the parallel batch verification
+// amortizes).
+func AblationPipeline(mode ids.Mode, clientCounts []int, opts Options, seed int64) ([]Series, error) {
+	var out []Series
+	for _, depth := range PipelineDepths() {
+		for _, bs := range []int{1, 8} {
+			net := transport.WAN(2, AblationPipelineCrossCloud, seed)
+			spec := cluster.Spec{
+				Protocol: cluster.SeeMoRe, Mode: mode,
+				Crash: 1, Byz: 1, Suite: "ed25519", Seed: seed, Net: &net,
+				Batching:   config.Batching{BatchSize: bs},
+				Pipelining: config.Pipelining{Depth: depth},
+			}
+			label := fmt.Sprintf("%s/depth=%d/batch=%d", mode, depth, bs)
+			s, err := Sweep(label, spec, Benchmark00(), clientCounts, opts)
+			if err != nil {
+				return out, err
+			}
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
 // AblationCheckpointPeriod sweeps the checkpoint period on Lion. Small
 // periods pay constant snapshot+broadcast overhead; huge periods grow
 // the log and slow view changes — the knob behind the paper's

@@ -71,6 +71,10 @@ type Options struct {
 	Measure time.Duration
 	// Timing overrides protocol timers.
 	Timing config.Timing
+	// Pipeline, when set, is applied to every cluster the run builds
+	// whose spec does not already pin a pipeline depth (the -pipeline
+	// flag of cmd/seemore-bench).
+	Pipeline config.Pipelining
 }
 
 func (o *Options) defaults() {
@@ -100,6 +104,9 @@ func (o *Options) defaults() {
 func MeasurePoint(spec cluster.Spec, w Workload, clients int, opts Options) (Point, error) {
 	opts.defaults()
 	spec.Timing = opts.Timing
+	if !spec.Pipelining.Enabled() {
+		spec.Pipelining = opts.Pipeline
+	}
 	spec.NewStateMachine = w.NewStateMachine
 	if spec.MaxClients < int64(clients) {
 		spec.MaxClients = int64(clients) + 1

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/config"
+	"repro/internal/ids"
+	"repro/internal/transport"
+)
+
+// measureDepth runs one Lion load point at the given pipeline depth and
+// batch size 1 — the configuration the pipelining acceptance criterion
+// compares.
+func measureDepth(t *testing.T, depth, clients int, opts Options) float64 {
+	t.Helper()
+	net := transport.WAN(2, AblationPipelineCrossCloud, 7)
+	spec := cluster.Spec{
+		Protocol: cluster.SeeMoRe, Mode: ids.Lion,
+		Crash: 1, Byz: 1, Suite: "ed25519", Seed: 7, Net: &net,
+		Pipelining: config.Pipelining{Depth: depth},
+	}
+	p, err := MeasurePoint(spec, Benchmark00(), clients, opts)
+	if err != nil {
+		t.Fatalf("depth %d: %v", depth, err)
+	}
+	if p.Errors > 0 {
+		t.Fatalf("depth %d: %d client errors", depth, p.Errors)
+	}
+	return p.Throughput
+}
+
+// TestPipelineDepthSpeedup is the ablation's acceptance criterion in
+// test form: at batch size 1 on the in-process transport, a depth-16
+// pipeline must beat stop-and-wait (depth 1) — the whole point of
+// overlapping agreement round trips. One retry with a longer window
+// absorbs scheduler noise on loaded hosts.
+func TestPipelineDepthSpeedup(t *testing.T) {
+	opts := Options{Warmup: 60 * time.Millisecond, Measure: 250 * time.Millisecond}
+	const clients = 16
+	for attempt := 0; ; attempt++ {
+		d1 := measureDepth(t, 1, clients, opts)
+		d16 := measureDepth(t, 16, clients, opts)
+		if d16 > d1 {
+			t.Logf("throughput: depth 1 = %.0f req/s, depth 16 = %.0f req/s (%.1fx)", d1, d16, d16/d1)
+			return
+		}
+		if attempt >= 1 {
+			t.Fatalf("depth-16 throughput %.0f req/s not above depth-1 %.0f req/s", d16, d1)
+		}
+		opts.Measure *= 3
+	}
+}
+
+// TestAblationPipelineShape checks the sweep produces one series per
+// (depth, batch) pair with sane labels.
+func TestAblationPipelineShape(t *testing.T) {
+	series, err := AblationPipeline(ids.Lion, []int{4}, quickOpts(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(PipelineDepths()) * 2; len(series) != want {
+		t.Fatalf("got %d series, want %d", len(series), want)
+	}
+	if series[0].Label != "Lion/depth=1/batch=1" {
+		t.Fatalf("unexpected first label %q", series[0].Label)
+	}
+	for _, s := range series {
+		if len(s.Points) != 1 || s.Points[0].Throughput <= 0 {
+			t.Fatalf("series %s has no throughput", s.Label)
+		}
+	}
+}

@@ -69,6 +69,10 @@ type Spec struct {
 	// Batching configures request batching at the primary/leader of
 	// every protocol; the zero value runs one request per slot.
 	Batching config.Batching
+	// Pipelining bounds the primary/leader's in-flight proposal window
+	// in every protocol; the zero value keeps the legacy unbounded
+	// admission (see config.Pipelining).
+	Pipelining config.Pipelining
 	// Net configures the simulated network; zero value uses
 	// transport.LAN.
 	Net *transport.SimConfig
@@ -234,6 +238,7 @@ func (c *Cluster) buildNode(id ids.ReplicaID) (Node, error) {
 			return nil, err
 		}
 		cl.Batching = c.Spec.Batching
+		cl.Pipelining = c.Spec.Pipelining
 		return core.NewReplica(core.Options{
 			ID: id, Cluster: cl, Suite: c.SuiteImpl, Network: c.nodeNet,
 			StateMachine: sm, TickInterval: c.Spec.TickInterval,
@@ -243,7 +248,7 @@ func (c *Cluster) buildNode(id ids.ReplicaID) (Node, error) {
 		return paxos.NewReplica(paxos.Options{
 			ID: id, N: c.N, Suite: c.SuiteImpl, Network: c.nodeNet,
 			StateMachine: sm, Timing: c.timing, Batching: c.Spec.Batching,
-			TickInterval: c.Spec.TickInterval,
+			Pipelining: c.Spec.Pipelining, TickInterval: c.Spec.TickInterval,
 		})
 	case PBFT:
 		f := c.Spec.Crash + c.Spec.Byz
@@ -251,14 +256,14 @@ func (c *Cluster) buildNode(id ids.ReplicaID) (Node, error) {
 			ID: id, N: c.N, Byz: f, Crash: 0,
 			Suite: c.SuiteImpl, Network: c.nodeNet,
 			StateMachine: sm, Timing: c.timing, Batching: c.Spec.Batching,
-			TickInterval: c.Spec.TickInterval,
+			Pipelining: c.Spec.Pipelining, TickInterval: c.Spec.TickInterval,
 		})
 	case UpRight:
 		return pbft.NewReplica(pbft.Options{
 			ID: id, N: c.N, Byz: c.Spec.Byz, Crash: c.Spec.Crash,
 			Suite: c.SuiteImpl, Network: c.nodeNet,
 			StateMachine: sm, Timing: c.timing, Batching: c.Spec.Batching,
-			TickInterval: c.Spec.TickInterval,
+			Pipelining: c.Spec.Pipelining, TickInterval: c.Spec.TickInterval,
 		})
 	default:
 		return nil, fmt.Errorf("cluster: unknown protocol")

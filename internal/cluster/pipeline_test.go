@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/ids"
+)
+
+// TestAllProtocolsEndToEndPipelined: every protocol — the three SeeMoRe
+// modes, Paxos, PBFT and S-UpRight — serves concurrent clients with a
+// bounded pipeline window at its primary/leader, composed with
+// batching, and converges.
+func TestAllProtocolsEndToEndPipelined(t *testing.T) {
+	specs := []struct {
+		name string
+		spec Spec
+	}{
+		{"SeeMoRe-Lion", Spec{Protocol: SeeMoRe, Mode: ids.Lion}},
+		{"SeeMoRe-Dog", Spec{Protocol: SeeMoRe, Mode: ids.Dog}},
+		{"SeeMoRe-Peacock", Spec{Protocol: SeeMoRe, Mode: ids.Peacock}},
+		{"CFT", Spec{Protocol: Paxos}},
+		{"BFT", Spec{Protocol: PBFT}},
+		{"S-UpRight", Spec{Protocol: UpRight}},
+	}
+	for i, tc := range specs {
+		tc, i := tc, i
+		t.Run(tc.name, func(t *testing.T) {
+			spec := tc.spec
+			spec.Crash, spec.Byz = 1, 1
+			spec.Timing = testTiming()
+			spec.Pipelining = config.Pipelining{Depth: 4}
+			spec.Batching = config.Batching{BatchSize: 4, BatchTimeout: 3 * time.Millisecond}
+			spec.Seed = int64(40 + i)
+			c, err := New(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Stop()
+			runConcurrent(t, c, 6, 5)
+			verifyConvergence(t, c, nil)
+		})
+	}
+}
+
+// TestPipelinedStopAndWaitCluster: Depth=1 (strict stop-and-wait, no
+// batching) still drains a concurrent backlog in a full deployment.
+func TestPipelinedStopAndWaitCluster(t *testing.T) {
+	spec := Spec{
+		Protocol: SeeMoRe, Mode: ids.Lion, Crash: 1, Byz: 1,
+		Timing: testTiming(), Seed: 47,
+		Pipelining: config.Pipelining{Depth: 1},
+	}
+	c, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	runConcurrent(t, c, 4, 6)
+	verifyConvergence(t, c, nil)
+}
+
+// TestPipelineSpecValidation: a nonsensical depth is rejected at
+// replica construction for every protocol engine.
+func TestPipelineSpecValidation(t *testing.T) {
+	for _, proto := range []Protocol{SeeMoRe, Paxos, PBFT} {
+		spec := Spec{Protocol: proto, Mode: ids.Lion, Crash: 1, Byz: 1,
+			Pipelining: config.Pipelining{Depth: -1}}
+		if _, err := New(spec); err == nil {
+			t.Errorf("%s accepted a negative pipeline depth", proto)
+		}
+	}
+	if err := (config.Pipelining{Depth: config.MaxPipelineDepth + 1}).Validate(); err == nil {
+		t.Error("over-limit pipeline depth accepted")
+	}
+}

@@ -1,7 +1,3 @@
-// Package config holds cluster configuration and the Section-4 capacity
-// planner: given a private cloud and failure statistics of a public cloud
-// provider, it computes how many public nodes an enterprise must rent to
-// satisfy the hybrid network-size constraint N = 3m + 2c + 1.
 package config
 
 import (
@@ -216,8 +212,48 @@ func (b Batching) Normalized() Batching {
 	return b
 }
 
+// Pipelining governs how many consensus slots a primary may keep in
+// flight at once. With the zero value the primary behaves exactly as
+// before this knob existed: every admitted request (or full batch) is
+// proposed immediately and nothing bounds the number of uncommitted
+// slots except the log window — wire frames are byte-identical to the
+// pre-pipelining protocol.
+//
+// With Depth = K ≥ 1 the primary runs a windowed pipeline: it assigns
+// and proposes up to K sequence numbers concurrently, overlapping their
+// agreement round trips, and queues further requests until a window
+// slot commits. Commits may arrive out of order; the executor still
+// applies slots strictly in sequence order. Depth = 1 degenerates to
+// stop-and-wait (one slot at a time), which is the useful baseline the
+// ablation compares against.
+type Pipelining struct {
+	// Depth is the maximum number of proposed-but-uncommitted slots the
+	// primary may hold. 0 disables the windowed pipeline (legacy
+	// unbounded admission); K ≥ 1 bounds the in-flight window to K.
+	Depth int
+}
+
+// MaxPipelineDepth caps the pipeline window: deeper windows than this
+// exceed any sensible log window and signal a misconfiguration.
+const MaxPipelineDepth = 1024
+
+// Validate rejects nonsensical pipelining values.
+func (p Pipelining) Validate() error {
+	if p.Depth < 0 {
+		return fmt.Errorf("config: negative PipelineDepth %d", p.Depth)
+	}
+	if p.Depth > MaxPipelineDepth {
+		return fmt.Errorf("config: PipelineDepth %d exceeds limit %d", p.Depth, MaxPipelineDepth)
+	}
+	return nil
+}
+
+// Enabled reports whether the windowed pipeline is on.
+func (p Pipelining) Enabled() bool { return p.Depth >= 1 }
+
 // Cluster is the full static configuration of one SeeMoRe deployment:
-// membership, initial mode, timers, and request batching.
+// membership, initial mode, timers, request batching and slot
+// pipelining.
 type Cluster struct {
 	Membership ids.Membership
 	// InitialMode is the mode the cluster boots in (view 0).
@@ -226,12 +262,15 @@ type Cluster struct {
 	// Batching configures request batching at the primary; the zero
 	// value runs one request per slot.
 	Batching Batching
+	// Pipelining bounds the primary's in-flight proposal window; the
+	// zero value keeps the legacy one-proposal-per-admission behavior.
+	Pipelining Pipelining
 }
 
 // NewCluster validates the pieces together: the membership must support
-// the initial mode and the timing must be sane. Batching starts at the
-// zero value (unbatched); set the field before building replicas to
-// turn it on.
+// the initial mode and the timing must be sane. Batching and Pipelining
+// start at their zero values (unbatched, unpipelined); set the fields
+// before building replicas to turn them on.
 func NewCluster(mb ids.Membership, mode ids.Mode, timing Timing) (Cluster, error) {
 	if !mode.Valid() {
 		return Cluster{}, fmt.Errorf("config: invalid initial mode %d", int(mode))

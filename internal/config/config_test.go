@@ -207,3 +207,25 @@ func TestNewCluster(t *testing.T) {
 	}()
 	MustCluster(small, ids.Peacock, DefaultTiming())
 }
+
+func TestPipeliningValidate(t *testing.T) {
+	cases := []struct {
+		depth int
+		ok    bool
+	}{
+		{0, true}, {1, true}, {16, true}, {MaxPipelineDepth, true},
+		{-1, false}, {MaxPipelineDepth + 1, false},
+	}
+	for _, tc := range cases {
+		err := Pipelining{Depth: tc.depth}.Validate()
+		if (err == nil) != tc.ok {
+			t.Errorf("Depth %d: Validate() = %v, want ok=%v", tc.depth, err, tc.ok)
+		}
+	}
+	if (Pipelining{}).Enabled() {
+		t.Error("zero-value Pipelining reports enabled")
+	}
+	if !(Pipelining{Depth: 1}).Enabled() {
+		t.Error("Depth 1 reports disabled")
+	}
+}

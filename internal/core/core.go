@@ -1,17 +1,3 @@
-// Package core implements SeeMoRe, the paper's hybrid State Machine
-// Replication protocol for public/private cloud environments. A Replica
-// runs one of three modes (Section 5):
-//
-//   - Lion: trusted primary in the private cloud, two phases, O(n)
-//     messages, quorum 2m+c+1 over the whole network.
-//   - Dog: trusted primary, agreement delegated to 3m+1 public-cloud
-//     proxies, two phases, O(n²) among proxies, quorum 2m+1.
-//   - Peacock: untrusted primary, PBFT among 3m+1 proxies, three phases,
-//     with a trusted transferer driving view changes.
-//
-// The package also implements checkpointing with garbage collection,
-// state transfer for lagging replicas, per-mode view changes, and the
-// dynamic mode-switching protocol of Section 5.4.
 package core
 
 import (
@@ -76,10 +62,14 @@ type Replica struct {
 	// nextSeq is the next sequence number to assign (primary role).
 	nextSeq uint64
 
-	// pendingSlots tracks slots with an accepted proposal that have not
-	// committed yet; the view-change timer runs while it is non-empty.
-	pendingSlots map[uint64]struct{}
-	waitingSince time.Time
+	// pending tracks slots with an accepted proposal that have not
+	// committed yet, one liveness timer per slot; at the primary its
+	// occupancy is the pipeline window.
+	pending *replica.Pending
+
+	// pipe bounds the primary's in-flight proposal window (zero value:
+	// legacy unbounded admission, see config.Pipelining).
+	pipe config.Pipelining
 
 	// vc holds view-change progress.
 	vc viewChangeState
@@ -152,16 +142,20 @@ func NewReplica(opts Options) (*Replica, error) {
 	if err := opts.Cluster.Batching.Validate(); err != nil {
 		return nil, err
 	}
+	if err := opts.Cluster.Pipelining.Validate(); err != nil {
+		return nil, err
+	}
 	r := &Replica{
 		mb:            mb,
 		timing:        opts.Cluster.Timing,
 		batcher:       replica.NewBatcher(opts.Cluster.Batching),
+		pipe:          opts.Cluster.Pipelining,
 		leanCommits:   opts.LeanCommits,
 		mode:          opts.Cluster.InitialMode,
 		log:           mlog.New(opts.Cluster.Timing.HighWaterMarkLag),
 		exec:          replica.NewExecutor(opts.StateMachine, opts.Cluster.Timing.CheckpointPeriod),
 		nextSeq:       1,
-		pendingSlots:  make(map[uint64]struct{}),
+		pending:       replica.NewPending(),
 		pendingStable: make(map[uint64]*stableEvidence),
 		inFlight:      make(map[inFlightKey]uint64),
 	}
@@ -274,15 +268,24 @@ func (r *Replica) HandleMessage(m *message.Message) {
 // HandleTick implements replica.Handler: timeout processing.
 func (r *Replica) HandleTick(now time.Time) {
 	// A partial batch older than BatchTimeout is flushed so a lull in
-	// client traffic cannot strand buffered requests.
-	if r.status == statusNormal && r.batcher.Due(now) {
-		r.proposeBatch(r.batcher.Take())
+	// client traffic cannot strand buffered requests. The pipelined
+	// pump applies the same deadline, additionally bounded by window
+	// room.
+	if r.status == statusNormal {
+		if r.pipe.Enabled() {
+			r.pump(now)
+		} else if r.batcher.Due(now) {
+			r.proposeBatch(r.batcher.Take())
+		}
 	}
-	// Outstanding prepared-but-uncommitted work past τ: suspect the
-	// primary and start a view change (Section 5.1, View Changes).
-	if r.status == statusNormal && !r.waitingSince.IsZero() &&
-		now.Sub(r.waitingSince) > r.timing.ViewChange {
-		r.startViewChange(r.view+1, r.mode)
+	// Any single slot prepared-but-uncommitted past τ: suspect the
+	// primary and start a view change (Section 5.1, View Changes). The
+	// timers are per slot, so a stalled slot n is suspected on schedule
+	// even while newer slots keep committing around it.
+	if r.status == statusNormal {
+		if _, ok := r.pending.Expired(now, r.timing.ViewChange); ok {
+			r.startViewChange(r.view+1, r.mode)
+		}
 	}
 	// A view change that stalls either escalates or backs off. If m+1
 	// replicas demand a newer view, at least one correct peer shares the
@@ -309,38 +312,18 @@ func (r *Replica) HandleTick(now time.Time) {
 	}
 }
 
-// markPending starts the liveness timer for a slot with an accepted
-// proposal.
-func (r *Replica) markPending(seq uint64) {
-	if _, ok := r.pendingSlots[seq]; ok {
-		return
-	}
-	r.pendingSlots[seq] = struct{}{}
-	if r.waitingSince.IsZero() {
-		r.waitingSince = time.Now()
-	}
-}
+// markPending starts the per-slot liveness timer for a slot with an
+// accepted proposal.
+func (r *Replica) markPending(seq uint64) { r.pending.Mark(seq, time.Now()) }
 
-// clearPending stops the timer for a committed slot and restarts it if
-// other slots remain outstanding (the paper's "restarts the timer"
-// behaviour).
-func (r *Replica) clearPending(seq uint64) {
-	if _, ok := r.pendingSlots[seq]; !ok {
-		return
-	}
-	delete(r.pendingSlots, seq)
-	if len(r.pendingSlots) == 0 {
-		r.waitingSince = time.Time{}
-	} else {
-		r.waitingSince = time.Now()
-	}
-}
+// clearPending stops the timer for a committed slot. Other slots keep
+// their own timers — per-slot arming supersedes the old single restart-
+// on-commit timer, under which a fast slot n+1 committing masked a
+// stalled slot n indefinitely.
+func (r *Replica) clearPending(seq uint64) { r.pending.Clear(seq) }
 
 // resetPending drops all liveness timers (used on view entry).
-func (r *Replica) resetPending() {
-	r.pendingSlots = make(map[uint64]struct{})
-	r.waitingSince = time.Time{}
-}
+func (r *Replica) resetPending() { r.pending.Reset() }
 
 // executeReady drains committed slots into the state machine and emits
 // replies according to the current mode's reply policy.
@@ -361,11 +344,15 @@ func (r *Replica) executeReady() {
 		r.maybeCheckpoint()
 		r.drainPendingStable()
 	}
+	// Commits (including out-of-order ones that could not execute yet)
+	// free pipeline window room: refill it from the backlog.
+	r.drainBlocked()
+	r.pump(time.Now())
 }
 
 // relaySentinel is the pseudo-slot used to arm the suspicion timer when
 // a backup relays a client request to the primary.
-const relaySentinel = ^uint64(0)
+const relaySentinel = replica.RelaySentinel
 
 // replyToClient sends a REPLY if this replica's role replies in the
 // given mode: the primary in Lion; the proxies in Dog and Peacock
@@ -436,11 +423,22 @@ func (r *Replica) onRequest(req *message.Request) {
 	r.markPending(relaySentinel)
 }
 
-// admitRequest is the primary's intake: unbatched configurations
-// propose immediately (the legacy single-request slot); batched ones
+// admitRequest is the primary's intake. Pipelined configurations buffer
+// the request and let pump decide how much of the backlog fits the
+// proposal window. Otherwise, unbatched configurations propose
+// immediately (the legacy single-request slot) and batched ones
 // accumulate until BatchSize requests are buffered or BatchTimeout
 // expires (HandleTick flushes stragglers).
 func (r *Replica) admitRequest(req *message.Request) {
+	if r.pipe.Enabled() {
+		key := inFlightKey{client: req.Client, ts: req.Timestamp}
+		if _, dup := r.inFlight[key]; dup {
+			return // already ordered; the commit is in flight
+		}
+		r.batcher.Add(req)
+		r.pump(time.Now())
+		return
+	}
 	if !r.batcher.Enabled() {
 		r.proposeBatch([]*message.Request{req})
 		return
@@ -451,6 +449,34 @@ func (r *Replica) admitRequest(req *message.Request) {
 	}
 	if r.batcher.Add(req) {
 		r.proposeBatch(r.batcher.Take())
+	}
+}
+
+// pump proposes buffered batches while the pipeline window has room
+// (see replica.Pump). It is a no-op unless this replica is a pipelined
+// primary in normal operation.
+func (r *Replica) pump(now time.Time) {
+	if !r.pipe.Enabled() || r.status != statusNormal || !r.isPrimary() {
+		return
+	}
+	replica.Pump(r.pipe.Depth, r.pending, r.batcher, now, r.proposeBatch)
+}
+
+// drainBlocked re-admits requests that proposeBatch parked in the queue
+// because the log window was full, once a stable checkpoint has moved
+// the window forward. Pipelined primaries only — the legacy path keeps
+// relying on client retransmission, unchanged.
+func (r *Replica) drainBlocked() {
+	if !r.pipe.Enabled() || r.status != statusNormal || !r.isPrimary() ||
+		len(r.queue) == 0 || !r.log.InWindow(r.nextSeq) {
+		return
+	}
+	q := r.queue
+	r.queue = nil
+	for _, req := range q {
+		if r.exec.Fresh(req) {
+			r.admitRequest(req)
+		}
 	}
 }
 
@@ -550,6 +576,12 @@ func (r *Replica) drainQueue() {
 		if r.exec.Fresh(req) {
 			r.admitRequest(req)
 		}
+	}
+	if r.pipe.Enabled() {
+		// The re-admitted backlog refills the whole in-flight window;
+		// the rest stays buffered and follows as slots commit.
+		r.pump(time.Now())
+		return
 	}
 	r.proposeBatch(r.batcher.Take())
 }

@@ -1,0 +1,38 @@
+// Package core implements SeeMoRe, the paper's hybrid State Machine
+// Replication protocol for public/private cloud environments. A Replica
+// runs one of three modes (Section 5):
+//
+//   - Lion: trusted primary in the private cloud, two phases, O(n)
+//     messages, quorum 2m+c+1 over the whole network.
+//   - Dog: trusted primary, agreement delegated to 3m+1 public-cloud
+//     proxies, two phases, O(n²) among proxies, quorum 2m+1.
+//   - Peacock: untrusted primary, PBFT among 3m+1 proxies, three phases,
+//     with a trusted transferer driving view changes.
+//
+// The package also implements checkpointing with garbage collection,
+// state transfer for lagging replicas, per-mode view changes, and the
+// dynamic mode-switching protocol of Section 5.4.
+//
+// # Throughput path
+//
+// Two knobs stack on the paper's per-request agreement rounds, both off
+// by default (their zero values keep the wire traffic byte-identical to
+// the plain protocol):
+//
+//   - Batching (config.Batching): the primary packs up to BatchSize
+//     client requests into one consensus slot, amortizing one agreement
+//     round — and its signing work — over the batch.
+//   - Pipelining (config.Pipelining): the primary keeps up to Depth
+//     slots in flight concurrently instead of waiting for slot n to
+//     commit before proposing n+1, overlapping the agreement round
+//     trips of independent sequence numbers.
+//
+// Commits collect out of order in the message log; the executor applies
+// slots strictly in sequence order, so pipelining never reorders
+// execution. Each in-flight slot carries its own liveness timer
+// (replica.Pending), so a stalled slot is suspected after τ even while
+// its neighbors commit, and a view change re-proposes the whole
+// in-flight window via the NEW-VIEW's P′/C′ sets. Once round trips
+// overlap, signature checking dominates; batched payloads verify on a
+// worker pool (replica.Engine.VerifyRequests).
+package core

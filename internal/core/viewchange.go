@@ -517,15 +517,21 @@ func (r *Replica) onNewView(m *message.Message) {
 		return
 	}
 	// Every re-issued entry must be signed by the collector for this
-	// view and carry its request payload (lone request or batch).
+	// view and carry its request payload (lone request or batch). The
+	// structural checks run inline; the signatures — one independent
+	// check per re-issued slot, the whole in-flight window of the old
+	// view — fan out across the verification worker pool.
 	for _, set := range [][]message.Signed{m.Prepares, m.Commits} {
 		for i := range set {
 			s := set[i]
 			reqs := s.Requests()
 			if s.From != m.From || s.View != m.View || len(reqs) == 0 ||
-				message.BatchDigest(reqs) != s.Digest || !r.eng.VerifyRecord(&s) {
+				message.BatchDigest(reqs) != s.Digest {
 				return
 			}
+		}
+		if !r.eng.VerifyRecords(set) {
+			return
 		}
 	}
 	r.applyNewView(m)

@@ -1,0 +1,63 @@
+package crypto
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// minParallelVerify is the smallest check count worth fanning out: below
+// it, goroutine startup costs more than the ed25519 arithmetic saved.
+const minParallelVerify = 4
+
+// VerifyAll runs n independent verification checks and reports whether
+// every one passed. Small sets run inline; larger ones fan out across a
+// worker pool sized to the available CPUs, with early exit once any
+// check fails. Once a primary pipelines several slots (each carrying a
+// batch of client-signed requests), signature checking is the replica
+// hot path, and the checks of independent requests — and of independent
+// slots' evidence records — share no state, so they verify in parallel.
+//
+// check must be safe for concurrent use (crypto.Suite implementations
+// are) and must not depend on the order checks run in.
+func VerifyAll(n int, check func(i int) bool) bool {
+	if n <= 0 {
+		return true
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if n < minParallelVerify || workers < 2 {
+		for i := 0; i < n; i++ {
+			if !check(i) {
+				return false
+			}
+		}
+		return true
+	}
+
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if !check(i) {
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return !failed.Load()
+}

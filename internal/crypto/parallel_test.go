@@ -1,0 +1,66 @@
+package crypto
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestVerifyAllEmptyAndSmall(t *testing.T) {
+	if !VerifyAll(0, func(int) bool { t.Fatal("check called for n=0"); return false }) {
+		t.Fatal("empty set must verify")
+	}
+	var calls atomic.Int64
+	if !VerifyAll(2, func(i int) bool { calls.Add(1); return true }) {
+		t.Fatal("passing small set failed")
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("small set ran %d checks, want 2", calls.Load())
+	}
+	if VerifyAll(2, func(i int) bool { return i != 1 }) {
+		t.Fatal("failing small set passed")
+	}
+}
+
+func TestVerifyAllLargeCoversEveryIndex(t *testing.T) {
+	const n = 1000
+	var seen [n]atomic.Bool
+	if !VerifyAll(n, func(i int) bool { seen[i].Store(true); return true }) {
+		t.Fatal("passing large set failed")
+	}
+	for i := range seen {
+		if !seen[i].Load() {
+			t.Fatalf("index %d never checked", i)
+		}
+	}
+}
+
+func TestVerifyAllLargeFailure(t *testing.T) {
+	const n = 512
+	for _, bad := range []int{0, n / 2, n - 1} {
+		bad := bad
+		if VerifyAll(n, func(i int) bool { return i != bad }) {
+			t.Fatalf("failure at index %d not detected", bad)
+		}
+	}
+}
+
+// TestVerifyAllMatchesSuite ties the pool to real signatures: a batch
+// with one corrupted signature must fail exactly as sequential
+// verification does.
+func TestVerifyAllMatchesSuite(t *testing.T) {
+	s := NewEd25519Suite(1, 1, 8)
+	msgs := make([][]byte, 8)
+	sigs := make([][]byte, 8)
+	for i := range msgs {
+		msgs[i] = []byte{byte(i), 1, 2, 3}
+		sigs[i] = s.Sign(ClientPrincipal(int64(i)), msgs[i])
+	}
+	check := func(i int) bool { return s.Verify(ClientPrincipal(int64(i)), msgs[i], sigs[i]) }
+	if !VerifyAll(len(msgs), check) {
+		t.Fatal("valid batch rejected")
+	}
+	sigs[5][0] ^= 0xff
+	if VerifyAll(len(msgs), check) {
+		t.Fatal("corrupted batch accepted")
+	}
+}

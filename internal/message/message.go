@@ -1,13 +1,3 @@
-// Package message defines every message exchanged by SeeMoRe and the
-// baseline protocols (Paxos, PBFT, S-UpRight), together with a
-// deterministic binary codec. Determinism matters because signatures are
-// computed over encoded bytes: the same logical message must always
-// produce the same bytes on every node.
-//
-// One Message struct covers all protocols; unused fields stay at their
-// zero values and the per-kind validator rejects malformed combinations.
-// This mirrors how the paper layers all of its modes over one
-// communication substrate (BFT-SMaRt's, in their case).
 package message
 
 import (

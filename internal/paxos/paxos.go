@@ -34,7 +34,7 @@ const (
 	statusViewChange
 )
 
-const relaySentinel = ^uint64(0)
+const relaySentinel = replica.RelaySentinel
 
 // Options assembles one Paxos replica.
 type Options struct {
@@ -53,6 +53,9 @@ type Options struct {
 	// Batching configures request batching at the leader (zero value:
 	// one request per slot).
 	Batching config.Batching
+	// Pipelining bounds the leader's in-flight proposal window (zero
+	// value: legacy unbounded admission, see config.Pipelining).
+	Pipelining config.Pipelining
 	// TickInterval overrides the engine tick (default 5ms).
 	TickInterval time.Duration
 }
@@ -71,8 +74,10 @@ type Replica struct {
 
 	nextSeq uint64
 
-	pendingSlots map[uint64]struct{}
-	waitingSince time.Time
+	// pending tracks proposed-but-uncommitted slots, one liveness timer
+	// per slot; at the leader its occupancy is the pipeline window.
+	pending *replica.Pending
+	pipe    config.Pipelining
 
 	vcVotes    map[ids.View]map[ids.ReplicaID]*message.Message
 	vcTarget   ids.View
@@ -123,14 +128,18 @@ func NewReplica(opts Options) (*Replica, error) {
 	if err := opts.Batching.Validate(); err != nil {
 		return nil, err
 	}
+	if err := opts.Pipelining.Validate(); err != nil {
+		return nil, err
+	}
 	r := &Replica{
 		n:             opts.N,
 		timing:        opts.Timing,
 		batcher:       replica.NewBatcher(opts.Batching),
+		pipe:          opts.Pipelining,
 		log:           mlog.New(opts.Timing.HighWaterMarkLag),
 		exec:          replica.NewExecutor(opts.StateMachine, opts.Timing.CheckpointPeriod),
 		nextSeq:       1,
-		pendingSlots:  make(map[uint64]struct{}),
+		pending:       replica.NewPending(),
 		vcVotes:       make(map[ids.View]map[ids.ReplicaID]*message.Message),
 		pendingStable: make(map[uint64]pendingCheckpoint),
 		inFlight:      make(map[inFlightKey]uint64),
@@ -222,44 +231,30 @@ func (r *Replica) HandleMessage(m *message.Message) {
 
 // HandleTick implements replica.Handler.
 func (r *Replica) HandleTick(now time.Time) {
-	if r.status == statusNormal && r.batcher.Due(now) {
-		r.proposeBatch(r.batcher.Take())
+	if r.status == statusNormal {
+		if r.pipe.Enabled() {
+			r.pump(now)
+		} else if r.batcher.Due(now) {
+			r.proposeBatch(r.batcher.Take())
+		}
 	}
-	if r.status == statusNormal && !r.waitingSince.IsZero() &&
-		now.Sub(r.waitingSince) > r.timing.ViewChange {
-		r.startViewChange(r.view + 1)
+	// Per-slot timers: a stalled slot is suspected after τ even while
+	// newer slots keep committing around it.
+	if r.status == statusNormal {
+		if _, ok := r.pending.Expired(now, r.timing.ViewChange); ok {
+			r.startViewChange(r.view + 1)
+		}
 	}
 	if r.status == statusViewChange && !r.vcDeadline.IsZero() && now.After(r.vcDeadline) {
 		r.startViewChange(r.vcTarget + 1)
 	}
 }
 
-func (r *Replica) markPending(seq uint64) {
-	if _, ok := r.pendingSlots[seq]; ok {
-		return
-	}
-	r.pendingSlots[seq] = struct{}{}
-	if r.waitingSince.IsZero() {
-		r.waitingSince = time.Now()
-	}
-}
+func (r *Replica) markPending(seq uint64) { r.pending.Mark(seq, time.Now()) }
 
-func (r *Replica) clearPending(seq uint64) {
-	if _, ok := r.pendingSlots[seq]; !ok {
-		return
-	}
-	delete(r.pendingSlots, seq)
-	if len(r.pendingSlots) == 0 {
-		r.waitingSince = time.Time{}
-	} else {
-		r.waitingSince = time.Now()
-	}
-}
+func (r *Replica) clearPending(seq uint64) { r.pending.Clear(seq) }
 
-func (r *Replica) resetPending() {
-	r.pendingSlots = make(map[uint64]struct{})
-	r.waitingSince = time.Time{}
-}
+func (r *Replica) resetPending() { r.pending.Reset() }
 
 func (r *Replica) executeReady() {
 	view := r.view
@@ -278,6 +273,9 @@ func (r *Replica) executeReady() {
 		r.maybeCheckpoint()
 		r.drainPendingStable()
 	}
+	// Commits free pipeline window room: refill it from the backlog.
+	r.drainBlocked()
+	r.pump(time.Now())
 }
 
 func (r *Replica) sendReply(view ids.View, req *message.Request, result []byte) {
@@ -318,9 +316,18 @@ func (r *Replica) onRequest(req *message.Request) {
 	r.markPending(relaySentinel)
 }
 
-// admitRequest buffers or proposes a request depending on the batching
-// knobs (see core's admitRequest; same policy).
+// admitRequest buffers or proposes a request depending on the
+// pipelining and batching knobs (see core's admitRequest; same policy).
 func (r *Replica) admitRequest(req *message.Request) {
+	if r.pipe.Enabled() {
+		key := inFlightKey{client: req.Client, ts: req.Timestamp}
+		if _, dup := r.inFlight[key]; dup {
+			return
+		}
+		r.batcher.Add(req)
+		r.pump(time.Now())
+		return
+	}
 	if !r.batcher.Enabled() {
 		r.proposeBatch([]*message.Request{req})
 		return
@@ -331,6 +338,33 @@ func (r *Replica) admitRequest(req *message.Request) {
 	}
 	if r.batcher.Add(req) {
 		r.proposeBatch(r.batcher.Take())
+	}
+}
+
+// pump proposes buffered batches while the pipeline window has room
+// (see replica.Pump). No-op unless this replica is a pipelined leader
+// in normal operation.
+func (r *Replica) pump(now time.Time) {
+	if !r.pipe.Enabled() || r.status != statusNormal || !r.isLeader() {
+		return
+	}
+	replica.Pump(r.pipe.Depth, r.pending, r.batcher, now, r.proposeBatch)
+}
+
+// drainBlocked re-admits requests parked in the queue because the log
+// window was full, once a stable checkpoint moved the window forward
+// (pipelined leaders only; the legacy path relies on retransmission).
+func (r *Replica) drainBlocked() {
+	if !r.pipe.Enabled() || r.status != statusNormal || !r.isLeader() ||
+		len(r.queue) == 0 || !r.log.InWindow(r.nextSeq) {
+		return
+	}
+	q := r.queue
+	r.queue = nil
+	for _, req := range q {
+		if r.exec.Fresh(req) {
+			r.admitRequest(req)
+		}
 	}
 }
 
@@ -495,6 +529,10 @@ func (r *Replica) drainQueue() {
 		if r.exec.Fresh(req) {
 			r.admitRequest(req)
 		}
+	}
+	if r.pipe.Enabled() {
+		r.pump(time.Now())
+		return
 	}
 	r.proposeBatch(r.batcher.Take())
 }

@@ -461,15 +461,22 @@ func (r *Replica) applyNewView(m *message.Message) {
 	if r.nextSeq <= maxSeq {
 		r.nextSeq = maxSeq + 1
 	}
-	// A batch buffered before the view change: the new primary re-admits
-	// what is still fresh; everyone else drops it (clients retransmit).
-	if b := r.batcher.Take(); len(b) > 0 && r.isPrimary() {
-		for _, req := range b {
+	// Work buffered before the view change — an unflushed batch plus any
+	// window-parked queue: the new primary re-admits what is still
+	// fresh; everyone else drops it (clients retransmit).
+	backlog := append(r.batcher.Take(), r.queue...)
+	r.queue = nil
+	if len(backlog) > 0 && r.isPrimary() {
+		for _, req := range backlog {
 			if r.exec.Fresh(req) {
 				r.admitRequest(req)
 			}
 		}
-		r.proposeBatch(r.batcher.Take())
+		if r.pipe.Enabled() {
+			r.pump(time.Now())
+		} else {
+			r.proposeBatch(r.batcher.Take())
+		}
 	}
 	r.executeReady()
 	if p := r.loadProbe(); p.OnViewChange != nil {

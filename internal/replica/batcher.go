@@ -68,6 +68,35 @@ func (b *Batcher) Take() []*message.Request {
 	return out
 }
 
+// Target returns the normalized batch size (≥ 1): how many requests a
+// pipelined primary packs into one slot.
+func (b *Batcher) Target() int {
+	if b.cfg.BatchSize < 1 {
+		return 1
+	}
+	return b.cfg.BatchSize
+}
+
+// TakeUpTo removes and returns the n oldest buffered requests (fewer if
+// the buffer is shorter). A pipelined primary uses it to carve one
+// slot's payload off a backlog that grew past BatchSize while the
+// proposal window was full; the remainder keeps waiting. The flush
+// deadline restarts for the remainder — without that, once the first
+// batch's deadline passed, every later partial batch would count as
+// due and flush immediately as an under-filled slot.
+func (b *Batcher) TakeUpTo(n int) []*message.Request {
+	if n >= len(b.buf) {
+		return b.Take()
+	}
+	out := b.buf[:n:n]
+	b.buf = b.buf[n:]
+	b.since = time.Now()
+	for _, req := range out {
+		delete(b.seen, batchKey{client: req.Client, ts: req.Timestamp})
+	}
+	return out
+}
+
 // Len returns how many requests are waiting.
 func (b *Batcher) Len() int { return len(b.buf) }
 
@@ -79,4 +108,24 @@ func (b *Batcher) TickInterval(base time.Duration) time.Duration {
 		return b.cfg.BatchTimeout
 	}
 	return base
+}
+
+// Pump is the pipelined primary's proposal loop, shared by every
+// protocol engine: while the proposal window (tracked by pend) has room
+// under depth and the batcher holds a proposable batch — a full one, or
+// a partial one past its flush deadline — carve off up to one slot's
+// worth of requests and hand them to propose. Requests beyond the
+// window stay buffered; the engines call Pump again whenever a slot
+// commits (freeing window room) and on every tick (flush deadlines).
+//
+// propose may decline to occupy a window slot (duplicate suppression,
+// log window full); the loop still terminates because every iteration
+// shrinks the batcher.
+func Pump(depth int, pend *Pending, b *Batcher, now time.Time, propose func([]*message.Request)) {
+	for pend.InFlight() < depth && b.Len() > 0 {
+		if b.Len() < b.Target() && !b.Due(now) {
+			return // partial batch, deadline not reached: keep filling
+		}
+		propose(b.TakeUpTo(b.Target()))
+	}
 }

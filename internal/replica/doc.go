@@ -1,0 +1,34 @@
+// Package replica provides the runtime shared by every protocol in this
+// repository: the event loop that turns a transport endpoint into a
+// single-threaded message handler, signing/verification helpers bound
+// to a replica identity, and the ordered executor that applies
+// committed requests to the state machine with exactly-once client
+// semantics.
+//
+// Protocol packages (core, paxos, pbft, upright) implement the Handler
+// interface; everything else — inbox draining, frame decoding, tick
+// timers, crash emulation — lives here exactly once.
+//
+// # Throughput machinery
+//
+// Three protocol-agnostic pieces back the primaries' throughput path:
+//
+//   - Batcher buffers client requests until a batch fills or its flush
+//     deadline passes, so one agreement round is amortized over many
+//     requests.
+//   - Pending tracks proposed-but-uncommitted slots with one liveness
+//     timer each (a stalled slot cannot hide behind a fast neighbor
+//     committing) and doubles as the pipeline's window-occupancy count.
+//   - Pump combines the two into the pipelined proposal loop: while the
+//     window has room under config.Pipelining.Depth, carve slot-sized
+//     payloads off the batcher and propose them, overlapping the
+//     agreement round trips of independent sequence numbers.
+//
+// Commits then arrive out of order; Executor.ExecuteReady walks the
+// message log strictly in sequence order, treating it as the reorder
+// buffer, and stops at the first gap — commit n+2 before n+1 simply
+// waits. The Engine's batch verification helpers (VerifyRequests,
+// VerifyRecords) fan independent signature checks across a worker pool,
+// since signature arithmetic becomes the hot path once pipelining
+// overlaps the network round trips.
+package replica

@@ -108,6 +108,21 @@ func (x *Executor) applyOne(seq uint64, req *message.Request, onExec func(uint64
 	}
 }
 
+// Backlog counts the committed slots parked behind the first gap: slots
+// the pipeline committed out of order that cannot execute until the
+// missing sequence numbers commit too. The message log is the reorder
+// buffer; this is its occupancy, useful for tests and metrics.
+func (x *Executor) Backlog(l *mlog.Log) int {
+	n := 0
+	for seq := x.lastExecuted + 1; seq <= l.High(); seq++ {
+		e := l.Peek(seq)
+		if e != nil && e.Committed() && !e.Executed() {
+			n++
+		}
+	}
+	return n
+}
+
 // AtCheckpoint reports whether seq is a checkpoint boundary.
 func (x *Executor) AtCheckpoint(seq uint64) bool { return seq%x.period == 0 }
 

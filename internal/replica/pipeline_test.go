@@ -1,0 +1,179 @@
+package replica
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/ids"
+	"repro/internal/message"
+	"repro/internal/mlog"
+	"repro/internal/statemachine"
+)
+
+func req(client ids.ClientID, ts uint64) *message.Request {
+	return &message.Request{Op: []byte("op"), Timestamp: ts, Client: client}
+}
+
+func TestPendingPerSlotTimers(t *testing.T) {
+	p := NewPending()
+	now := time.Now()
+	tau := 100 * time.Millisecond
+
+	p.Mark(1, now.Add(-2*tau)) // stalled
+	p.Mark(2, now)             // fresh
+	p.Mark(RelaySentinel, now.Add(-3*tau))
+
+	if got := p.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2 (sentinel excluded)", got)
+	}
+	// Re-marking must not refresh the original arming time.
+	p.Mark(1, now)
+	seq, ok := p.Expired(now, tau)
+	if !ok {
+		t.Fatal("stalled slot not reported expired")
+	}
+	// The sentinel is older still, so it is the oldest expired entry;
+	// slot 1 must surface once the sentinel clears.
+	if seq != RelaySentinel {
+		t.Fatalf("Expired = %d, want the relay sentinel (oldest)", seq)
+	}
+	p.Clear(RelaySentinel)
+	if seq, ok = p.Expired(now, tau); !ok || seq != 1 {
+		t.Fatalf("Expired = %d/%v, want slot 1", seq, ok)
+	}
+	// Clearing a fresh neighbor must not forgive the stalled slot.
+	p.Clear(2)
+	if _, ok = p.Expired(now, tau); !ok {
+		t.Fatal("clearing slot 2 masked the stalled slot 1")
+	}
+	p.Clear(1)
+	if _, ok = p.Expired(now, tau); ok {
+		t.Fatal("expired after all slots cleared")
+	}
+	p.Mark(3, now)
+	p.Reset()
+	if p.Len() != 0 || p.InFlight() != 0 {
+		t.Fatal("Reset left armed timers behind")
+	}
+}
+
+func TestBatcherTakeUpTo(t *testing.T) {
+	b := NewBatcher(config.Batching{BatchSize: 4})
+	for ts := uint64(1); ts <= 6; ts++ {
+		b.Add(req(0, ts))
+	}
+	if b.Len() != 6 {
+		t.Fatalf("buffered %d, want 6 (backlog may exceed BatchSize)", b.Len())
+	}
+	first := b.TakeUpTo(b.Target())
+	if len(first) != 4 || first[0].Timestamp != 1 || first[3].Timestamp != 4 {
+		t.Fatalf("TakeUpTo returned %d requests starting at ts %d, want the 4 oldest", len(first), first[0].Timestamp)
+	}
+	// The remaining requests still dedup, while the taken ones have
+	// released their dedup keys and may be buffered again.
+	b.Add(req(0, 5))
+	if b.Len() != 2 {
+		t.Fatalf("duplicate of a still-buffered request re-added: Len = %d, want 2", b.Len())
+	}
+	b.Add(req(0, 1))
+	if b.Len() != 3 {
+		t.Fatalf("re-adding a taken request: Len = %d, want 3", b.Len())
+	}
+	rest := b.TakeUpTo(10)
+	if len(rest) != 3 || b.Len() != 0 {
+		t.Fatalf("drain returned %d, left %d", len(rest), b.Len())
+	}
+}
+
+func TestPumpRespectsWindowAndDeadline(t *testing.T) {
+	b := NewBatcher(config.Batching{BatchSize: 2, BatchTimeout: 50 * time.Millisecond})
+	p := NewPending()
+	now := time.Now()
+	var proposed [][]*message.Request
+	propose := func(reqs []*message.Request) {
+		proposed = append(proposed, reqs)
+		p.Mark(uint64(len(proposed)), now)
+	}
+
+	for ts := uint64(1); ts <= 7; ts++ {
+		b.Add(req(0, ts))
+	}
+	// Depth 2: only two full batches may be proposed; the rest waits.
+	Pump(2, p, b, now, propose)
+	if len(proposed) != 2 || b.Len() != 3 {
+		t.Fatalf("proposed %d slots, %d buffered; want 2 and 3", len(proposed), b.Len())
+	}
+	// A commit frees one window slot: exactly one more batch goes out,
+	// and the lone leftover request is held back (partial, not due).
+	p.Clear(1)
+	Pump(2, p, b, now, propose)
+	if len(proposed) != 3 || b.Len() != 1 {
+		t.Fatalf("after commit: proposed %d, buffered %d; want 3 and 1", len(proposed), b.Len())
+	}
+	// Past the flush deadline the partial batch is proposed too — once
+	// the window has room.
+	later := now.Add(time.Second)
+	Pump(2, p, b, later, propose)
+	if len(proposed) != 3 {
+		t.Fatal("partial batch proposed with a full window")
+	}
+	p.Clear(2)
+	Pump(2, p, b, later, propose)
+	if len(proposed) != 4 || b.Len() != 0 {
+		t.Fatalf("due partial batch not flushed: proposed %d, buffered %d", len(proposed), b.Len())
+	}
+	if len(proposed[3]) != 1 {
+		t.Fatalf("flushed partial batch has %d requests, want 1", len(proposed[3]))
+	}
+}
+
+// TestExecutorGapHandling: the pipeline commits n and n+2 before n+1;
+// execution must stop at the gap, report the parked backlog, and apply
+// everything in order — each request exactly once — when the gap fills.
+func TestExecutorGapHandling(t *testing.T) {
+	l := mlog.New(64)
+	x := NewExecutor(statemachine.NewKVStore(), 16)
+
+	commitBatch(t, l, 1, []*message.Request{
+		{Op: statemachine.EncodePut("a", []byte("1")), Timestamp: 1, Client: 0},
+	})
+	commitBatch(t, l, 3, []*message.Request{
+		{Op: statemachine.EncodePut("c", []byte("3")), Timestamp: 1, Client: 2},
+	})
+
+	var order []uint64
+	onExec := func(seq uint64, _ *message.Request, _ []byte) { order = append(order, seq) }
+
+	if n := x.ExecuteReady(l, onExec); n != 1 {
+		t.Fatalf("executed %d slots, want 1 (slot 3 is behind the gap)", n)
+	}
+	if x.LastExecuted() != 1 {
+		t.Fatalf("cursor %d, want 1", x.LastExecuted())
+	}
+	if got := x.Backlog(l); got != 1 {
+		t.Fatalf("Backlog = %d, want 1 (slot 3 parked)", got)
+	}
+
+	// Slot 2 commits late; both it and the parked slot 3 execute, in
+	// sequence order.
+	commitBatch(t, l, 2, []*message.Request{
+		{Op: statemachine.EncodePut("b", []byte("2")), Timestamp: 1, Client: 1},
+	})
+	if n := x.ExecuteReady(l, onExec); n != 2 {
+		t.Fatalf("executed %d slots after gap filled, want 2", n)
+	}
+	want := []uint64{1, 2, 3}
+	for i, seq := range order {
+		if seq != want[i] {
+			t.Fatalf("execution order %v, want %v", order, want)
+		}
+	}
+	if got := x.Backlog(l); got != 0 {
+		t.Fatalf("Backlog = %d after drain, want 0", got)
+	}
+	// Exactly-once across the gap: nothing re-executes.
+	if n := x.ExecuteReady(l, onExec); n != 0 || len(order) != 3 {
+		t.Fatalf("re-execution after drain: %d slots, %d callbacks", n, len(order))
+	}
+}

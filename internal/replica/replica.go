@@ -1,12 +1,3 @@
-// Package replica provides the runtime shared by every protocol in this
-// repository: the event loop that turns a transport endpoint into a
-// single-threaded message handler, signing/verification helpers bound to
-// a replica identity, and the ordered executor that applies committed
-// requests to the state machine with exactly-once client semantics.
-//
-// Protocol packages (core, paxos, pbft, upright) implement the Handler
-// interface; everything else — inbox draining, frame decoding, tick
-// timers, crash emulation — lives here exactly once.
 package replica
 
 import (
@@ -184,6 +175,22 @@ func (e *Engine) VerifyRequest(r *message.Request) bool {
 		return true
 	}
 	return e.suite.Verify(crypto.ClientPrincipal(int64(r.Client)), r.SignedBytes(), r.Sig)
+}
+
+// VerifyRequests checks every client signature in a slot payload,
+// fanning the independent verifications across a worker pool when the
+// batch is large enough to pay for it (see crypto.VerifyAll). With
+// pipelining the primary keeps several batched slots in flight, so this
+// is the verification hot path on every replica.
+func (e *Engine) VerifyRequests(reqs []*message.Request) bool {
+	return crypto.VerifyAll(len(reqs), func(i int) bool { return e.VerifyRequest(reqs[i]) })
+}
+
+// VerifyRecords checks a set of Signed evidence records — independent
+// slots re-issued by a NEW-VIEW, or a checkpoint certificate — on the
+// same worker pool.
+func (e *Engine) VerifyRecords(set []message.Signed) bool {
+	return crypto.VerifyAll(len(set), func(i int) bool { return e.VerifyRecord(&set[i]) })
 }
 
 // Send marshals and transmits m to a replica. A crashed replica sends
