@@ -5,7 +5,7 @@ GO      ?= go
 PKGS    ?= ./...
 COVER   ?= coverage.out
 
-.PHONY: all build test race bench fmt fmt-check vet doclint cover clean help
+.PHONY: all build test race bench bench-json fuzz fmt fmt-check vet doclint cover clean help
 
 all: build test ## build everything, then run the tests
 
@@ -20,6 +20,14 @@ race: ## run the test suite under the race detector
 
 bench: ## regenerate the paper's figures/tables via the root benchmarks
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+bench-json: ## machine-readable pipeline sweep → BENCH_pipeline.json (CI artifact)
+	$(GO) run ./cmd/seemore-bench -exp ablation-pipeline \
+		-measure 200ms -warmup 50ms -clients 1,8 -json BENCH_pipeline.json
+
+fuzz: ## fuzz the message codec briefly (FuzzDecode round-trip property)
+	$(GO) test -run='^$$' -fuzz=FuzzDecode$$ -fuzztime=15s ./internal/message
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeRequest -fuzztime=5s ./internal/message
 
 fmt: ## gofmt all source in place
 	gofmt -w .

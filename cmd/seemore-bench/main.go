@@ -34,6 +34,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		pipeline = flag.Int("pipeline", 0, "pipeline depth applied to every experiment cluster (0: off)")
 		reqs     = flag.Int("table1-requests", 100, "requests per protocol for Table 1 message counting")
+		jsonOut  = flag.String("json", "", "also write every measured sweep to this JSON file (machine-readable; CI uploads it as an artifact)")
 	)
 	flag.Parse()
 
@@ -44,6 +45,14 @@ func main() {
 	opts := bench.Options{
 		Warmup: *warmup, Measure: *measure,
 		Pipeline: config.Pipelining{Depth: *pipeline},
+	}
+
+	var collected []bench.JSONExperiment
+	record := func(name string, series []bench.Series) {
+		if *jsonOut == "" {
+			return
+		}
+		collected = append(collected, bench.JSONExperiment{Name: name, Series: bench.ExportSeries(series)})
 	}
 
 	run := func(name string) {
@@ -64,6 +73,7 @@ func main() {
 			if err != nil {
 				log.Fatalf("%s: %v", name, err)
 			}
+			record(name, series)
 			bench.PrintFigure(os.Stdout, fig, series)
 		case "fig4":
 			tlOpts := bench.TimelineOptions{
@@ -86,36 +96,42 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
+			record(name, series)
 			bench.PrintAblation(os.Stdout, "signature scheme (Lion, 0/0)", "clients", series)
 		case "ablation-proxies":
 			series, err := bench.AblationProxyCount(counts, opts, *seed)
 			if err != nil {
 				log.Fatal(err)
 			}
+			record(name, series)
 			bench.PrintAblation(os.Stdout, "public cloud size (Dog, 0/0)", "clients", series)
 		case "ablation-commit":
 			series, err := bench.AblationCommitPayload(counts, opts, *seed)
 			if err != nil {
 				log.Fatal(err)
 			}
+			record(name, series)
 			bench.PrintAblation(os.Stdout, "Lion commit payload (4/0)", "clients", series)
 		case "ablation-checkpoint":
 			series, err := bench.AblationCheckpointPeriod(counts, opts, *seed)
 			if err != nil {
 				log.Fatal(err)
 			}
+			record(name, series)
 			bench.PrintAblation(os.Stdout, "checkpoint period (Lion, 0/0)", "clients", series)
 		case "ablation-batch":
 			series, err := bench.AblationBatchSizeAllModes(counts, opts, *seed)
 			if err != nil {
 				log.Fatal(err)
 			}
+			record(name, series)
 			bench.PrintAblation(os.Stdout, "request batch size (all modes, 0/0, ed25519)", "clients", series)
 		case "ablation-pipeline":
 			series, err := bench.AblationPipeline(ids.Lion, counts, opts, *seed)
 			if err != nil {
 				log.Fatal(err)
 			}
+			record(name, series)
 			bench.PrintAblation(os.Stdout, "pipeline depth × batch size (Lion, 0/0, ed25519)", "clients", series)
 		case "ablation-crosscloud":
 			lat := []time.Duration{50 * time.Microsecond, 250 * time.Microsecond, time.Millisecond, 4 * time.Millisecond}
@@ -123,6 +139,9 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
+			// Not recorded to -json: this sweep re-purposes the Clients
+			// field to carry the swept latency in µs, which would read
+			// as a client count in the machine-readable schema.
 			bench.PrintAblation(os.Stdout, "cross-cloud latency (Lion vs Peacock)", "lat(µs)", series)
 		default:
 			log.Fatalf("unknown experiment %q", name)
@@ -140,9 +159,16 @@ func main() {
 			fmt.Printf("=== %s ===\n", name)
 			run(name)
 		}
-		return
+	} else {
+		run(*exp)
 	}
-	run(*exp)
+
+	if *jsonOut != "" {
+		if err := bench.WriteJSONReport(*jsonOut, opts, *seed, collected); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %d experiment(s) to %s", len(collected), *jsonOut)
+	}
 }
 
 func parseCounts(s string) ([]int, error) {

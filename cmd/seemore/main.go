@@ -27,6 +27,7 @@ import (
 	"repro/internal/crypto"
 	"repro/internal/ids"
 	"repro/internal/statemachine"
+	"repro/internal/storage"
 	"repro/internal/transport"
 )
 
@@ -46,6 +47,8 @@ func main() {
 		batch    = flag.Int("batch", 1, "max requests per consensus slot (1 disables batching)")
 		batchTmo = flag.Duration("batch-timeout", config.DefaultBatchTimeout, "partial-batch flush deadline")
 		pipeline = flag.Int("pipeline", 0, "max consensus slots the primary keeps in flight (0 disables pipelining)")
+		dataDir  = flag.String("data-dir", "", "durable storage directory (WAL + snapshots); empty runs fully in memory")
+		fsyncEv  = flag.Int("fsync-every", 1, "fsync the WAL every N appends (1: every append; >1 trades a bounded power-failure window for throughput)")
 	)
 	flag.Parse()
 
@@ -70,6 +73,11 @@ func main() {
 		log.Fatalf("pipelining: %v", err)
 	}
 
+	cl.Durability = config.Durability{Dir: *dataDir, FsyncEvery: *fsyncEv}
+	if err := cl.Durability.Validate(); err != nil {
+		log.Fatalf("durability: %v", err)
+	}
+
 	peerMap, err := parsePeers(*peers)
 	if err != nil {
 		log.Fatalf("peers: %v", err)
@@ -79,24 +87,48 @@ func main() {
 		log.Fatalf("listen: %v", err)
 	}
 
+	var store storage.Store
+	if cl.Durability.Enabled() {
+		store, err = storage.Open(cl.Durability.Dir, storage.DiskOptions{FsyncEvery: cl.Durability.FsyncEvery})
+		if err != nil {
+			log.Fatalf("storage: %v", err)
+		}
+	}
+
 	replica, err := core.NewReplica(core.Options{
 		ID:           ids.ReplicaID(*id),
 		Cluster:      cl,
 		Suite:        pickSuite(*suite, *seed, mb.N(), *clients),
 		Network:      transport.Single(node),
 		StateMachine: statemachine.NewKVStore(),
+		Storage:      store, // the replica recovers from it and owns it
 	})
 	if err != nil {
 		log.Fatalf("replica: %v", err)
 	}
 	replica.Start()
-	log.Printf("seemore replica %d up: %v, mode %s, listening on %s", *id, mb, md, node.ListenAddr())
+	durable := "in-memory"
+	if store != nil {
+		durable = "data-dir " + *dataDir
+	}
+	log.Printf("seemore replica %d up: %v, mode %s, listening on %s (%s)", *id, mb, md, node.ListenAddr(), durable)
 
-	sig := make(chan os.Signal, 1)
+	// Graceful shutdown: stop the engine first (no new proposals or
+	// votes; the replica flushes and closes its WAL), then the
+	// transport. A second signal aborts immediately for operators who
+	// cannot wait.
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
-	log.Printf("shutting down")
-	replica.Stop()
+	first := <-sig
+	log.Printf("%s: shutting down gracefully (signal again to force)", first)
+	go func() {
+		<-sig
+		log.Printf("forced exit")
+		os.Exit(1)
+	}()
+	replica.Stop() // stops proposing, syncs and closes the durable store
+	node.Close()   // drains and closes every connection
+	log.Printf("shutdown complete")
 }
 
 func parseMode(s string) (ids.Mode, error) {

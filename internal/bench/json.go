@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Machine-readable benchmark output. CI runs `make bench-json` and
+// uploads the resulting BENCH_pipeline.json as a build artifact, so the
+// performance trajectory of the pipeline/batching hot path is tracked
+// across PRs instead of living only in scrollback.
+
+// JSONPoint is one measured load point in export form (durations in
+// milliseconds, as floats, so any plotting tool can consume them).
+type JSONPoint struct {
+	Clients    int     `json:"clients"`
+	Throughput float64 `json:"throughput_rps"`
+	MeanMs     float64 `json:"mean_ms"`
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	Errors     int     `json:"errors"`
+}
+
+// JSONSeries is one labeled sweep line.
+type JSONSeries struct {
+	Label  string      `json:"label"`
+	Points []JSONPoint `json:"points"`
+}
+
+// JSONExperiment groups the series of one named experiment run.
+type JSONExperiment struct {
+	Name   string       `json:"name"`
+	Series []JSONSeries `json:"series"`
+}
+
+// JSONReport is the top-level export document.
+type JSONReport struct {
+	GeneratedAt string           `json:"generated_at"`
+	Warmup      string           `json:"warmup"`
+	Measure     string           `json:"measure"`
+	Seed        int64            `json:"seed"`
+	Experiments []JSONExperiment `json:"experiments"`
+}
+
+// ExportSeries converts measured series to export form.
+func ExportSeries(series []Series) []JSONSeries {
+	out := make([]JSONSeries, 0, len(series))
+	for _, s := range series {
+		js := JSONSeries{Label: s.Label, Points: make([]JSONPoint, 0, len(s.Points))}
+		for _, p := range s.Points {
+			js.Points = append(js.Points, JSONPoint{
+				Clients:    p.Clients,
+				Throughput: p.Throughput,
+				MeanMs:     ms(p.Mean),
+				P50Ms:      ms(p.P50),
+				P99Ms:      ms(p.P99),
+				Errors:     p.Errors,
+			})
+		}
+		out = append(out, js)
+	}
+	return out
+}
+
+// WriteJSONReport writes the report to path (atomically enough for CI:
+// temp + rename).
+func WriteJSONReport(path string, opts Options, seed int64, exps []JSONExperiment) error {
+	opts.defaults()
+	rep := JSONReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Warmup:      opts.Warmup.String(),
+		Measure:     opts.Measure.String(),
+		Seed:        seed,
+		Experiments: exps,
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	b = append(b, '\n')
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("bench: %w", err)
+	}
+	return nil
+}

@@ -9,6 +9,7 @@ package cluster
 
 import (
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"repro/internal/client"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/paxos"
 	"repro/internal/pbft"
 	"repro/internal/statemachine"
+	"repro/internal/storage"
 	"repro/internal/transport"
 )
 
@@ -102,6 +104,11 @@ type Spec struct {
 	// LeanCommits strips µ from Lion COMMIT messages (ablation; see
 	// core.Options.LeanCommits).
 	LeanCommits bool
+	// Durability attaches a durable store to every replica: node i
+	// journals to <Dir>/r<i>. RestartNode then models a process crash
+	// plus restart with recovery from disk. The zero value keeps every
+	// replica fully in memory.
+	Durability config.Durability
 }
 
 // Node is the uniform replica handle.
@@ -230,7 +237,15 @@ func New(spec Spec) (*Cluster, error) {
 
 func (c *Cluster) buildNode(id ids.ReplicaID) (Node, error) {
 	sm := c.Spec.NewStateMachine()
-	c.SMs = append(c.SMs, sm)
+	if int(id) < len(c.SMs) {
+		c.SMs[id] = sm // rebuilt by RestartNode
+	} else {
+		c.SMs = append(c.SMs, sm)
+	}
+	st, err := c.openStorage(id)
+	if err != nil {
+		return nil, err
+	}
 	switch c.Spec.Protocol {
 	case SeeMoRe:
 		cl, err := config.NewCluster(c.Membership, c.Spec.Mode, c.timing)
@@ -239,16 +254,18 @@ func (c *Cluster) buildNode(id ids.ReplicaID) (Node, error) {
 		}
 		cl.Batching = c.Spec.Batching
 		cl.Pipelining = c.Spec.Pipelining
+		cl.Durability = c.Spec.Durability
 		return core.NewReplica(core.Options{
 			ID: id, Cluster: cl, Suite: c.SuiteImpl, Network: c.nodeNet,
 			StateMachine: sm, TickInterval: c.Spec.TickInterval,
-			LeanCommits: c.Spec.LeanCommits,
+			LeanCommits: c.Spec.LeanCommits, Storage: st,
 		})
 	case Paxos:
 		return paxos.NewReplica(paxos.Options{
 			ID: id, N: c.N, Suite: c.SuiteImpl, Network: c.nodeNet,
 			StateMachine: sm, Timing: c.timing, Batching: c.Spec.Batching,
 			Pipelining: c.Spec.Pipelining, TickInterval: c.Spec.TickInterval,
+			Storage: st,
 		})
 	case PBFT:
 		f := c.Spec.Crash + c.Spec.Byz
@@ -257,6 +274,7 @@ func (c *Cluster) buildNode(id ids.ReplicaID) (Node, error) {
 			Suite: c.SuiteImpl, Network: c.nodeNet,
 			StateMachine: sm, Timing: c.timing, Batching: c.Spec.Batching,
 			Pipelining: c.Spec.Pipelining, TickInterval: c.Spec.TickInterval,
+			Storage: st,
 		})
 	case UpRight:
 		return pbft.NewReplica(pbft.Options{
@@ -264,10 +282,53 @@ func (c *Cluster) buildNode(id ids.ReplicaID) (Node, error) {
 			Suite: c.SuiteImpl, Network: c.nodeNet,
 			StateMachine: sm, Timing: c.timing, Batching: c.Spec.Batching,
 			Pipelining: c.Spec.Pipelining, TickInterval: c.Spec.TickInterval,
+			Storage: st,
 		})
 	default:
 		return nil, fmt.Errorf("cluster: unknown protocol")
 	}
+}
+
+// StorageDir returns the data directory replica id journals to, or ""
+// when durability is off.
+func (c *Cluster) StorageDir(id ids.ReplicaID) string {
+	if !c.Spec.Durability.Enabled() {
+		return ""
+	}
+	return filepath.Join(c.Spec.Durability.Dir, fmt.Sprintf("r%d", id))
+}
+
+// openStorage opens replica id's durable store per the spec (nil when
+// durability is off).
+func (c *Cluster) openStorage(id ids.ReplicaID) (storage.Store, error) {
+	if !c.Spec.Durability.Enabled() {
+		return nil, nil
+	}
+	if err := c.Spec.Durability.Validate(); err != nil {
+		return nil, err
+	}
+	return storage.Open(c.StorageDir(id), storage.DiskOptions{
+		FsyncEvery: c.Spec.Durability.FsyncEvery,
+	})
+}
+
+// RestartNode models a process crash plus restart of one replica: the
+// old engine is torn down — its in-memory protocol state dies with it —
+// and a fresh replica is built over the same network address, state
+// machine factory and data directory. With durability on, the new
+// process recovers from its WAL and snapshot store and asks peers for a
+// state transfer; with durability off it comes back amnesiac, as a real
+// process without a disk would. Call Crash first to cut the old
+// process off mid-stream (kill -9) rather than at a message boundary.
+func (c *Cluster) RestartNode(id ids.ReplicaID) error {
+	c.Nodes[id].Stop()
+	node, err := c.buildNode(id)
+	if err != nil {
+		return fmt.Errorf("cluster: restart replica %d: %w", id, err)
+	}
+	c.Nodes[id] = node
+	node.Start()
+	return nil
 }
 
 // NewClient builds a client with the protocol-appropriate reply policy.

@@ -251,9 +251,37 @@ func (p Pipelining) Validate() error {
 // Enabled reports whether the windowed pipeline is on.
 func (p Pipelining) Enabled() bool { return p.Depth >= 1 }
 
+// Durability configures the durable storage subsystem
+// (internal/storage): a write-ahead log plus checkpoint snapshots that
+// let a crashed replica recover its consensus state on restart. The
+// zero value disables durability entirely — the replica runs fully in
+// memory, byte-identical to the pre-storage behavior.
+type Durability struct {
+	// Dir is the data directory (the -data-dir flag of cmd/seemore).
+	// Empty disables durability.
+	Dir string
+	// FsyncEvery batches WAL fsyncs: the log is synced to disk after
+	// every N appends. Values ≤ 1 sync every append (the default, and
+	// the only setting under which an acknowledged vote can never be
+	// forgotten across a power failure); larger values amortize the
+	// sync cost at a bounded durability loss.
+	FsyncEvery int
+}
+
+// Enabled reports whether durable storage is configured.
+func (d Durability) Enabled() bool { return d.Dir != "" }
+
+// Validate rejects nonsensical durability values.
+func (d Durability) Validate() error {
+	if d.FsyncEvery < 0 {
+		return fmt.Errorf("config: negative FsyncEvery %d", d.FsyncEvery)
+	}
+	return nil
+}
+
 // Cluster is the full static configuration of one SeeMoRe deployment:
-// membership, initial mode, timers, request batching and slot
-// pipelining.
+// membership, initial mode, timers, request batching, slot pipelining
+// and durability.
 type Cluster struct {
 	Membership ids.Membership
 	// InitialMode is the mode the cluster boots in (view 0).
@@ -265,6 +293,9 @@ type Cluster struct {
 	// Pipelining bounds the primary's in-flight proposal window; the
 	// zero value keeps the legacy one-proposal-per-admission behavior.
 	Pipelining Pipelining
+	// Durability configures the write-ahead log and snapshot store; the
+	// zero value keeps the legacy fully-in-memory replica.
+	Durability Durability
 }
 
 // NewCluster validates the pieces together: the membership must support

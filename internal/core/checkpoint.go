@@ -109,6 +109,9 @@ func (r *Replica) markStableLocal(seq uint64, d crypto.Digest, proof []message.S
 		return
 	}
 	r.log.MarkStable(seq, d, proof, snap)
+	// The WAL truncates on the same stabilization that garbage-collects
+	// the in-memory log, so disk usage tracks the live window.
+	r.jr.Stable(r.view, r.mode, seq, d, proof, snap)
 	r.exec.DropSnapshotsBelow(seq)
 	for n := range r.pendingStable {
 		if n <= seq {
@@ -163,59 +166,74 @@ func (r *Replica) maybeRequestState() {
 	}
 }
 
-// onStateRequest serves the latest stable snapshot to a lagging peer.
+// onStateRequest serves the latest stable snapshot — plus the log
+// suffix above it — to a lagging or restarted peer. The suffix lets the
+// receiver hold the request payloads of in-flight slots (so it can
+// vote and execute as the commits arrive) and, in Lion, adopt slots the
+// trusted primary already committed, instead of idling until the next
+// checkpoint.
 func (r *Replica) onStateRequest(m *message.Message) {
 	if !r.eng.Verify(m) {
 		return
 	}
 	low := r.log.Low()
-	if low == 0 || low <= m.Seq {
-		return // nothing newer to offer
-	}
 	rep := &message.Message{
-		Kind:            message.KindStateReply,
-		Seq:             low,
-		StateDigest:     r.log.StableDigest(),
-		CheckpointProof: r.log.StableProof(),
-		Result:          r.log.StableSnapshot(),
+		Kind:     message.KindStateReply,
+		Prepares: replica.CapSuffix(r.log.ProposalsAbove()),
 	}
+	if r.mode != ids.Peacock {
+		// Lion keeps trusted commit certificates; they are definitive
+		// for the receiver on their own.
+		rep.Commits = replica.CapSuffix(r.log.CommitCertsAbove())
+	}
+	if low > m.Seq {
+		rep.Seq = low
+		rep.StateDigest = r.log.StableDigest()
+		rep.CheckpointProof = r.log.StableProof()
+		rep.Result = r.log.StableSnapshot()
+	} else if len(rep.Prepares) == 0 && len(rep.Commits) == 0 {
+		return // requester is at or ahead of everything we hold
+	}
+	// A requester already at our checkpoint still gets the live log
+	// suffix (payloads of in-flight slots), just not the redundant
+	// full-state snapshot.
 	r.eng.Sign(rep)
 	r.eng.Send(m.From, rep)
 }
 
 // onStateReply installs a transferred snapshot after verifying the
-// checkpoint certificate and the snapshot digest.
+// checkpoint certificate and the snapshot digest, then adopts the
+// attached log suffix (each record individually verified).
 func (r *Replica) onStateReply(m *message.Message) {
 	if !r.eng.Verify(m) {
 		return
 	}
 	seq := m.Seq
-	if seq <= r.exec.LastExecuted() {
-		return
-	}
-	if !r.verifyCheckpointProof(seq, m.StateDigest, m.CheckpointProof) {
-		return
-	}
-	if replica.DigestOf(m.Result) != m.StateDigest {
-		return
-	}
-	if err := r.exec.JumpTo(seq, m.Result); err != nil {
-		return
-	}
-	r.log.MarkStable(seq, m.StateDigest, m.CheckpointProof, m.Result)
-	r.exec.DropSnapshotsBelow(seq)
-	for n := range r.pendingStable {
-		if n <= seq {
-			delete(r.pendingStable, n)
+	if seq > r.exec.LastExecuted() &&
+		r.verifyCheckpointProof(seq, m.StateDigest, m.CheckpointProof) &&
+		replica.DigestOf(m.Result) == m.StateDigest {
+		if err := r.exec.JumpTo(seq, m.Result); err != nil {
+			return
+		}
+		r.log.MarkStable(seq, m.StateDigest, m.CheckpointProof, m.Result)
+		r.jr.Stable(r.view, r.mode, seq, m.StateDigest, m.CheckpointProof, m.Result)
+		r.exec.DropSnapshotsBelow(seq)
+		for n := range r.pendingStable {
+			if n <= seq {
+				delete(r.pendingStable, n)
+			}
+		}
+		if r.nextSeq <= seq {
+			r.nextSeq = seq + 1
+		}
+		r.resetPending()
+		if p := r.loadProbe(); p.OnCheckpointStable != nil {
+			p.OnCheckpointStable(seq)
 		}
 	}
-	if r.nextSeq <= seq {
-		r.nextSeq = seq + 1
-	}
-	r.resetPending()
-	if p := r.loadProbe(); p.OnCheckpointStable != nil {
-		p.OnCheckpointStable(seq)
-	}
+	// The suffix is useful even when the snapshot itself was stale (we
+	// may only be missing payloads of live slots).
+	r.installLogSuffix(m)
 	r.executeReady()
 }
 

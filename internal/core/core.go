@@ -12,6 +12,7 @@ import (
 	"repro/internal/mlog"
 	"repro/internal/replica"
 	"repro/internal/statemachine"
+	"repro/internal/storage"
 	"repro/internal/transport"
 )
 
@@ -43,6 +44,12 @@ type Options struct {
 	// ... it can still execute the request"). With lean commits such a
 	// replica stays behind until checkpoint-based state transfer.
 	LeanCommits bool
+	// Storage attaches the durable storage subsystem (WAL + snapshot
+	// store). When non-nil the replica journals its protocol state,
+	// recovers from the store during construction, and takes ownership:
+	// Stop flushes and closes it. Nil keeps the legacy fully-in-memory
+	// replica.
+	Storage storage.Store
 }
 
 // Replica is one SeeMoRe node. All protocol state is confined to the
@@ -58,6 +65,10 @@ type Replica struct {
 
 	log  *mlog.Log
 	exec *replica.Executor
+
+	// jr journals protocol state to durable storage (no-op journal when
+	// durability is off).
+	jr *replica.Journal
 
 	// nextSeq is the next sequence number to assign (primary role).
 	nextSeq uint64
@@ -160,6 +171,7 @@ func NewReplica(opts Options) (*Replica, error) {
 		inFlight:      make(map[inFlightKey]uint64),
 	}
 	r.vc.reset()
+	r.jr = replica.NewJournal(opts.Storage)
 	r.eng = replica.NewEngine(replica.Config{
 		ID:       opts.ID,
 		Suite:    opts.Suite,
@@ -169,6 +181,13 @@ func NewReplica(opts Options) (*Replica, error) {
 		// tick interval.
 		TickInterval: r.batcher.TickInterval(opts.TickInterval),
 	})
+	if opts.Storage != nil {
+		// Crash-restart recovery: replay the journal into the message
+		// log and executor before the engine starts processing.
+		if err := r.recoverFromStorage(); err != nil {
+			return nil, err
+		}
+	}
 	return r, nil
 }
 
@@ -187,8 +206,12 @@ func (r *Replica) loadProbe() *Probe {
 // Start launches the replica.
 func (r *Replica) Start() { r.eng.Start(r) }
 
-// Stop terminates the replica.
-func (r *Replica) Stop() { r.eng.Stop() }
+// Stop terminates the replica, then flushes and closes the attached
+// durable store (if any).
+func (r *Replica) Stop() {
+	r.eng.Stop()
+	r.jr.Close()
+}
 
 // Crash fail-stops the replica (private-cloud crash injection).
 func (r *Replica) Crash() { r.eng.Crash() }
@@ -277,6 +300,15 @@ func (r *Replica) HandleTick(now time.Time) {
 		} else if r.batcher.Due(now) {
 			r.proposeBatch(r.batcher.Take())
 		}
+	}
+	// A replica that knows it is behind (parked checkpoint evidence it
+	// cannot reach) retries its state-transfer request on the tick;
+	// maybeRequestState throttles to one request per τ. Without the
+	// retry a single lost STATE-REPLY — or a throttled request during a
+	// traffic lull — would strand a recovering replica until the next
+	// checkpoint happens to arrive.
+	if r.status == statusNormal {
+		r.maybeRequestState()
 	}
 	// Any single slot prepared-but-uncommitted past τ: suspect the
 	// primary and start a view change (Section 5.1, View Changes). The
@@ -527,6 +559,9 @@ func (r *Replica) proposeBatch(reqs []*message.Request) {
 		return
 	}
 	r.markPending(seq)
+	// Journal before multicasting: a primary must never propose a slot
+	// its recovered self would not remember assigning.
+	r.jr.Proposal(prop)
 
 	wire := &message.Message{
 		Kind:   kind,

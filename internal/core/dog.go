@@ -45,6 +45,7 @@ func (r *Replica) dogOnPrepare(m *message.Message) {
 	if err := entry.SetProposal(s); err != nil {
 		return
 	}
+	r.jr.Proposal(s)
 	if !r.isProxy() {
 		// Passive nodes keep the prepare: executing later requires 2m+1
 		// INFORMs *matching this prepare* (Algorithm 2 commentary).
@@ -59,6 +60,7 @@ func (r *Replica) dogOnPrepare(m *message.Message) {
 		Digest: m.Digest,
 	}
 	r.eng.SignRecord(acc)
+	r.jr.Vote(acc)
 	entry.AddVote(message.KindAccept, r.view, r.eng.ID(), m.Digest)
 	r.eng.Multicast(r.mb.Proxies(ids.Dog, r.view), wireFromSigned(acc))
 	r.dogMaybeCommit(entry)
@@ -109,6 +111,7 @@ func (r *Replica) dogCommit(entry *mlog.Entry) {
 	entry.MarkCommitted()
 	r.clearPending(entry.Seq())
 	d := entry.Proposal().Digest
+	r.jr.Commit(entry.Seq(), r.view, d, nil)
 
 	commit := &message.Signed{
 		Kind:   message.KindCommit,
@@ -184,6 +187,7 @@ func (r *Replica) dogOnInform(m *message.Message) {
 	}
 	if entry.VoteCount(message.KindInform, r.view, m.Digest) >= r.mb.InformQuorum(true) {
 		entry.MarkCommitted()
+		r.jr.Commit(m.Seq, r.view, m.Digest, nil)
 		r.clearPending(m.Seq) // the Dog primary armed the timer when proposing
 		r.executeReady()      // passive nodes execute but never reply
 	}

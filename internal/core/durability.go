@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/message"
+	"repro/internal/replica"
+)
+
+// Durable storage wiring: the replica journals proposals, its own
+// signed votes, commits, view entries and stable checkpoints through
+// replica.Journal (no-ops when Options.Storage is nil), and a restarted
+// process rebuilds its consensus state from the journal before the
+// engine starts. See internal/storage for the on-disk format and
+// replica.Recover for the replay semantics.
+
+// recoverFromStorage rebuilds state from the store attached in Options.
+// Called from NewReplica, before Start, so no locking is needed.
+func (r *Replica) recoverFromStorage() error {
+	rs, err := replica.Recover(r.jr.Store(), r.log, r.exec)
+	if err != nil {
+		return fmt.Errorf("core: recovery: %w", err)
+	}
+	if rs.HasView {
+		if !rs.Mode.Valid() || r.mb.SupportsMode(rs.Mode) != nil {
+			return fmt.Errorf("core: recovered invalid mode %d", int(rs.Mode))
+		}
+		r.view = rs.View
+		r.mode = rs.Mode
+		r.activeView = rs.View
+	}
+	if rs.MaxSeq >= r.nextSeq {
+		r.nextSeq = rs.MaxSeq + 1
+	}
+	if !rs.HadState {
+		// Pristine data directory: stamp the boot view so a crash
+		// before the first view change still recovers into the right
+		// mode.
+		r.jr.View(r.view, r.mode)
+		return nil
+	}
+	// A restarted replica proactively asks its peers for the latest
+	// stable checkpoint and log suffix instead of waiting to notice it
+	// is behind; peers with nothing newer ignore the request.
+	r.requestStateNow()
+	return nil
+}
+
+// requestStateNow sends a STATE-REQUEST to the replicas that serve
+// state in the current mode (the trusted primary in Lion and Dog, the
+// proxies in Peacock), bypassing the lag heuristic of
+// maybeRequestState. The throttle timestamp still advances so the
+// heuristic does not immediately fire again.
+func (r *Replica) requestStateNow() {
+	r.stateRequested = time.Now()
+	req := &message.Message{Kind: message.KindStateRequest, Seq: r.exec.LastExecuted()}
+	r.eng.Sign(req)
+	switch r.mode {
+	case ids.Lion, ids.Dog:
+		if p := r.mb.Primary(r.mode, r.view); p != r.eng.ID() {
+			r.eng.Send(p, req)
+		} else {
+			// A recovering primary has no trusted superior to ask; the
+			// proxies/backups answer too (any replica serves state).
+			r.eng.Multicast(r.mb.All(), req)
+		}
+	case ids.Peacock:
+		r.eng.Multicast(r.mb.Proxies(ids.Peacock, r.view), req)
+	}
+}
+
+// installLogSuffix adopts the log-suffix records of a STATE-REPLY: the
+// sender's proposals above its stable checkpoint (so this replica holds
+// the request payloads and can vote/execute when the commits arrive)
+// and, in modes with a trusted committer, commit certificates that are
+// definitive on their own. Every record is verified individually — the
+// reply sender is not trusted beyond its own signature.
+func (r *Replica) installLogSuffix(m *message.Message) {
+	for i := range m.Prepares {
+		s := m.Prepares[i]
+		if !r.log.InWindow(s.Seq) || !r.validEvidenceProposal(r.mode, &s) {
+			continue
+		}
+		entry := r.log.Entry(s.Seq)
+		if entry == nil {
+			continue
+		}
+		if entry.SetProposal(&s) == nil {
+			r.jr.Proposal(&s)
+		}
+	}
+	for i := range m.Commits {
+		s := m.Commits[i]
+		// Only a trusted node's signed COMMIT proves a slot committed
+		// (Lion's commit certificate); Peacock's trust model never
+		// yields one.
+		if s.Kind != message.KindCommit || r.mode == ids.Peacock ||
+			!r.mb.IsTrusted(s.From) || !r.log.InWindow(s.Seq) {
+			continue
+		}
+		if !r.eng.VerifyRecord(&s) {
+			continue
+		}
+		entry := r.log.Entry(s.Seq)
+		if entry == nil || entry.Committed() {
+			continue
+		}
+		if prop := entry.Proposal(); prop == nil || prop.Digest != s.Digest {
+			// Adopt the commit itself as the proposal when it carries
+			// the payload (the same rule as lionOnCommit).
+			reqs := s.Requests()
+			if len(reqs) == 0 || message.BatchDigest(reqs) != s.Digest ||
+				!r.eng.VerifyRequests(reqs) {
+				continue
+			}
+			if entry.SetProposal(&s) != nil {
+				continue
+			}
+			r.jr.Proposal(&s)
+		}
+		entry.SetCommitCert(&s)
+		entry.MarkCommitted()
+		r.jr.Commit(s.Seq, s.View, s.Digest, &s)
+		r.clearPending(s.Seq)
+	}
+}

@@ -134,10 +134,13 @@ func (r *Replica) lionOnPrepare(m *message.Message) {
 		return // a trusted primary never equivocates; stale duplicates land here
 	}
 	r.markPending(m.Seq)
+	r.jr.Proposal(s)
 
 	// ACCEPT goes only to the trusted primary and is never reused as
 	// evidence, so it is unsigned (Section 5.1: "there is no need to
-	// sign these messages").
+	// sign these messages") — and being unsigned and unreusable, it
+	// needs no journal entry either: a recovered backup re-accepting
+	// the same trusted proposal is harmless.
 	acc := &message.Message{
 		Kind:   message.KindAccept,
 		From:   r.eng.ID(),
@@ -192,6 +195,7 @@ func (r *Replica) lionCommit(entry *mlog.Entry) {
 	}
 	r.eng.SignRecord(commit)
 	entry.SetCommitCert(commit)
+	r.jr.Commit(entry.Seq(), r.view, prop.Digest, commit)
 
 	r.eng.Multicast(r.mb.All(), wireFromSigned(commit))
 	r.executeReady() // the Lion primary replies inside the execution hook
@@ -236,9 +240,11 @@ func (r *Replica) lionOnCommit(m *message.Message) {
 		if err := entry.SetProposal(s); err != nil {
 			return
 		}
+		r.jr.Proposal(s)
 	}
 	entry.SetCommitCert(s)
 	entry.MarkCommitted()
+	r.jr.Commit(m.Seq, m.View, m.Digest, s)
 	r.clearPending(m.Seq)
 	r.executeReady()
 }

@@ -39,6 +39,7 @@ func (r *Replica) onPrePrepare(m *message.Message) {
 	if err := entry.SetProposal(s); err != nil {
 		return
 	}
+	r.jr.Proposal(s)
 	if !r.isProxy() {
 		return // passive nodes keep µ for later execution on informs
 	}
@@ -52,6 +53,7 @@ func (r *Replica) onPrePrepare(m *message.Message) {
 		Digest: m.Digest,
 	}
 	r.eng.SignRecord(prep)
+	r.jr.Vote(prep)
 	entry.AddVoteCert(prep)
 	// The primary's pre-prepare counts as its prepare vote (standard
 	// PBFT accounting).
@@ -105,6 +107,7 @@ func (r *Replica) peacockMaybePrepared(entry *mlog.Entry) {
 		Digest: d,
 	}
 	r.eng.SignRecord(com)
+	r.jr.Vote(com)
 	entry.AddVoteCert(com)
 	r.eng.Multicast(r.mb.Proxies(ids.Peacock, r.view), wireFromSigned(com))
 	r.peacockMaybeCommitted(entry)
@@ -148,6 +151,7 @@ func (r *Replica) peacockMaybeCommitted(entry *mlog.Entry) {
 		return
 	}
 	entry.MarkCommitted()
+	r.jr.Commit(entry.Seq(), r.view, d, nil)
 	r.clearPending(entry.Seq())
 
 	// Second Peacock modification: INFORM the passive nodes.
@@ -188,6 +192,7 @@ func (r *Replica) peacockOnInform(m *message.Message) {
 	}
 	if entry.VoteCount(message.KindInform, r.view, m.Digest) >= r.mb.InformQuorum(false) {
 		entry.MarkCommitted()
+		r.jr.Commit(m.Seq, r.view, m.Digest, nil)
 		r.clearPending(m.Seq)
 		r.executeReady()
 	}

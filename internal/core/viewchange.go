@@ -545,6 +545,9 @@ func (r *Replica) applyNewView(m *message.Message) {
 	r.mode = m.Mode
 	r.status = statusNormal
 	r.activeView = m.View
+	// Journal the view entry before any message of the new view goes
+	// out, so a recovered replica rejoins the view it last acted in.
+	r.jr.View(m.View, m.Mode)
 	r.inFlight = make(map[inFlightKey]uint64) // re-issued slots re-register below
 	r.resetPending()
 	r.vc.deadline = time.Time{}
@@ -582,8 +585,10 @@ func (r *Replica) applyNewView(m *message.Message) {
 		if entry.SetProposal(&s) != nil {
 			continue
 		}
+		r.jr.Proposal(&s)
 		entry.SetCommitCert(&s)
 		entry.MarkCommitted()
+		r.jr.Commit(s.Seq, s.View, s.Digest, &s)
 	}
 
 	// Re-issued open entries (P′): log and vote per the new mode.
@@ -599,6 +604,7 @@ func (r *Replica) applyNewView(m *message.Message) {
 		if entry.SetProposal(&s) != nil {
 			continue
 		}
+		r.jr.Proposal(&s)
 		if !amParticipant {
 			continue
 		}
@@ -629,12 +635,14 @@ func (r *Replica) applyNewView(m *message.Message) {
 		case ids.Dog:
 			acc := &message.Signed{Kind: message.KindAccept, View: r.view, Seq: s.Seq, Digest: s.Digest}
 			r.eng.SignRecord(acc)
+			r.jr.Vote(acc)
 			entry.AddVote(message.KindAccept, r.view, r.eng.ID(), s.Digest)
 			r.eng.Multicast(r.mb.Proxies(ids.Dog, r.view), wireFromSigned(acc))
 			r.dogMaybeCommit(entry)
 		case ids.Peacock:
 			prep := &message.Signed{Kind: message.KindPrepare, View: r.view, Seq: s.Seq, Digest: s.Digest}
 			r.eng.SignRecord(prep)
+			r.jr.Vote(prep)
 			entry.AddVoteCert(prep)
 			r.eng.Multicast(r.mb.Proxies(ids.Peacock, r.view), wireFromSigned(prep))
 			r.peacockMaybePrepared(entry)

@@ -339,6 +339,50 @@ func Unmarshal(frame []byte) (*Message, error) {
 	return m, nil
 }
 
+// MarshalSigned encodes one Signed record standalone — the WAL and the
+// snapshot store persist proposals, votes and checkpoint proofs with the
+// same deterministic encoding the wire uses.
+func MarshalSigned(s *Signed) []byte {
+	var e encoder
+	e.signed(s)
+	return e.buf
+}
+
+// UnmarshalSigned decodes the output of MarshalSigned. It never panics
+// on corrupt input.
+func UnmarshalSigned(b []byte) (*Signed, error) {
+	d := decoder{buf: b}
+	s := d.signed()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(b) {
+		return nil, fmt.Errorf("message: %d trailing bytes", len(b)-d.off)
+	}
+	return &s, nil
+}
+
+// MarshalSignedSet encodes a set of Signed records (a checkpoint
+// certificate ξ persisted next to its snapshot).
+func MarshalSignedSet(set []Signed) []byte {
+	var e encoder
+	e.signedSet(set)
+	return e.buf
+}
+
+// UnmarshalSignedSet decodes the output of MarshalSignedSet.
+func UnmarshalSignedSet(b []byte) ([]Signed, error) {
+	d := decoder{buf: b}
+	set := d.signedSet()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(b) {
+		return nil, fmt.Errorf("message: %d trailing bytes", len(b)-d.off)
+	}
+	return set, nil
+}
+
 // MarshalRequest encodes a bare request (used by D(µ) and client signing
 // tests); the Message envelope embeds requests with the same encoding.
 func MarshalRequest(r *Request) []byte {

@@ -1,0 +1,86 @@
+package paxos
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/message"
+	"repro/internal/replica"
+)
+
+// Durable storage wiring for the Paxos baseline, mirroring
+// internal/core. All replicas are trusted (crash-only), which keeps the
+// state-transfer suffix simpler than the Byzantine engines': the reply
+// sender's own signature vouches for the commit markers it sends.
+
+// recoverFromStorage rebuilds state from the attached store. Called
+// from NewReplica, before Start.
+func (r *Replica) recoverFromStorage() error {
+	rs, err := replica.Recover(r.jr.Store(), r.log, r.exec)
+	if err != nil {
+		return fmt.Errorf("paxos: recovery: %w", err)
+	}
+	if rs.HasView {
+		r.view = rs.View
+	}
+	if rs.MaxSeq >= r.nextSeq {
+		r.nextSeq = rs.MaxSeq + 1
+	}
+	if !rs.HadState {
+		r.jr.View(r.view, 0)
+		return nil
+	}
+	r.requestStateNow()
+	return nil
+}
+
+// requestStateNow broadcasts a STATE-REQUEST immediately (restart
+// catch-up).
+func (r *Replica) requestStateNow() {
+	r.stateRequested = time.Now()
+	req := &message.Message{Kind: message.KindStateRequest, Seq: r.exec.LastExecuted()}
+	r.eng.Sign(req)
+	r.eng.Multicast(r.all(), req)
+}
+
+// installLogSuffix adopts a STATE-REPLY's log suffix: proposals above
+// the checkpoint, plus commit markers. The sender is a trusted
+// (crash-only) peer whose signature covers the whole reply, so its
+// word on which slots decided is sound — the Paxos learner rule.
+func (r *Replica) installLogSuffix(m *message.Message) {
+	for i := range m.Prepares {
+		s := m.Prepares[i]
+		reqs := s.Requests()
+		if s.Kind != message.KindPrepare || !r.log.InWindow(s.Seq) ||
+			len(reqs) == 0 || message.BatchDigest(reqs) != s.Digest {
+			continue
+		}
+		if s.From != r.Leader(s.View) || !r.eng.VerifyRecord(&s) {
+			continue
+		}
+		entry := r.log.Entry(s.Seq)
+		if entry == nil {
+			continue
+		}
+		if entry.SetProposal(&s) == nil {
+			r.jr.Proposal(&s)
+		}
+	}
+	for i := range m.Commits {
+		s := m.Commits[i]
+		if s.Kind != message.KindCommit || !r.log.InWindow(s.Seq) {
+			continue
+		}
+		entry := r.log.Entry(s.Seq)
+		if entry == nil || entry.Committed() {
+			continue
+		}
+		prop := entry.Proposal()
+		if prop == nil || prop.Digest != s.Digest {
+			continue // marker without the matching proposal: unusable
+		}
+		entry.MarkCommitted()
+		r.jr.Commit(s.Seq, s.View, s.Digest, nil)
+		r.clearPending(s.Seq)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/mlog"
 	"repro/internal/replica"
 	"repro/internal/statemachine"
+	"repro/internal/storage"
 	"repro/internal/transport"
 )
 
@@ -58,6 +59,10 @@ type Options struct {
 	Pipelining config.Pipelining
 	// TickInterval overrides the engine tick (default 5ms).
 	TickInterval time.Duration
+	// Storage attaches the durable storage subsystem; when non-nil the
+	// replica journals its state, recovers from the store during
+	// construction, and takes ownership (Stop closes it).
+	Storage storage.Store
 }
 
 // Replica is one Paxos node.
@@ -71,6 +76,10 @@ type Replica struct {
 
 	log  *mlog.Log
 	exec *replica.Executor
+
+	// jr journals protocol state to durable storage (no-op when
+	// durability is off).
+	jr *replica.Journal
 
 	nextSeq uint64
 
@@ -144,12 +153,18 @@ func NewReplica(opts Options) (*Replica, error) {
 		pendingStable: make(map[uint64]pendingCheckpoint),
 		inFlight:      make(map[inFlightKey]uint64),
 	}
+	r.jr = replica.NewJournal(opts.Storage)
 	r.eng = replica.NewEngine(replica.Config{
 		ID:           opts.ID,
 		Suite:        opts.Suite,
 		Endpoint:     opts.Network.Endpoint(transport.ReplicaAddr(opts.ID)),
 		TickInterval: r.batcher.TickInterval(opts.TickInterval),
 	})
+	if opts.Storage != nil {
+		if err := r.recoverFromStorage(); err != nil {
+			return nil, err
+		}
+	}
 	return r, nil
 }
 
@@ -184,8 +199,12 @@ func (r *Replica) loadProbe() *Probe {
 // Start launches the replica.
 func (r *Replica) Start() { r.eng.Start(r) }
 
-// Stop terminates the replica.
-func (r *Replica) Stop() { r.eng.Stop() }
+// Stop terminates the replica, then flushes and closes the attached
+// durable store (if any).
+func (r *Replica) Stop() {
+	r.eng.Stop()
+	r.jr.Close()
+}
 
 // Crash fail-stops the replica.
 func (r *Replica) Crash() { r.eng.Crash() }
@@ -237,6 +256,11 @@ func (r *Replica) HandleTick(now time.Time) {
 		} else if r.batcher.Due(now) {
 			r.proposeBatch(r.batcher.Take())
 		}
+	}
+	// A lagging replica retries its state-transfer request on the tick
+	// (throttled to one per τ inside maybeRequestState).
+	if r.status == statusNormal {
+		r.maybeRequestState()
 	}
 	// Per-slot timers: a stalled slot is suspected after τ even while
 	// newer slots keep committing around it.
@@ -400,6 +424,9 @@ func (r *Replica) proposeBatch(reqs []*message.Request) {
 		return
 	}
 	r.markPending(seq)
+	// Journal before multicasting: a recovered leader must remember
+	// every slot it assigned.
+	r.jr.Proposal(prop)
 	for _, req := range kept {
 		r.inFlight[inFlightKey{client: req.Client, ts: req.Timestamp}] = seq
 	}
@@ -449,6 +476,9 @@ func (r *Replica) onPrepare(m *message.Message) {
 		return
 	}
 	r.markPending(m.Seq)
+	// Journal the accepted proposal before acknowledging it: Paxos
+	// safety rests on acceptors remembering what they accepted.
+	r.jr.Proposal(s)
 	ack := &message.Message{
 		Kind: message.KindAccept, From: r.eng.ID(),
 		View: r.view, Seq: m.Seq, Digest: m.Digest,
@@ -483,6 +513,7 @@ func (r *Replica) onAccept(m *message.Message) {
 		}
 		r.eng.SignRecord(commit)
 		entry.SetCommitCert(commit)
+		r.jr.Commit(entry.Seq(), r.view, prop.Digest, commit)
 		r.eng.Multicast(r.all(), signedWire(commit))
 		r.executeReady()
 	}
@@ -508,9 +539,11 @@ func (r *Replica) onCommit(m *message.Message) {
 		if err := entry.SetProposal(s); err != nil {
 			return
 		}
+		r.jr.Proposal(s)
 	}
 	entry.SetCommitCert(s)
 	entry.MarkCommitted()
+	r.jr.Commit(m.Seq, m.View, m.Digest, s)
 	r.clearPending(m.Seq)
 	r.executeReady()
 }

@@ -45,6 +45,7 @@ func (r *Replica) stabilizeOrPend(seq uint64, d crypto.Digest, proof []message.S
 	if snap, ok := r.exec.SnapshotAt(seq); ok {
 		if replica.DigestOf(snap) == d {
 			r.log.MarkStable(seq, d, proof, snap)
+			r.jr.Stable(r.view, 0, seq, d, proof, snap)
 			r.exec.DropSnapshotsBelow(seq)
 			for n := range r.pendingStable {
 				if n <= seq {
@@ -97,16 +98,23 @@ func (r *Replica) onStateRequest(m *message.Message) {
 		return
 	}
 	low := r.log.Low()
-	if low == 0 || low <= m.Seq {
-		return
-	}
 	rep := &message.Message{
-		Kind:            message.KindStateReply,
-		Seq:             low,
-		StateDigest:     r.log.StableDigest(),
-		CheckpointProof: r.log.StableProof(),
-		Result:          r.log.StableSnapshot(),
+		Kind:     message.KindStateReply,
+		Prepares: replica.CapSuffix(r.log.ProposalsAbove()),
+		// Crash-only trust: this replica's signature on the reply
+		// vouches for which transferred slots already decided.
+		Commits: replica.CapSuffix(r.log.CommittedAbove()),
 	}
+	if low > m.Seq {
+		rep.Seq = low
+		rep.StateDigest = r.log.StableDigest()
+		rep.CheckpointProof = r.log.StableProof()
+		rep.Result = r.log.StableSnapshot()
+	} else if len(rep.Prepares) == 0 && len(rep.Commits) == 0 {
+		return // requester is at or ahead of everything we hold
+	}
+	// A requester already at our checkpoint still gets the live log
+	// suffix, just not the redundant full-state snapshot.
 	r.eng.Sign(rep)
 	r.eng.Send(m.From, rep)
 }
@@ -115,26 +123,25 @@ func (r *Replica) onStateReply(m *message.Message) {
 	if !r.eng.Verify(m) {
 		return
 	}
-	if m.Seq <= r.exec.LastExecuted() {
-		return
-	}
-	if replica.DigestOf(m.Result) != m.StateDigest {
-		return
-	}
-	if err := r.exec.JumpTo(m.Seq, m.Result); err != nil {
-		return
-	}
-	r.log.MarkStable(m.Seq, m.StateDigest, m.CheckpointProof, m.Result)
-	r.exec.DropSnapshotsBelow(m.Seq)
-	for n := range r.pendingStable {
-		if n <= m.Seq {
-			delete(r.pendingStable, n)
+	if m.Seq > r.exec.LastExecuted() && replica.DigestOf(m.Result) == m.StateDigest {
+		if err := r.exec.JumpTo(m.Seq, m.Result); err != nil {
+			return
 		}
+		r.log.MarkStable(m.Seq, m.StateDigest, m.CheckpointProof, m.Result)
+		r.jr.Stable(r.view, 0, m.Seq, m.StateDigest, m.CheckpointProof, m.Result)
+		r.exec.DropSnapshotsBelow(m.Seq)
+		for n := range r.pendingStable {
+			if n <= m.Seq {
+				delete(r.pendingStable, n)
+			}
+		}
+		if r.nextSeq <= m.Seq {
+			r.nextSeq = m.Seq + 1
+		}
+		r.resetPending()
 	}
-	if r.nextSeq <= m.Seq {
-		r.nextSeq = m.Seq + 1
-	}
-	r.resetPending()
+	// The suffix helps even when the snapshot was stale.
+	r.installLogSuffix(m)
 	r.executeReady()
 }
 
@@ -336,6 +343,7 @@ func (r *Replica) onNewView(m *message.Message) {
 func (r *Replica) applyNewView(m *message.Message) {
 	r.view = m.View
 	r.status = statusNormal
+	r.jr.View(m.View, 0)
 	r.inFlight = make(map[inFlightKey]uint64)
 	r.resetPending()
 	r.vcDeadline = time.Time{}
@@ -360,8 +368,10 @@ func (r *Replica) applyNewView(m *message.Message) {
 		if entry == nil || entry.SetProposal(&s) != nil {
 			continue
 		}
+		r.jr.Proposal(&s)
 		entry.SetCommitCert(&s)
 		entry.MarkCommitted()
+		r.jr.Commit(s.Seq, s.View, s.Digest, &s)
 	}
 	for i := range m.Prepares {
 		s := m.Prepares[i]
@@ -372,6 +382,7 @@ func (r *Replica) applyNewView(m *message.Message) {
 		if entry == nil || entry.SetProposal(&s) != nil {
 			continue
 		}
+		r.jr.Proposal(&s)
 		r.markPending(s.Seq)
 		if r.eng.ID() == leader {
 			entry.AddVote(message.KindAccept, r.view, r.eng.ID(), s.Digest)

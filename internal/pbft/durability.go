@@ -1,0 +1,69 @@
+package pbft
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/message"
+	"repro/internal/replica"
+)
+
+// Durable storage wiring for the PBFT/S-UpRight baseline, mirroring
+// internal/core: the replica journals proposals, its own votes, commits
+// and view entries through replica.Journal and replays them on restart.
+
+// recoverFromStorage rebuilds state from the attached store. Called
+// from NewReplica, before Start.
+func (r *Replica) recoverFromStorage() error {
+	rs, err := replica.Recover(r.jr.Store(), r.log, r.exec)
+	if err != nil {
+		return fmt.Errorf("pbft: recovery: %w", err)
+	}
+	if rs.HasView {
+		r.view = rs.View
+	}
+	if rs.MaxSeq >= r.nextSeq {
+		r.nextSeq = rs.MaxSeq + 1
+	}
+	if !rs.HadState {
+		r.jr.View(r.view, 0)
+		return nil
+	}
+	r.requestStateNow()
+	return nil
+}
+
+// requestStateNow broadcasts a STATE-REQUEST immediately (restart
+// catch-up), bypassing the lag heuristic of maybeRequestState.
+func (r *Replica) requestStateNow() {
+	r.stateRequested = time.Now()
+	req := &message.Message{Kind: message.KindStateRequest, Seq: r.exec.LastExecuted()}
+	r.eng.Sign(req)
+	r.eng.Multicast(r.all(), req)
+}
+
+// installLogSuffix adopts the proposals a STATE-REPLY carried above the
+// checkpoint. With Byzantine peers only the pre-prepare signature of
+// the view's primary makes a proposal adoptable; commit status is
+// re-established through the normal vote flow (or the next checkpoint
+// transfer), never taken on the reply sender's word.
+func (r *Replica) installLogSuffix(m *message.Message) {
+	for i := range m.Prepares {
+		s := m.Prepares[i]
+		reqs := s.Requests()
+		if s.Kind != message.KindPrePrepare || !r.log.InWindow(s.Seq) ||
+			len(reqs) == 0 || message.BatchDigest(reqs) != s.Digest {
+			continue
+		}
+		if s.From != r.Primary(s.View) || !r.eng.VerifyRecord(&s) {
+			continue
+		}
+		entry := r.log.Entry(s.Seq)
+		if entry == nil {
+			continue
+		}
+		if entry.SetProposal(&s) == nil {
+			r.jr.Proposal(&s)
+		}
+	}
+}

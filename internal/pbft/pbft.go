@@ -24,6 +24,7 @@ import (
 	"repro/internal/mlog"
 	"repro/internal/replica"
 	"repro/internal/statemachine"
+	"repro/internal/storage"
 	"repro/internal/transport"
 )
 
@@ -62,6 +63,10 @@ type Options struct {
 	Pipelining config.Pipelining
 	// TickInterval overrides the engine tick (default 5ms).
 	TickInterval time.Duration
+	// Storage attaches the durable storage subsystem; when non-nil the
+	// replica journals its state, recovers from the store during
+	// construction, and takes ownership (Stop closes it).
+	Storage storage.Store
 }
 
 // Replica is one PBFT (or S-UpRight) node.
@@ -77,6 +82,10 @@ type Replica struct {
 
 	log  *mlog.Log
 	exec *replica.Executor
+
+	// jr journals protocol state to durable storage (no-op when
+	// durability is off).
+	jr *replica.Journal
 
 	nextSeq uint64
 
@@ -161,12 +170,18 @@ func NewReplica(opts Options) (*Replica, error) {
 		pendingStable: make(map[uint64]pendingCheckpoint),
 		inFlight:      make(map[inFlightKey]uint64),
 	}
+	r.jr = replica.NewJournal(opts.Storage)
 	r.eng = replica.NewEngine(replica.Config{
 		ID:           opts.ID,
 		Suite:        opts.Suite,
 		Endpoint:     opts.Network.Endpoint(transport.ReplicaAddr(opts.ID)),
 		TickInterval: r.batcher.TickInterval(opts.TickInterval),
 	})
+	if opts.Storage != nil {
+		if err := r.recoverFromStorage(); err != nil {
+			return nil, err
+		}
+	}
 	return r, nil
 }
 
@@ -205,8 +220,12 @@ func (r *Replica) loadProbe() *Probe {
 // Start launches the replica.
 func (r *Replica) Start() { r.eng.Start(r) }
 
-// Stop terminates the replica.
-func (r *Replica) Stop() { r.eng.Stop() }
+// Stop terminates the replica, then flushes and closes the attached
+// durable store (if any).
+func (r *Replica) Stop() {
+	r.eng.Stop()
+	r.jr.Close()
+}
 
 // Crash fail-stops the replica.
 func (r *Replica) Crash() { r.eng.Crash() }
@@ -258,6 +277,11 @@ func (r *Replica) HandleTick(now time.Time) {
 		} else if r.batcher.Due(now) {
 			r.proposeBatch(r.batcher.Take())
 		}
+	}
+	// A lagging replica retries its state-transfer request on the tick
+	// (throttled to one per τ inside maybeRequestState).
+	if r.status == statusNormal {
+		r.maybeRequestState()
 	}
 	// Per-slot timers: a stalled slot is suspected after τ even while
 	// newer slots keep committing around it.
@@ -439,6 +463,9 @@ func (r *Replica) proposeBatch(reqs []*message.Request) {
 		return
 	}
 	r.markPending(seq)
+	// Journal before multicasting: a recovered primary must remember
+	// every slot it assigned.
+	r.jr.Proposal(pp)
 	for _, req := range kept {
 		r.inFlight[inFlightKey{client: req.Client, ts: req.Timestamp}] = seq
 	}
@@ -491,9 +518,11 @@ func (r *Replica) onPrePrepare(m *message.Message) {
 		return // equivocation or stale duplicate
 	}
 	r.markPending(m.Seq)
+	r.jr.Proposal(s)
 
 	prep := &message.Signed{Kind: message.KindPrepare, View: r.view, Seq: m.Seq, Digest: m.Digest}
 	r.eng.SignRecord(prep)
+	r.jr.Vote(prep)
 	entry.AddVoteCert(prep)
 	entry.AddVote(message.KindPrepare, r.view, m.From, m.Digest)
 	r.eng.Multicast(r.all(), signedWire(prep))
@@ -535,6 +564,7 @@ func (r *Replica) maybePrepared(entry *mlog.Entry) {
 	}
 	com := &message.Signed{Kind: message.KindCommit, View: r.view, Seq: entry.Seq(), Digest: d}
 	r.eng.SignRecord(com)
+	r.jr.Vote(com)
 	entry.AddVoteCert(com)
 	r.eng.Multicast(r.all(), signedWire(com))
 	r.maybeCommitted(entry)
@@ -574,6 +604,7 @@ func (r *Replica) maybeCommitted(entry *mlog.Entry) {
 		return
 	}
 	entry.MarkCommitted()
+	r.jr.Commit(entry.Seq(), r.view, d, nil)
 	r.clearPending(entry.Seq())
 	r.executeReady()
 }

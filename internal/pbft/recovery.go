@@ -53,6 +53,7 @@ func (r *Replica) stabilizeOrPend(seq uint64, d crypto.Digest, proof []message.S
 	if snap, ok := r.exec.SnapshotAt(seq); ok {
 		if replica.DigestOf(snap) == d {
 			r.log.MarkStable(seq, d, proof, snap)
+			r.jr.Stable(r.view, 0, seq, d, proof, snap)
 			r.exec.DropSnapshotsBelow(seq)
 			for n := range r.pendingStable {
 				if n <= seq {
@@ -105,16 +106,20 @@ func (r *Replica) onStateRequest(m *message.Message) {
 		return
 	}
 	low := r.log.Low()
-	if low == 0 || low <= m.Seq {
-		return
-	}
 	rep := &message.Message{
-		Kind:            message.KindStateReply,
-		Seq:             low,
-		StateDigest:     r.log.StableDigest(),
-		CheckpointProof: r.log.StableProof(),
-		Result:          r.log.StableSnapshot(),
+		Kind:     message.KindStateReply,
+		Prepares: replica.CapSuffix(r.log.ProposalsAbove()),
 	}
+	if low > m.Seq {
+		rep.Seq = low
+		rep.StateDigest = r.log.StableDigest()
+		rep.CheckpointProof = r.log.StableProof()
+		rep.Result = r.log.StableSnapshot()
+	} else if len(rep.Prepares) == 0 {
+		return // requester is at or ahead of everything we hold
+	}
+	// A requester already at our checkpoint still gets the live log
+	// suffix, just not the redundant full-state snapshot.
 	r.eng.Sign(rep)
 	r.eng.Send(m.From, rep)
 }
@@ -123,29 +128,27 @@ func (r *Replica) onStateReply(m *message.Message) {
 	if !r.eng.Verify(m) {
 		return
 	}
-	if m.Seq <= r.exec.LastExecuted() {
-		return
-	}
-	if !r.verifyCheckpointProof(m.Seq, m.StateDigest, m.CheckpointProof) {
-		return
-	}
-	if replica.DigestOf(m.Result) != m.StateDigest {
-		return
-	}
-	if err := r.exec.JumpTo(m.Seq, m.Result); err != nil {
-		return
-	}
-	r.log.MarkStable(m.Seq, m.StateDigest, m.CheckpointProof, m.Result)
-	r.exec.DropSnapshotsBelow(m.Seq)
-	for n := range r.pendingStable {
-		if n <= m.Seq {
-			delete(r.pendingStable, n)
+	if m.Seq > r.exec.LastExecuted() &&
+		r.verifyCheckpointProof(m.Seq, m.StateDigest, m.CheckpointProof) &&
+		replica.DigestOf(m.Result) == m.StateDigest {
+		if err := r.exec.JumpTo(m.Seq, m.Result); err != nil {
+			return
 		}
+		r.log.MarkStable(m.Seq, m.StateDigest, m.CheckpointProof, m.Result)
+		r.jr.Stable(r.view, 0, m.Seq, m.StateDigest, m.CheckpointProof, m.Result)
+		r.exec.DropSnapshotsBelow(m.Seq)
+		for n := range r.pendingStable {
+			if n <= m.Seq {
+				delete(r.pendingStable, n)
+			}
+		}
+		if r.nextSeq <= m.Seq {
+			r.nextSeq = m.Seq + 1
+		}
+		r.resetPending()
 	}
-	if r.nextSeq <= m.Seq {
-		r.nextSeq = m.Seq + 1
-	}
-	r.resetPending()
+	// The suffix helps even when the snapshot was stale.
+	r.installLogSuffix(m)
 	r.executeReady()
 }
 
@@ -422,6 +425,7 @@ func (r *Replica) onNewView(m *message.Message) {
 func (r *Replica) applyNewView(m *message.Message) {
 	r.view = m.View
 	r.status = statusNormal
+	r.jr.View(m.View, 0)
 	r.inFlight = make(map[inFlightKey]uint64)
 	r.resetPending()
 	r.vcDeadline = time.Time{}
@@ -445,6 +449,7 @@ func (r *Replica) applyNewView(m *message.Message) {
 		if entry == nil || entry.SetProposal(&s) != nil {
 			continue
 		}
+		r.jr.Proposal(&s)
 		if entry.Committed() {
 			continue
 		}
@@ -453,6 +458,7 @@ func (r *Replica) applyNewView(m *message.Message) {
 		if r.eng.ID() != m.From {
 			prep := &message.Signed{Kind: message.KindPrepare, View: r.view, Seq: s.Seq, Digest: s.Digest}
 			r.eng.SignRecord(prep)
+			r.jr.Vote(prep)
 			entry.AddVoteCert(prep)
 			r.eng.Multicast(r.all(), signedWire(prep))
 		}

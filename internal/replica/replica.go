@@ -43,6 +43,7 @@ type Engine struct {
 
 	mu      sync.Mutex
 	crashed bool
+	started bool
 
 	stopOnce sync.Once
 	stopCh   chan struct{}
@@ -71,6 +72,9 @@ func (e *Engine) ID() ids.ReplicaID { return e.id }
 // Start launches the event loop feeding h. It must be called exactly
 // once.
 func (e *Engine) Start(h Handler) {
+	e.mu.Lock()
+	e.started = true
+	e.mu.Unlock()
 	go e.loop(h)
 }
 
@@ -117,10 +121,17 @@ func (e *Engine) loop(h Handler) {
 	}
 }
 
-// Stop terminates the event loop and waits for it to exit.
+// Stop terminates the event loop and waits for it to exit. Stopping an
+// engine that was never started is a no-op (a replica may be built —
+// and recovered — without ever being run).
 func (e *Engine) Stop() {
 	e.stopOnce.Do(func() { close(e.stopCh) })
-	<-e.done
+	e.mu.Lock()
+	started := e.started
+	e.mu.Unlock()
+	if started {
+		<-e.done
+	}
 }
 
 // Crash puts the replica in fail-stop mode: it stops processing and

@@ -1,0 +1,35 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// acquireDirLock takes an exclusive, non-blocking flock on <dir>/LOCK.
+// Exactly one process may own a data directory: two WALs appending to
+// the same segment interleave frames and destroy the log, so a second
+// Open fails immediately with a clear error instead. The lock is
+// advisory but both owners would be this same code, which always asks.
+// It dies with the process, so a kill -9 never leaves a stale lock.
+func acquireDirLock(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: data directory %s is locked by another process: %w", dir, err)
+	}
+	return f, nil
+}
+
+// releaseDirLock drops the flock (nil-safe).
+func releaseDirLock(f *os.File) {
+	if f == nil {
+		return
+	}
+	syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	f.Close()
+}
