@@ -21,13 +21,16 @@ race: ## run the test suite under the race detector
 bench: ## regenerate the paper's figures/tables via the root benchmarks
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
-bench-json: ## machine-readable pipeline sweep → BENCH_pipeline.json (CI artifact)
+bench-json: ## machine-readable sweeps → BENCH_pipeline.json + BENCH_shard.json (CI artifacts)
 	$(GO) run ./cmd/seemore-bench -exp ablation-pipeline \
 		-measure 200ms -warmup 50ms -clients 1,8 -json BENCH_pipeline.json
+	$(GO) run ./cmd/seemore-bench -exp ablation-shard \
+		-measure 300ms -warmup 80ms -shards 1,2,4 -shard-clients 48 -json BENCH_shard.json
 
-fuzz: ## fuzz the message codec briefly (FuzzDecode round-trip property)
+fuzz: ## fuzz the untrusted-input decoders briefly (wire codec + KV state machine)
 	$(GO) test -run='^$$' -fuzz=FuzzDecode$$ -fuzztime=15s ./internal/message
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeRequest -fuzztime=5s ./internal/message
+	$(GO) test -run='^$$' -fuzz=FuzzKVApply -fuzztime=10s ./internal/statemachine
 
 fmt: ## gofmt all source in place
 	gofmt -w .

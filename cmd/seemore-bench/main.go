@@ -27,13 +27,18 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, table1, fig2a, fig2b, fig2c, fig2d, fig3a, fig3b, fig4, ablation-signer, ablation-proxies, ablation-commit, ablation-checkpoint, ablation-crosscloud, ablation-batch, ablation-pipeline")
+		exp      = flag.String("exp", "all", "experiment: all, table1, fig2a, fig2b, fig2c, fig2d, fig3a, fig3b, fig4, ablation-signer, ablation-proxies, ablation-commit, ablation-checkpoint, ablation-crosscloud, ablation-batch, ablation-pipeline, ablation-shard")
 		measure  = flag.Duration("measure", 500*time.Millisecond, "measurement window per load point")
 		warmup   = flag.Duration("warmup", 150*time.Millisecond, "warmup before each measurement")
 		clients  = flag.String("clients", "1,2,4,8,16,32,64", "comma-separated closed-loop client counts")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		pipeline = flag.Int("pipeline", 0, "pipeline depth applied to every experiment cluster (0: off)")
+		shards   = flag.String("shards", "1,2,4", "comma-separated shard counts for ablation-shard")
+		shardCl  = flag.Int("shard-clients", 48, "closed-loop clients per ablation-shard point (fixed across shard counts)")
 		reqs     = flag.Int("table1-requests", 100, "requests per protocol for Table 1 message counting")
+		retries  = flag.Int("max-retries", 0, "client broadcast retransmissions per request (0: default)")
+		retryTmo = flag.Duration("retry-timeout", 0, "client wait before the first retransmission (0: the protocol timer)")
+		backoff  = flag.Float64("retry-backoff", 0, "client timeout multiplier per retry (≤1: fixed)")
 		jsonOut  = flag.String("json", "", "also write every measured sweep to this JSON file (machine-readable; CI uploads it as an artifact)")
 	)
 	flag.Parse()
@@ -42,9 +47,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	shardCounts, err := parseCounts(*shards)
+	if err != nil {
+		log.Fatal(err)
+	}
 	opts := bench.Options{
 		Warmup: *warmup, Measure: *measure,
 		Pipeline: config.Pipelining{Depth: *pipeline},
+		Client:   config.Client{MaxRetries: *retries, RetryTimeout: *retryTmo, Backoff: *backoff},
+	}
+	if err := opts.Client.Validate(); err != nil {
+		log.Fatal(err)
 	}
 
 	var collected []bench.JSONExperiment
@@ -133,6 +146,13 @@ func main() {
 			}
 			record(name, series)
 			bench.PrintAblation(os.Stdout, "pipeline depth × batch size (Lion, 0/0, ed25519)", "clients", series)
+		case "ablation-shard":
+			series, err := bench.AblationShard(ids.Lion, shardCounts, *shardCl, opts, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			record(name, series)
+			bench.PrintAblation(os.Stdout, "shard count (Lion, fixed per-shard cluster, put workload)", "clients", series)
 		case "ablation-crosscloud":
 			lat := []time.Duration{50 * time.Microsecond, 250 * time.Microsecond, time.Millisecond, 4 * time.Millisecond}
 			series, err := bench.AblationCrossCloudLatency(lat, 16, opts, *seed)
@@ -154,7 +174,7 @@ func main() {
 			"table1", "fig2a", "fig2b", "fig2c", "fig2d", "fig3a", "fig3b", "fig4",
 			"ablation-signer", "ablation-proxies", "ablation-commit",
 			"ablation-checkpoint", "ablation-crosscloud", "ablation-batch",
-			"ablation-pipeline",
+			"ablation-pipeline", "ablation-shard",
 		} {
 			fmt.Printf("=== %s ===\n", name)
 			run(name)

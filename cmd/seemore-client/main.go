@@ -4,6 +4,15 @@
 //	seemore-client -peers 0=127.0.0.1:7000,...,5=127.0.0.1:7005 \
 //	  -s 2 -p 4 -c 1 -m 1 -op put -key greeting -value hello
 //	seemore-client ... -op get -key greeting
+//
+// Against a sharded deployment, prefix each peer with its group and
+// pass the shard count; single-key operations route to their owner
+// group and -op mget fans reads out across groups:
+//
+//	seemore-client -shards 2 \
+//	  -peers 0:0=127.0.0.1:7000,...,0:5=127.0.0.1:7005,1:0=127.0.0.1:7100,...,1:5=127.0.0.1:7105 \
+//	  -op put -key greeting -value hello
+//	seemore-client -shards 2 -peers ... -op mget -keys greeting,other
 package main
 
 import (
@@ -11,32 +20,39 @@ import (
 	"fmt"
 	"log"
 	"strings"
+	"time"
 
 	"repro/internal/client"
 	"repro/internal/config"
 	"repro/internal/crypto"
 	"repro/internal/ids"
+	"repro/internal/shard"
 	"repro/internal/statemachine"
 	"repro/internal/transport"
 )
 
 func main() {
 	var (
-		id      = flag.Int64("client", 0, "client id")
-		s       = flag.Int("s", 2, "private cloud size S")
-		p       = flag.Int("p", 4, "public cloud size P")
-		c       = flag.Int("c", 1, "crash bound c")
-		m       = flag.Int("m", 1, "Byzantine bound m")
-		mode    = flag.String("mode", "lion", "cluster's initial mode: lion, dog, peacock")
-		peers   = flag.String("peers", "", "comma-separated id=host:port replica list")
-		seed    = flag.Int64("seed", 1, "shared key-derivation seed")
-		clients = flag.Int64("clients", 64, "keyring client count (must match the servers)")
-		suiteFl = flag.String("suite", "ed25519", "signature suite: ed25519, hmac, none")
-		op      = flag.String("op", "get", "operation: get, put, del, add")
-		key     = flag.String("key", "", "key")
-		value   = flag.String("value", "", "value (put)")
-		delta   = flag.Int64("delta", 0, "delta (add)")
-		repeat  = flag.Int("n", 1, "repeat the operation n times")
+		id       = flag.Int64("client", 0, "client id")
+		s        = flag.Int("s", 2, "private cloud size S")
+		p        = flag.Int("p", 4, "public cloud size P")
+		c        = flag.Int("c", 1, "crash bound c")
+		m        = flag.Int("m", 1, "Byzantine bound m")
+		mode     = flag.String("mode", "lion", "cluster's initial mode: lion, dog, peacock")
+		peers    = flag.String("peers", "", "comma-separated [group:]id=host:port replica list")
+		shards   = flag.Int("shards", 1, "consensus groups the deployment is partitioned into")
+		seed     = flag.Int64("seed", 1, "shared key-derivation seed")
+		clients  = flag.Int64("clients", 64, "keyring client count (must match the servers)")
+		suiteFl  = flag.String("suite", "ed25519", "signature suite: ed25519, hmac, none")
+		op       = flag.String("op", "get", "operation: get, put, del, add, mget")
+		key      = flag.String("key", "", "key")
+		keys     = flag.String("keys", "", "comma-separated keys (mget)")
+		value    = flag.String("value", "", "value (put)")
+		delta    = flag.Int64("delta", 0, "delta (add)")
+		repeat   = flag.Int("n", 1, "repeat the operation n times")
+		retries  = flag.Int("max-retries", 0, "broadcast retransmissions per request (0: default)")
+		retryTmo = flag.Duration("retry-timeout", 0, "wait before the first retransmission (0: the protocol timer)")
+		backoff  = flag.Float64("retry-backoff", 0, "timeout multiplier per retry (≤1: fixed timeout)")
 	)
 	flag.Parse()
 
@@ -48,18 +64,24 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	peerMap, err := parsePeers(*peers)
+	sh := config.Sharding{Shards: *shards, ReplicasPerShard: mb.N()}.Normalized()
+	if err := sh.Validate(); err != nil {
+		log.Fatalf("sharding: %v", err)
+	}
+	cc := config.Client{MaxRetries: *retries, RetryTimeout: *retryTmo, Backoff: *backoff}
+	if err := cc.Validate(); err != nil {
+		log.Fatalf("client config: %v", err)
+	}
+	groupPeers, err := parsePeers(*peers, sh.Shards)
 	if err != nil {
 		log.Fatalf("peers: %v", err)
 	}
-	if len(peerMap) != mb.N() {
-		log.Fatalf("peer list has %d entries, cluster has %d replicas", len(peerMap), mb.N())
+	for g := 0; g < sh.Shards; g++ {
+		if len(groupPeers[g]) != mb.N() {
+			log.Fatalf("group %d peer list has %d entries, cluster has %d replicas", g, len(groupPeers[g]), mb.N())
+		}
 	}
 
-	node, err := transport.NewTCPNode(transport.ClientAddr(ids.ClientID(*id)), "127.0.0.1:0", peerMap)
-	if err != nil {
-		log.Fatalf("client transport: %v", err)
-	}
 	var suite crypto.Suite
 	switch strings.ToLower(*suiteFl) {
 	case "ed25519":
@@ -72,8 +94,43 @@ func main() {
 		log.Fatalf("unknown suite %q", *suiteFl)
 	}
 
-	cl := client.New(ids.ClientID(*id), suite, transport.Single(node),
-		client.NewSeeMoRePolicy(mb, md), config.DefaultTiming())
+	// One TCP node (and one underlying client) per group: the groups are
+	// disjoint TCP clusters, and the router owns the key→group mapping.
+	perGroup := make([]*client.Client, sh.Shards)
+	for g := range perGroup {
+		node, err := transport.NewTCPNode(transport.ClientAddr(ids.ClientID(*id)), "127.0.0.1:0", groupPeers[g])
+		if err != nil {
+			log.Fatalf("group %d client transport: %v", g, err)
+		}
+		perGroup[g] = client.NewWithConfig(ids.ClientID(*id), suite, transport.Single(node),
+			client.NewSeeMoRePolicy(mb, md), config.DefaultTiming(), cc)
+	}
+	router, err := client.NewRouter(perGroup, shard.MustHashPartitioner(sh.Shards), nil)
+	if err != nil {
+		log.Fatalf("router: %v", err)
+	}
+	defer router.Close()
+
+	if strings.EqualFold(*op, "mget") {
+		ks := splitKeys(*keys)
+		if len(ks) == 0 {
+			log.Fatal("mget needs -keys k1,k2,...")
+		}
+		start := time.Now()
+		vals, err := router.MultiGet(ks)
+		if err != nil {
+			log.Fatalf("mget: %v", err)
+		}
+		for i, k := range ks {
+			if vals[i] == nil {
+				fmt.Printf("%s: NOT FOUND\n", k)
+			} else {
+				fmt.Printf("%s: OK %q\n", k, vals[i])
+			}
+		}
+		fmt.Printf("(%d keys across %d shard(s) in %v)\n", len(ks), router.Shards(), time.Since(start))
+		return
+	}
 
 	var encoded []byte
 	switch strings.ToLower(*op) {
@@ -90,7 +147,7 @@ func main() {
 	}
 
 	for i := 0; i < *repeat; i++ {
-		res, err := cl.Invoke(encoded)
+		res, err := router.Invoke(encoded)
 		if err != nil {
 			log.Fatalf("invoke: %v", err)
 		}
@@ -119,8 +176,13 @@ func parseMode(s string) (ids.Mode, error) {
 	}
 }
 
-func parsePeers(s string) (map[transport.Addr]string, error) {
-	out := make(map[transport.Addr]string)
+// parsePeers splits a peer list into per-group address maps. Entries
+// are id=host:port (group 0) or group:id=host:port.
+func parsePeers(s string, shards int) ([]map[transport.Addr]string, error) {
+	out := make([]map[transport.Addr]string, shards)
+	for g := range out {
+		out[g] = make(map[transport.Addr]string)
+	}
 	if s == "" {
 		return out, nil
 	}
@@ -129,11 +191,28 @@ func parsePeers(s string) (map[transport.Addr]string, error) {
 		if len(kv) != 2 {
 			return nil, fmt.Errorf("malformed peer entry %q", part)
 		}
-		var id int
-		if _, err := fmt.Sscanf(kv[0], "%d", &id); err != nil {
+		g, id := 0, 0
+		if strings.Contains(kv[0], ":") {
+			if _, err := fmt.Sscanf(kv[0], "%d:%d", &g, &id); err != nil {
+				return nil, fmt.Errorf("malformed peer id %q (want [group:]id)", kv[0])
+			}
+		} else if _, err := fmt.Sscanf(kv[0], "%d", &id); err != nil {
 			return nil, fmt.Errorf("malformed peer id %q", kv[0])
 		}
-		out[transport.ReplicaAddr(ids.ReplicaID(id))] = kv[1]
+		if g < 0 || g >= shards {
+			return nil, fmt.Errorf("peer %q names group %d outside [0, %d)", part, g, shards)
+		}
+		out[g][transport.ReplicaAddr(ids.ReplicaID(id))] = kv[1]
 	}
 	return out, nil
+}
+
+func splitKeys(s string) []string {
+	var out []string
+	for _, k := range strings.Split(s, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			out = append(out, k)
+		}
+	}
+	return out
 }

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/ids"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 		beta     = flag.Float64("beta", 0, "crash ratio β of the public cloud (uniform model, optional)")
 		maxByz   = flag.Int("max-byz", -1, "max concurrent Byzantine failures M in the rented cluster (bound model)")
 		maxCrash = flag.Int("max-crash", 0, "max concurrent crash failures C in the rented cluster (bound model)")
+		shards   = flag.Int("shards", 1, "consensus groups to partition the keyspace across (each group is one full hybrid cluster)")
 	)
 	flag.Parse()
 
@@ -55,6 +57,32 @@ func main() {
 		os.Exit(2)
 	}
 	report(p, err, *s, *c, model)
+	if err == nil && *shards > 1 {
+		reportShards(*s+p, *shards)
+	}
+}
+
+// reportShards prints the per-shard placement of a sharded deployment:
+// every group is one full hybrid cluster of n nodes, laid out over
+// contiguous global replica indices, owning one contiguous slice of the
+// hashed keyspace.
+func reportShards(n, shards int) {
+	ps, err := shard.Placements(config.Sharding{Shards: shards, ReplicasPerShard: n})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sharding: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("sharded deployment: %d groups × %d nodes = %d replicas total\n", shards, n, shards*n)
+	for _, pl := range ps {
+		hi := fmt.Sprintf("%#016x", pl.HashHi)
+		if pl.HashHi == 0 {
+			hi = "2^64" // the last range is closed by the top of the hash space
+		}
+		fmt.Printf("  shard %d: replicas %d..%d, key hashes [%#016x, %s)\n",
+			int(pl.Group), pl.LoID, pl.HiID-1, pl.HashLo, hi)
+	}
+	fmt.Printf("  run each group as its own cluster (cmd/seemore -shards %d -shard-of <g>); clients route with -shards %d\n",
+		shards, shards)
 }
 
 func report(p int, err error, s, c int, model string) {

@@ -19,6 +19,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 
@@ -49,8 +50,19 @@ func main() {
 		pipeline = flag.Int("pipeline", 0, "max consensus slots the primary keeps in flight (0 disables pipelining)")
 		dataDir  = flag.String("data-dir", "", "durable storage directory (WAL + snapshots); empty runs fully in memory")
 		fsyncEv  = flag.Int("fsync-every", 1, "fsync the WAL every N appends (1: every append; >1 trades a bounded power-failure window for throughput)")
+		shards   = flag.Int("shards", 1, "total consensus groups in the sharded deployment this replica belongs to")
+		shardOf  = flag.Int("shard-of", 0, "which group this replica serves, in [0, shards)")
 	)
 	flag.Parse()
+
+	sh := config.Sharding{Shards: *shards}.Normalized()
+	if err := sh.Validate(); err != nil {
+		log.Fatalf("sharding: %v", err)
+	}
+	group := ids.GroupID(*shardOf)
+	if !group.Valid() || int(group) >= sh.Shards {
+		log.Fatalf("sharding: -shard-of %d outside [0, %d)", *shardOf, sh.Shards)
+	}
 
 	mb, err := ids.NewMembership(*s, *p, *c, *m)
 	if err != nil {
@@ -73,7 +85,15 @@ func main() {
 		log.Fatalf("pipelining: %v", err)
 	}
 
-	cl.Durability = config.Durability{Dir: *dataDir, FsyncEvery: *fsyncEv}
+	// Each consensus group of a sharded deployment is its own TCP
+	// cluster (own peer list, own ports) and its own durability domain:
+	// one host directory can hold several groups' replicas without
+	// collisions.
+	dir := *dataDir
+	if dir != "" && sh.Enabled() {
+		dir = filepath.Join(dir, fmt.Sprintf("g%d", group))
+	}
+	cl.Durability = config.Durability{Dir: dir, FsyncEvery: *fsyncEv}
 	if err := cl.Durability.Validate(); err != nil {
 		log.Fatalf("durability: %v", err)
 	}
@@ -109,9 +129,13 @@ func main() {
 	replica.Start()
 	durable := "in-memory"
 	if store != nil {
-		durable = "data-dir " + *dataDir
+		durable = "data-dir " + dir
 	}
-	log.Printf("seemore replica %d up: %v, mode %s, listening on %s (%s)", *id, mb, md, node.ListenAddr(), durable)
+	shardInfo := ""
+	if sh.Enabled() {
+		shardInfo = fmt.Sprintf(", shard %d/%d", group, sh.Shards)
+	}
+	log.Printf("seemore replica %d up: %v, mode %s%s, listening on %s (%s)", *id, mb, md, shardInfo, node.ListenAddr(), durable)
 
 	// Graceful shutdown: stop the engine first (no new proposals or
 	// votes; the replica flushes and closes its WAL), then the

@@ -75,6 +75,9 @@ type Options struct {
 	// whose spec does not already pin a pipeline depth (the -pipeline
 	// flag of cmd/seemore-bench).
 	Pipeline config.Pipelining
+	// Client, when set, tunes the retry behavior of every measurement
+	// client (the -retry flags of cmd/seemore-bench).
+	Client config.Client
 }
 
 func (o *Options) defaults() {
@@ -98,25 +101,21 @@ func (o *Options) defaults() {
 	}
 }
 
-// MeasurePoint runs `clients` closed-loop clients against a fresh
-// cluster built from spec and reports the sustained throughput and
-// latency distribution during the measurement window.
-func MeasurePoint(spec cluster.Spec, w Workload, clients int, opts Options) (Point, error) {
-	opts.defaults()
-	spec.Timing = opts.Timing
-	if !spec.Pipelining.Enabled() {
-		spec.Pipelining = opts.Pipeline
-	}
-	spec.NewStateMachine = w.NewStateMachine
-	if spec.MaxClients < int64(clients) {
-		spec.MaxClients = int64(clients) + 1
-	}
-	c, err := cluster.New(spec)
-	if err != nil {
-		return Point{}, err
-	}
-	defer c.Stop()
+// invoker is one closed-loop measurement client: an Invoke plus its
+// teardown. MeasurePoint runs protocol clients, MeasureShardPoint runs
+// shard-aware routers; the measurement loop is shared.
+type invoker struct {
+	invoke func(op []byte) ([]byte, error)
+	close  func()
+}
 
+// measureLoop drives `clients` closed-loop invokers against a running
+// cluster through warmup and measurement phases and aggregates the
+// committed-ops throughput and latency distribution of the window.
+// newOp builds the operation for a client's seq-th request.
+func measureLoop(clients int, opts Options,
+	newInvoker func(cid int64) (invoker, error),
+	newOp func(cid int64, seq int) []byte) Point {
 	var (
 		phase     atomic.Int32 // 0 warmup, 1 measuring, 2 done
 		count     atomic.Int64
@@ -129,11 +128,16 @@ func MeasurePoint(spec cluster.Spec, w Workload, clients int, opts Options) (Poi
 		wg.Add(1)
 		go func(cid int64) {
 			defer wg.Done()
-			cl := c.NewClient(ids.ClientID(cid))
+			in, err := newInvoker(cid)
+			if err != nil {
+				errs.Add(1)
+				return
+			}
+			defer in.close()
 			var local []time.Duration
-			for phase.Load() < 2 {
+			for seq := 0; phase.Load() < 2; seq++ {
 				start := time.Now()
-				_, err := cl.Invoke(w.NewOp())
+				_, err := in.invoke(newOp(cid, seq))
 				elapsed := time.Since(start)
 				if phase.Load() != 1 {
 					continue
@@ -172,7 +176,37 @@ func MeasurePoint(spec cluster.Spec, w Workload, clients int, opts Options) (Poi
 		p.P50 = latencies[len(latencies)/2]
 		p.P99 = latencies[(len(latencies)*99)/100]
 	}
-	return p, nil
+	return p
+}
+
+// MeasurePoint runs `clients` closed-loop clients against a fresh
+// cluster built from spec and reports the sustained throughput and
+// latency distribution during the measurement window.
+func MeasurePoint(spec cluster.Spec, w Workload, clients int, opts Options) (Point, error) {
+	opts.defaults()
+	spec.Timing = opts.Timing
+	if !spec.Pipelining.Enabled() {
+		spec.Pipelining = opts.Pipeline
+	}
+	if spec.Client == (config.Client{}) {
+		spec.Client = opts.Client
+	}
+	spec.NewStateMachine = w.NewStateMachine
+	if spec.MaxClients < int64(clients) {
+		spec.MaxClients = int64(clients) + 1
+	}
+	c, err := cluster.New(spec)
+	if err != nil {
+		return Point{}, err
+	}
+	defer c.Stop()
+
+	return measureLoop(clients, opts,
+		func(cid int64) (invoker, error) {
+			cl := c.NewClient(ids.ClientID(cid))
+			return invoker{invoke: cl.Invoke, close: cl.Close}, nil
+		},
+		func(int64, int) []byte { return w.NewOp() }), nil
 }
 
 // Sweep measures a protocol line across increasing client counts.

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/ids"
+)
+
+// measureShards runs one Lion load point at the given shard count with
+// a fixed per-shard cluster — the configuration the sharding acceptance
+// criterion compares.
+func measureShards(t *testing.T, shards, clients int, opts Options) float64 {
+	t.Helper()
+	net := ShardNet(7)
+	spec := cluster.Spec{
+		Protocol: cluster.SeeMoRe, Mode: ids.Lion,
+		Crash: 1, Byz: 1, Seed: 7, Net: &net, Shards: shards,
+	}
+	p, err := MeasureShardPoint(spec, clients, opts)
+	if err != nil {
+		t.Fatalf("shards %d: %v", shards, err)
+	}
+	if p.Errors > 0 {
+		t.Fatalf("shards %d: %d client errors", shards, p.Errors)
+	}
+	return p.Throughput
+}
+
+// TestShardScaling is the sharding acceptance criterion in test form:
+// with the per-shard cluster fixed and the same 48-client closed-loop
+// population, a 4-shard deployment must commit at least 2.5× the
+// aggregate operations of a single group. The single group is saturated
+// at its primary (48 clients against one pipeline), so the headroom can
+// only come from the added primaries. One retry with a longer window
+// absorbs scheduler noise on loaded hosts.
+func TestShardScaling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("performance-ordering assertion; race instrumentation slows real CPU until it, not the simulated nodes, is the bottleneck")
+	}
+	opts := Options{Warmup: 80 * time.Millisecond, Measure: 300 * time.Millisecond}
+	const clients = 48
+	for attempt := 0; ; attempt++ {
+		s1 := measureShards(t, 1, clients, opts)
+		s4 := measureShards(t, 4, clients, opts)
+		if s4 >= 2.5*s1 {
+			t.Logf("throughput: 1 shard = %.0f op/s, 4 shards = %.0f op/s (%.2fx)", s1, s4, s4/s1)
+			return
+		}
+		if attempt >= 1 {
+			t.Fatalf("4-shard throughput %.0f op/s not ≥ 2.5× 1-shard %.0f op/s (%.2fx)", s4, s1, s4/s1)
+		}
+		opts.Measure *= 3
+	}
+}
+
+// TestAblationShardShape checks the sweep produces one labeled series
+// per shard count with committed throughput at every point.
+func TestAblationShardShape(t *testing.T) {
+	series, err := AblationShard(ids.Lion, []int{1, 2}, 8, quickOpts(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("got %d series, want 2", len(series))
+	}
+	if series[0].Label != "Lion/shards=1" || series[1].Label != "Lion/shards=2" {
+		t.Fatalf("unexpected labels %q, %q", series[0].Label, series[1].Label)
+	}
+	for _, s := range series {
+		if len(s.Points) != 1 || s.Points[0].Throughput <= 0 {
+			t.Fatalf("series %s has no throughput", s.Label)
+		}
+		if s.Points[0].Errors > 0 {
+			t.Fatalf("series %s had %d errors", s.Label, s.Points[0].Errors)
+		}
+	}
+}

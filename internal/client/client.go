@@ -31,8 +31,11 @@ import (
 // reaching a reply quorum.
 var ErrTimeout = errors.New("client: request timed out")
 
-// maxRetries bounds the number of broadcast retransmissions per request.
-const maxRetries = 20
+// maxRetryWait caps a backoff-grown retransmit wait. Without it,
+// Backoff > 1 composed with the default 20-retry budget turns an
+// unreachable cluster into a wait of ClientRetry·2²⁰ — the cap keeps
+// the worst-case Invoke latency proportional to the retry budget.
+const maxRetryWait = time.Minute
 
 // Policy decides when collected replies constitute a committed result.
 // Implementations inspect only validated replies (signature checked,
@@ -54,23 +57,36 @@ type Policy interface {
 // Client issues requests and awaits reply quorums. Not safe for
 // concurrent use; run one Client per goroutine (the benchmarks do).
 type Client struct {
-	id     ids.ClientID
-	suite  crypto.Suite
-	ep     transport.Endpoint
-	policy Policy
-	retry  time.Duration
+	id         ids.ClientID
+	suite      crypto.Suite
+	ep         transport.Endpoint
+	policy     Policy
+	retry      time.Duration
+	maxRetries int
+	backoff    float64
 
 	ts uint64
 }
 
-// New assembles a client from a policy.
+// New assembles a client from a policy with the default retry behavior
+// (config.DefaultMaxRetries broadcasts at a fixed Timing.ClientRetry
+// interval).
 func New(id ids.ClientID, suite crypto.Suite, network transport.Network, policy Policy, timing config.Timing) *Client {
+	return NewWithConfig(id, suite, network, policy, timing, config.Client{})
+}
+
+// NewWithConfig assembles a client with explicit retry knobs; the zero
+// cc is identical to New.
+func NewWithConfig(id ids.ClientID, suite crypto.Suite, network transport.Network, policy Policy, timing config.Timing, cc config.Client) *Client {
+	cc = cc.Normalized(timing)
 	return &Client{
-		id:     id,
-		suite:  suite,
-		ep:     network.Endpoint(transport.ClientAddr(id)),
-		policy: policy,
-		retry:  timing.ClientRetry,
+		id:         id,
+		suite:      suite,
+		ep:         network.Endpoint(transport.ClientAddr(id)),
+		policy:     policy,
+		retry:      cc.RetryTimeout,
+		maxRetries: cc.MaxRetries,
+		backoff:    cc.Backoff,
 	}
 }
 
@@ -97,7 +113,8 @@ func (c *Client) Invoke(op []byte) ([]byte, error) {
 
 	replies := make(map[ids.ReplicaID]*message.Message)
 	retried := false
-	deadline := time.NewTimer(c.retry)
+	wait := c.retry
+	deadline := time.NewTimer(wait)
 	defer deadline.Stop()
 
 	for attempt := 0; ; {
@@ -117,7 +134,7 @@ func (c *Client) Invoke(op []byte) ([]byte, error) {
 			}
 		case <-deadline.C:
 			attempt++
-			if attempt > maxRetries {
+			if attempt > c.maxRetries {
 				return nil, fmt.Errorf("%w (client %d, ts %d)", ErrTimeout, c.id, c.ts)
 			}
 			// Timeout: suspect the primary and broadcast to everyone
@@ -128,7 +145,13 @@ func (c *Client) Invoke(op []byte) ([]byte, error) {
 				c.policy.Observe(replies)
 				return result, nil
 			}
-			deadline.Reset(c.retry)
+			if c.backoff > 1 {
+				wait = time.Duration(float64(wait) * c.backoff)
+				if wait > maxRetryWait {
+					wait = maxRetryWait
+				}
+			}
+			deadline.Reset(wait)
 		}
 	}
 }

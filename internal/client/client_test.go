@@ -23,7 +23,7 @@ type fakeReplica struct {
 	done    chan struct{}
 }
 
-func startFake(net *transport.SimNetwork, suite crypto.Suite, id ids.ReplicaID,
+func startFake(net transport.Network, suite crypto.Suite, id ids.ReplicaID,
 	respond func(req *message.Request) *message.Message) *fakeReplica {
 	f := &fakeReplica{
 		id: id, suite: suite,

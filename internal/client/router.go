@@ -1,0 +1,127 @@
+package client
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/ids"
+	"repro/internal/statemachine"
+)
+
+// Partitioner is the key→group mapping the router consults; the
+// concrete hash-range implementation lives in internal/shard (the
+// router only needs the contract, which keeps this package free of a
+// dependency on the sharding layer).
+type Partitioner interface {
+	Shards() int
+	Owner(key string) ids.GroupID
+}
+
+// Router is the shard-aware client of a sharded deployment: one
+// underlying Client (with its own Policy tracking that group's mode,
+// view and primary) per consensus group. Single-key operations route to
+// their owner group; multi-key reads fan out across groups in parallel.
+// Like Client, a Router is not safe for concurrent use — run one per
+// goroutine.
+type Router struct {
+	clients []*Client // indexed by GroupID
+	part    Partitioner
+	keyOf   func(op []byte) (string, bool)
+}
+
+// NewRouter assembles a router from per-group clients (index g serves
+// group g; every group must be covered). keyOf extracts the routing key
+// from an operation; nil uses the KV codec (statemachine.KVOpKey).
+// Operations without an extractable key go to group 0, so any opaque
+// workload still has the deterministic single-group semantics.
+func NewRouter(clients []*Client, part Partitioner, keyOf func(op []byte) (string, bool)) (*Router, error) {
+	if part == nil {
+		return nil, fmt.Errorf("client: router needs a partitioner")
+	}
+	if len(clients) != part.Shards() {
+		return nil, fmt.Errorf("client: router has %d clients for %d shards", len(clients), part.Shards())
+	}
+	for g, cl := range clients {
+		if cl == nil {
+			return nil, fmt.Errorf("client: router missing the client for group %d", g)
+		}
+	}
+	if keyOf == nil {
+		keyOf = statemachine.KVOpKey
+	}
+	return &Router{clients: clients, part: part, keyOf: keyOf}, nil
+}
+
+// Shards returns the number of groups the router spans.
+func (r *Router) Shards() int { return len(r.clients) }
+
+// OwnerOf returns the group an operation routes to.
+func (r *Router) OwnerOf(op []byte) ids.GroupID {
+	key, ok := r.keyOf(op)
+	if !ok {
+		return 0
+	}
+	return r.part.Owner(key)
+}
+
+// Invoke routes one operation to its owner group and blocks for that
+// group's reply quorum, exactly as Client.Invoke does against an
+// unsharded cluster.
+func (r *Router) Invoke(op []byte) ([]byte, error) {
+	return r.clients[r.OwnerOf(op)].Invoke(op)
+}
+
+// MultiGet reads several keys in one call, fanning the GETs out across
+// their owner groups in parallel (one goroutine per involved group;
+// keys within a group are read sequentially through that group's
+// client). Results are returned in key order; a missing key yields a
+// nil value. The first group error aborts the whole read.
+func (r *Router) MultiGet(keys []string) ([][]byte, error) {
+	type slot struct {
+		idx int
+		key string
+	}
+	byGroup := make(map[ids.GroupID][]slot)
+	for i, k := range keys {
+		g := r.part.Owner(k)
+		byGroup[g] = append(byGroup[g], slot{idx: i, key: k})
+	}
+
+	out := make([][]byte, len(keys))
+	errs := make([]error, 0, len(byGroup))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g, slots := range byGroup {
+		wg.Add(1)
+		go func(g ids.GroupID, slots []slot) {
+			defer wg.Done()
+			for _, s := range slots {
+				res, err := r.clients[g].Invoke(statemachine.EncodeGet(s.key))
+				if err != nil {
+					mu.Lock()
+					errs = append(errs, fmt.Errorf("client: multi-get %q from %v: %w", s.key, g, err))
+					mu.Unlock()
+					return
+				}
+				status, value := statemachine.DecodeResult(res)
+				if status == statemachine.KVOK {
+					mu.Lock()
+					out[s.idx] = append([]byte(nil), value...)
+					mu.Unlock()
+				}
+			}
+		}(g, slots)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return nil, errs[0]
+	}
+	return out, nil
+}
+
+// Close closes every per-group client.
+func (r *Router) Close() {
+	for _, cl := range r.clients {
+		cl.Close()
+	}
+}

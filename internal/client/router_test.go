@@ -1,0 +1,146 @@
+package client
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/crypto"
+	"repro/internal/ids"
+	"repro/internal/statemachine"
+	"repro/internal/transport"
+)
+
+// evenOdd is a two-way test partitioner with a predictable split.
+type evenOdd struct{}
+
+func (evenOdd) Shards() int { return 2 }
+func (evenOdd) Owner(key string) ids.GroupID {
+	if len(key) > 0 && (key[len(key)-1]-'0')%2 == 1 {
+		return 1
+	}
+	return 0
+}
+
+func TestNewRouterValidation(t *testing.T) {
+	mb := ids.MustMembership(2, 4, 1, 1)
+	suite := crypto.NewEd25519Suite(1, mb.N(), 4)
+	net := transport.NewSimNetwork(transport.SimConfig{Seed: 1, PrivateSize: 2})
+	defer net.Close()
+	mk := func(g ids.GroupID) *Client {
+		return New(0, suite, transport.Grouped(net, g), NewSeeMoRePolicy(mb, ids.Lion), testTiming())
+	}
+
+	if _, err := NewRouter([]*Client{mk(0), mk(1)}, nil, nil); err == nil {
+		t.Error("nil partitioner accepted")
+	}
+	if _, err := NewRouter([]*Client{mk(0)}, evenOdd{}, nil); err == nil {
+		t.Error("client/shard count mismatch accepted")
+	}
+	if _, err := NewRouter([]*Client{mk(0), nil}, evenOdd{}, nil); err == nil {
+		t.Error("nil group client accepted")
+	}
+	r, err := NewRouter([]*Client{mk(0), mk(1)}, evenOdd{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Shards() != 2 {
+		t.Fatalf("Shards() = %d", r.Shards())
+	}
+}
+
+func TestRouterRoutesByKey(t *testing.T) {
+	mb := ids.MustMembership(2, 4, 1, 1)
+	suite := crypto.NewEd25519Suite(2, mb.N(), 4)
+	net := transport.NewSimNetwork(transport.SimConfig{Seed: 2, PrivateSize: 2})
+	defer net.Close()
+
+	// One fake trusted replica per group, each answering with a
+	// group-identifying result, attached through the group wrapper so it
+	// lives at the group-qualified address.
+	for g := 0; g < 2; g++ {
+		startFake(transport.Grouped(net, ids.GroupID(g)), suite, 0,
+			okReply(ids.Lion, 0, []byte{statemachine.KVOK, byte('0' + g)}))
+	}
+
+	mk := func(g ids.GroupID) *Client {
+		return New(3, suite, transport.Grouped(net, g), NewSeeMoRePolicy(mb, ids.Lion), testTiming())
+	}
+	r, err := NewRouter([]*Client{mk(0), mk(1)}, evenOdd{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// key "x1" is odd → group 1; "x2" is even → group 0.
+	if g := r.OwnerOf(statemachine.EncodeGet("x1")); g != 1 {
+		t.Fatalf("OwnerOf(x1) = %v", g)
+	}
+	res, err := r.Invoke(statemachine.EncodePut("x1", []byte("v")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, val := statemachine.DecodeResult(res); string(val) != "1" {
+		t.Fatalf("put x1 answered by group %q, want 1", val)
+	}
+	res, err = r.Invoke(statemachine.EncodePut("x2", []byte("v")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, val := statemachine.DecodeResult(res); string(val) != "0" {
+		t.Fatalf("put x2 answered by group %q, want 0", val)
+	}
+
+	// MultiGet fans out and reassembles in key order.
+	vals, err := r.MultiGet([]string{"a1", "a2", "a3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"1", "0", "1"}
+	for i, v := range vals {
+		if string(v) != want[i] {
+			t.Fatalf("MultiGet[%d] = %q, want %q", i, v, want[i])
+		}
+	}
+}
+
+// TestClientRetryKnobs pins the config.Client satellite: a tight retry
+// budget fails fast, and backoff stretches the gap between broadcasts.
+func TestClientRetryKnobs(t *testing.T) {
+	mb := ids.MustMembership(2, 4, 1, 1)
+	suite := crypto.NewEd25519Suite(3, mb.N(), 4)
+	net := transport.NewSimNetwork(transport.SimConfig{Seed: 3, PrivateSize: 2})
+	defer net.Close()
+	// Nobody answers: every invoke runs its full retry schedule.
+
+	timing := testTiming()
+	timing.ClientRetry = 5 * time.Millisecond
+
+	start := time.Now()
+	c := NewWithConfig(0, suite, net, NewSeeMoRePolicy(mb, ids.Lion), timing,
+		config.Client{MaxRetries: 2})
+	_, err := c.Invoke([]byte("op"))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	fixed := time.Since(start)
+	// 3 timeout waits of ~5ms each (initial + 2 retries): far below the
+	// 20-retry default budget of ≥100ms.
+	if fixed > 80*time.Millisecond {
+		t.Fatalf("MaxRetries=2 took %v; the budget knob is not honored", fixed)
+	}
+
+	// Backoff: waits of 5+10+20 = 35ms minimum versus 15ms fixed.
+	start = time.Now()
+	c2 := NewWithConfig(1, suite, net, NewSeeMoRePolicy(mb, ids.Lion), timing,
+		config.Client{MaxRetries: 2, Backoff: 2})
+	_, err = c2.Invoke([]byte("op"))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if backed := time.Since(start); backed < 30*time.Millisecond {
+		t.Fatalf("backoff schedule finished in %v, want ≥ 30ms (5+10+20)", backed)
+	}
+}

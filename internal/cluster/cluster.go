@@ -19,6 +19,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/paxos"
 	"repro/internal/pbft"
+	"repro/internal/shard"
 	"repro/internal/statemachine"
 	"repro/internal/storage"
 	"repro/internal/transport"
@@ -105,10 +106,21 @@ type Spec struct {
 	// core.Options.LeanCommits).
 	LeanCommits bool
 	// Durability attaches a durable store to every replica: node i
-	// journals to <Dir>/r<i>. RestartNode then models a process crash
-	// plus restart with recovery from disk. The zero value keeps every
-	// replica fully in memory.
+	// journals to <Dir>/r<i> (<Dir>/g<g>/r<i> in a sharded deployment).
+	// RestartNode then models a process crash plus restart with recovery
+	// from disk. The zero value keeps every replica fully in memory.
 	Durability config.Durability
+	// Shards runs the deployment as this many independent consensus
+	// groups over one simulated network, each group a full cluster of
+	// the shape the other Spec fields describe, with the keyspace
+	// hash-partitioned across groups (internal/shard). Values ≤ 1 run
+	// the single legacy group, byte-identical to the pre-sharding
+	// harness. Byzantine behaviors are installed at the same replica IDs
+	// in every group.
+	Shards int
+	// Client tunes client-side retries for every client the harness
+	// builds; the zero value keeps the historical retry behavior.
+	Client config.Client
 }
 
 // Node is the uniform replica handle.
@@ -118,23 +130,40 @@ type Node interface {
 	Crash()
 	Recover()
 	ID() ids.ReplicaID
+	// LastExecuted is the executor watermark: the highest sequence
+	// number this replica has applied to its state machine. The harness
+	// tests wait on it instead of sleeping.
+	LastExecuted() uint64
 }
 
-// Cluster is a running deployment.
+// Cluster is a running deployment of one or more consensus groups.
 type Cluster struct {
 	Spec       Spec
 	Membership ids.Membership // SeeMoRe only; zero value otherwise
-	N          int
+	N          int            // replicas per group
 	Net        *transport.SimNetwork
 	SuiteImpl  crypto.Suite
-	Nodes      []Node
+	// Nodes and SMs are group 0 — the whole deployment when Shards ≤ 1.
+	// They share backing arrays with Groups[0]/GroupSMs[0], so the
+	// legacy accessors keep working against sharded deployments.
+	Nodes []Node
 	// SMs holds each node's state machine, indexed by replica ID. Only
 	// inspect them after Stop (the engines own them while running).
 	SMs []statemachine.StateMachine
+	// Groups holds every consensus group's replicas: Groups[g][i] is
+	// replica i of group g. Unsharded deployments have exactly one
+	// group.
+	Groups [][]Node
+	// GroupSMs mirrors Groups for the state machines (same inspection
+	// rule as SMs).
+	GroupSMs [][]statemachine.StateMachine
+	// Partitioner is the key→group mapping routers use; nil when the
+	// deployment is a single group.
+	Partitioner *shard.HashPartitioner
 
-	nodeNet transport.Network // Net, possibly wrapped with Byzantine mutators
-	timing  config.Timing
-	stopped bool
+	groupNets []transport.Network // per-group namespaced (and Byzantine-wrapped) views of Net
+	timing    config.Timing
+	stopped   bool
 }
 
 // sizes computes the cluster size for the spec, following Section 6: CFT
@@ -165,6 +194,13 @@ func New(spec Spec) (*Cluster, error) {
 	}
 	n, err := spec.sizes()
 	if err != nil {
+		return nil, err
+	}
+	sharding := config.Sharding{Shards: spec.Shards, ReplicasPerShard: n}.Normalized()
+	if err := sharding.Validate(); err != nil {
+		return nil, err
+	}
+	if err := spec.Client.Validate(); err != nil {
 		return nil, err
 	}
 	if spec.Timing == (config.Timing{}) {
@@ -220,29 +256,43 @@ func New(spec Spec) (*Cluster, error) {
 		SuiteImpl:  suite,
 		timing:     spec.Timing,
 	}
-	c.nodeNet = wrapByzantine(c.Net, suite, spec.Byzantine)
-	for i := 0; i < n; i++ {
-		node, err := c.buildNode(ids.ReplicaID(i))
-		if err != nil {
-			c.Net.Close()
-			return nil, err
-		}
-		c.Nodes = append(c.Nodes, node)
+	groups := sharding.Shards
+	if groups > 1 {
+		c.Partitioner = shard.MustHashPartitioner(groups)
 	}
-	for _, node := range c.Nodes {
-		node.Start()
+	c.Groups = make([][]Node, groups)
+	c.GroupSMs = make([][]statemachine.StateMachine, groups)
+	c.groupNets = make([]transport.Network, groups)
+	for g := 0; g < groups; g++ {
+		// Each group gets its own namespaced view of the one shared
+		// network (identity for group 0); Byzantine behaviors install at
+		// the same group-local IDs everywhere.
+		c.groupNets[g] = wrapByzantine(transport.Grouped(c.Net, ids.GroupID(g)), suite, spec.Byzantine)
+		c.Groups[g] = make([]Node, n)
+		c.GroupSMs[g] = make([]statemachine.StateMachine, n)
+		for i := 0; i < n; i++ {
+			node, err := c.buildNode(ids.GroupID(g), ids.ReplicaID(i))
+			if err != nil {
+				c.Net.Close()
+				return nil, err
+			}
+			c.Groups[g][i] = node
+		}
+	}
+	c.Nodes = c.Groups[0]
+	c.SMs = c.GroupSMs[0]
+	for _, group := range c.Groups {
+		for _, node := range group {
+			node.Start()
+		}
 	}
 	return c, nil
 }
 
-func (c *Cluster) buildNode(id ids.ReplicaID) (Node, error) {
+func (c *Cluster) buildNode(g ids.GroupID, id ids.ReplicaID) (Node, error) {
 	sm := c.Spec.NewStateMachine()
-	if int(id) < len(c.SMs) {
-		c.SMs[id] = sm // rebuilt by RestartNode
-	} else {
-		c.SMs = append(c.SMs, sm)
-	}
-	st, err := c.openStorage(id)
+	c.GroupSMs[g][id] = sm // also rewritten by RestartNodeIn
+	st, err := c.openStorage(g, id)
 	if err != nil {
 		return nil, err
 	}
@@ -256,13 +306,13 @@ func (c *Cluster) buildNode(id ids.ReplicaID) (Node, error) {
 		cl.Pipelining = c.Spec.Pipelining
 		cl.Durability = c.Spec.Durability
 		return core.NewReplica(core.Options{
-			ID: id, Cluster: cl, Suite: c.SuiteImpl, Network: c.nodeNet,
+			ID: id, Cluster: cl, Suite: c.SuiteImpl, Network: c.groupNets[g],
 			StateMachine: sm, TickInterval: c.Spec.TickInterval,
 			LeanCommits: c.Spec.LeanCommits, Storage: st,
 		})
 	case Paxos:
 		return paxos.NewReplica(paxos.Options{
-			ID: id, N: c.N, Suite: c.SuiteImpl, Network: c.nodeNet,
+			ID: id, N: c.N, Suite: c.SuiteImpl, Network: c.groupNets[g],
 			StateMachine: sm, Timing: c.timing, Batching: c.Spec.Batching,
 			Pipelining: c.Spec.Pipelining, TickInterval: c.Spec.TickInterval,
 			Storage: st,
@@ -271,7 +321,7 @@ func (c *Cluster) buildNode(id ids.ReplicaID) (Node, error) {
 		f := c.Spec.Crash + c.Spec.Byz
 		return pbft.NewReplica(pbft.Options{
 			ID: id, N: c.N, Byz: f, Crash: 0,
-			Suite: c.SuiteImpl, Network: c.nodeNet,
+			Suite: c.SuiteImpl, Network: c.groupNets[g],
 			StateMachine: sm, Timing: c.timing, Batching: c.Spec.Batching,
 			Pipelining: c.Spec.Pipelining, TickInterval: c.Spec.TickInterval,
 			Storage: st,
@@ -279,7 +329,7 @@ func (c *Cluster) buildNode(id ids.ReplicaID) (Node, error) {
 	case UpRight:
 		return pbft.NewReplica(pbft.Options{
 			ID: id, N: c.N, Byz: c.Spec.Byz, Crash: c.Spec.Crash,
-			Suite: c.SuiteImpl, Network: c.nodeNet,
+			Suite: c.SuiteImpl, Network: c.groupNets[g],
 			StateMachine: sm, Timing: c.timing, Batching: c.Spec.Batching,
 			Pipelining: c.Spec.Pipelining, TickInterval: c.Spec.TickInterval,
 			Storage: st,
@@ -289,73 +339,121 @@ func (c *Cluster) buildNode(id ids.ReplicaID) (Node, error) {
 	}
 }
 
-// StorageDir returns the data directory replica id journals to, or ""
-// when durability is off.
+// StorageDir returns the data directory group-0 replica id journals to,
+// or "" when durability is off.
 func (c *Cluster) StorageDir(id ids.ReplicaID) string {
+	return c.StorageDirIn(0, id)
+}
+
+// StorageDirIn returns the data directory replica id of group g
+// journals to. Single-group deployments keep the historical <Dir>/r<i>
+// layout; sharded ones add a per-group level, <Dir>/g<g>/r<i>, so each
+// group is its own durability domain.
+func (c *Cluster) StorageDirIn(g ids.GroupID, id ids.ReplicaID) string {
 	if !c.Spec.Durability.Enabled() {
 		return ""
 	}
-	return filepath.Join(c.Spec.Durability.Dir, fmt.Sprintf("r%d", id))
+	if len(c.Groups) <= 1 {
+		return filepath.Join(c.Spec.Durability.Dir, fmt.Sprintf("r%d", id))
+	}
+	return filepath.Join(c.Spec.Durability.Dir, fmt.Sprintf("g%d", g), fmt.Sprintf("r%d", id))
 }
 
-// openStorage opens replica id's durable store per the spec (nil when
-// durability is off).
-func (c *Cluster) openStorage(id ids.ReplicaID) (storage.Store, error) {
+// openStorage opens the durable store of replica id in group g per the
+// spec (nil when durability is off).
+func (c *Cluster) openStorage(g ids.GroupID, id ids.ReplicaID) (storage.Store, error) {
 	if !c.Spec.Durability.Enabled() {
 		return nil, nil
 	}
 	if err := c.Spec.Durability.Validate(); err != nil {
 		return nil, err
 	}
-	return storage.Open(c.StorageDir(id), storage.DiskOptions{
+	return storage.Open(c.StorageDirIn(g, id), storage.DiskOptions{
 		FsyncEvery: c.Spec.Durability.FsyncEvery,
 	})
 }
 
-// RestartNode models a process crash plus restart of one replica: the
-// old engine is torn down — its in-memory protocol state dies with it —
-// and a fresh replica is built over the same network address, state
-// machine factory and data directory. With durability on, the new
-// process recovers from its WAL and snapshot store and asks peers for a
-// state transfer; with durability off it comes back amnesiac, as a real
-// process without a disk would. Call Crash first to cut the old
-// process off mid-stream (kill -9) rather than at a message boundary.
+// RestartNode models a process crash plus restart of one group-0
+// replica: the old engine is torn down — its in-memory protocol state
+// dies with it — and a fresh replica is built over the same network
+// address, state machine factory and data directory. With durability
+// on, the new process recovers from its WAL and snapshot store and asks
+// peers for a state transfer; with durability off it comes back
+// amnesiac, as a real process without a disk would. Call Crash first to
+// cut the old process off mid-stream (kill -9) rather than at a message
+// boundary.
 func (c *Cluster) RestartNode(id ids.ReplicaID) error {
-	c.Nodes[id].Stop()
-	node, err := c.buildNode(id)
+	return c.RestartNodeIn(0, id)
+}
+
+// RestartNodeIn is RestartNode targeted at one shard: replica id of
+// group g restarts while every other group keeps committing untouched.
+func (c *Cluster) RestartNodeIn(g ids.GroupID, id ids.ReplicaID) error {
+	c.Groups[g][id].Stop()
+	node, err := c.buildNode(g, id)
 	if err != nil {
-		return fmt.Errorf("cluster: restart replica %d: %w", id, err)
+		return fmt.Errorf("cluster: restart replica %d of %v: %w", id, g, err)
 	}
-	c.Nodes[id] = node
+	c.Groups[g][id] = node
 	node.Start()
 	return nil
 }
 
-// NewClient builds a client with the protocol-appropriate reply policy.
-func (c *Cluster) NewClient(id ids.ClientID) *client.Client {
-	var policy client.Policy
+// newPolicy builds the protocol-appropriate reply policy (one per
+// group: policies are stateful — they track the group's mode and view).
+func (c *Cluster) newPolicy() client.Policy {
 	switch c.Spec.Protocol {
 	case SeeMoRe:
-		policy = client.NewSeeMoRePolicy(c.Membership, c.Spec.Mode)
+		return client.NewSeeMoRePolicy(c.Membership, c.Spec.Mode)
 	case Paxos:
 		n := c.N
-		policy = client.NewGenericPolicy(n, func(v ids.View) ids.ReplicaID {
+		return client.NewGenericPolicy(n, func(v ids.View) ids.ReplicaID {
 			return ids.ReplicaID(int(v % ids.View(n)))
 		}, 1, 1)
 	case PBFT:
 		n := c.N
 		q := c.Spec.Crash + c.Spec.Byz + 1
-		policy = client.NewGenericPolicy(n, func(v ids.View) ids.ReplicaID {
+		return client.NewGenericPolicy(n, func(v ids.View) ids.ReplicaID {
 			return ids.ReplicaID(int(v % ids.View(n)))
 		}, q, q)
 	case UpRight:
 		n := c.N
 		q := c.Spec.Byz + 1
-		policy = client.NewGenericPolicy(n, func(v ids.View) ids.ReplicaID {
+		return client.NewGenericPolicy(n, func(v ids.View) ids.ReplicaID {
 			return ids.ReplicaID(int(v % ids.View(n)))
 		}, q, q)
+	default:
+		return nil
 	}
-	return client.New(id, c.SuiteImpl, c.Net, policy, c.timing)
+}
+
+// NewClient builds a client against group 0 (the whole deployment when
+// unsharded) with the protocol-appropriate reply policy.
+func (c *Cluster) NewClient(id ids.ClientID) *client.Client {
+	return c.NewClientIn(0, id)
+}
+
+// NewClientIn builds a client against one consensus group; its
+// endpoint, policy and primary belief are all scoped to that group.
+func (c *Cluster) NewClientIn(g ids.GroupID, id ids.ClientID) *client.Client {
+	return client.NewWithConfig(id, c.SuiteImpl, transport.Grouped(c.Net, g),
+		c.newPolicy(), c.timing, c.Spec.Client)
+}
+
+// NewRouter builds the shard-aware client of a sharded deployment: one
+// per-group client under one key-routing front end. It also works on a
+// single-group deployment (everything routes to group 0), so callers
+// can be written against Router unconditionally.
+func (c *Cluster) NewRouter(id ids.ClientID) (*client.Router, error) {
+	part := c.Partitioner
+	if part == nil {
+		part = shard.MustHashPartitioner(1)
+	}
+	clients := make([]*client.Client, len(c.Groups))
+	for g := range clients {
+		clients[g] = c.NewClientIn(ids.GroupID(g), id)
+	}
+	return client.NewRouter(clients, part, nil)
 }
 
 // SeeMoReNode returns the typed SeeMoRe replica (panics for baselines);
@@ -364,31 +462,51 @@ func (c *Cluster) SeeMoReNode(id ids.ReplicaID) *core.Replica {
 	return c.Nodes[id].(*core.Replica)
 }
 
-// Stop shuts the cluster down. Idempotent.
+// Stop shuts the whole deployment down, every group. Idempotent.
 func (c *Cluster) Stop() {
 	if c.stopped {
 		return
 	}
 	c.stopped = true
-	for _, n := range c.Nodes {
-		n.Stop()
+	for _, group := range c.Groups {
+		for _, n := range group {
+			n.Stop()
+		}
 	}
 	c.Net.Close()
 }
 
-// CrashNode fail-stops a replica.
+// CrashNode fail-stops a group-0 replica.
 func (c *Cluster) CrashNode(id ids.ReplicaID) { c.Nodes[id].Crash() }
 
-// RecoverNode resumes a crashed replica.
+// CrashNodeIn fail-stops one replica of one shard; the other shards
+// never notice.
+func (c *Cluster) CrashNodeIn(g ids.GroupID, id ids.ReplicaID) { c.Groups[g][id].Crash() }
+
+// RecoverNode resumes a crashed group-0 replica.
 func (c *Cluster) RecoverNode(id ids.ReplicaID) { c.Nodes[id].Recover() }
 
-// PartitionNode cuts a replica off the network (in-flight frames die
-// too), modeling a network-level failure rather than a process crash.
+// RecoverNodeIn resumes a crashed replica of one shard.
+func (c *Cluster) RecoverNodeIn(g ids.GroupID, id ids.ReplicaID) { c.Groups[g][id].Recover() }
+
+// PartitionNode cuts a group-0 replica off the network (in-flight
+// frames die too), modeling a network-level failure rather than a
+// process crash.
 func (c *Cluster) PartitionNode(id ids.ReplicaID) {
-	c.Net.Isolate(transport.ReplicaAddr(id))
+	c.PartitionNodeIn(0, id)
 }
 
-// HealNode reconnects a partitioned replica.
+// PartitionNodeIn cuts one shard's replica off the network.
+func (c *Cluster) PartitionNodeIn(g ids.GroupID, id ids.ReplicaID) {
+	c.Net.Isolate(transport.GroupReplicaAddr(g, id))
+}
+
+// HealNode reconnects a partitioned group-0 replica.
 func (c *Cluster) HealNode(id ids.ReplicaID) {
-	c.Net.Heal(transport.ReplicaAddr(id))
+	c.HealNodeIn(0, id)
+}
+
+// HealNodeIn reconnects a partitioned replica of one shard.
+func (c *Cluster) HealNodeIn(g ids.GroupID, id ids.ReplicaID) {
+	c.Net.Heal(transport.GroupReplicaAddr(g, id))
 }

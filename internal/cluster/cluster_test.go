@@ -35,9 +35,59 @@ func runWorkload(t *testing.T, c *Cluster, n int) {
 	}
 }
 
+// sharedWatermark reports how many of the non-skipped nodes currently
+// stand at the highest executor watermark, and that watermark.
+func sharedWatermark(nodes []Node, skip map[ids.ReplicaID]bool) (hi uint64, at int) {
+	for _, n := range nodes {
+		if skip[n.ID()] {
+			continue
+		}
+		switch w := n.LastExecuted(); {
+		case w > hi:
+			hi, at = w, 1
+		case w == hi:
+			at++
+		}
+	}
+	return hi, at
+}
+
+// waitSettled polls executor watermarks until at least `need` of the
+// non-skipped nodes agree on the highest executed sequence number, and
+// that agreement holds across two observations (nothing still in
+// flight between them). It replaces the fixed convergence sleeps: fast
+// runs settle in a few milliseconds instead of always paying the worst
+// case, and slow runs (race detector, loaded hosts) get the full
+// timeout instead of flaking. On timeout it returns anyway — the
+// caller's snapshot comparison delivers the real verdict.
+func waitSettled(t *testing.T, nodes []Node, skip map[ids.ReplicaID]bool, need int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var lastHi uint64
+	stable := false
+	for time.Now().Before(deadline) {
+		hi, at := sharedWatermark(nodes, skip)
+		if hi > 0 && at >= need {
+			if stable && hi == lastHi {
+				return
+			}
+			stable, lastHi = true, hi
+		} else {
+			stable = false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 func verifyConvergence(t *testing.T, c *Cluster, skip map[ids.ReplicaID]bool) {
 	t.Helper()
-	time.Sleep(200 * time.Millisecond)
+	live := 0
+	for _, n := range c.Nodes {
+		if !skip[n.ID()] {
+			live++
+		}
+	}
+	waitSettled(t, c.Nodes, skip, live, 5*time.Second)
 	c.Stop()
 	var ref []byte
 	var refID ids.ReplicaID = -1
@@ -227,7 +277,6 @@ func TestCrashAndRecover(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	time.Sleep(300 * time.Millisecond)
 	verifyConvergence(t, c, nil)
 }
 
@@ -253,7 +302,6 @@ func TestPartitionAndHeal(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	time.Sleep(300 * time.Millisecond)
 	verifyConvergence(t, c, nil)
 }
 
@@ -330,8 +378,8 @@ func TestLossyDuplicatingJitteryNetwork(t *testing.T) {
 			// convergence is not guaranteed at any instant. The testable
 			// invariant is that every completed request is durable: at
 			// least m+1 replicas (one of them correct) hold the full
-			// final state.
-			time.Sleep(600 * time.Millisecond)
+			// final state — wait on watermarks until that many agree.
+			waitSettled(t, c.Nodes, nil, c.Membership.M()+1, 5*time.Second)
 			c.Stop()
 			counts := map[string]int{}
 			for _, sm := range c.SMs {

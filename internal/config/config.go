@@ -279,6 +279,125 @@ func (d Durability) Validate() error {
 	return nil
 }
 
+// MaxShards caps the number of consensus groups in a sharded
+// deployment. The transport address space supports vastly more; this
+// bound exists to catch planner typos, not capacity limits.
+const MaxShards = 4096
+
+// Sharding describes the horizontal axis of a deployment: the keyspace
+// is hash-partitioned across Shards independent consensus groups, each
+// a full cluster of ReplicasPerShard replicas with its own primary,
+// views, checkpoints and (optionally) durable store. The zero value —
+// and any Shards ≤ 1 — means a single group, byte-identical to the
+// pre-sharding deployment.
+type Sharding struct {
+	// Shards is the number of consensus groups S.
+	Shards int
+	// ReplicasPerShard is the size N of each group. The groups are
+	// homogeneous: same membership shape, same failure bounds.
+	ReplicasPerShard int
+}
+
+// Enabled reports whether the deployment is actually sharded.
+func (s Sharding) Enabled() bool { return s.Shards >= 2 }
+
+// Validate rejects nonsensical sharding values.
+func (s Sharding) Validate() error {
+	if s.Shards < 0 {
+		return fmt.Errorf("config: negative shard count %d", s.Shards)
+	}
+	if s.Shards > MaxShards {
+		return fmt.Errorf("config: shard count %d exceeds limit %d", s.Shards, MaxShards)
+	}
+	if s.ReplicasPerShard < 0 {
+		return fmt.Errorf("config: negative replicas per shard %d", s.ReplicasPerShard)
+	}
+	return nil
+}
+
+// Normalized floors Shards at 1 (a deployment always has at least one
+// group).
+func (s Sharding) Normalized() Sharding {
+	if s.Shards < 1 {
+		s.Shards = 1
+	}
+	return s
+}
+
+// GroupOf returns the group that a global (deployment-wide) replica
+// index belongs to when groups are laid out contiguously.
+func (s Sharding) GroupOf(global int) ids.GroupID {
+	if s.ReplicasPerShard <= 0 {
+		return 0
+	}
+	return ids.GroupID(global / s.ReplicasPerShard)
+}
+
+// GlobalID returns the deployment-wide index of group g's replica
+// `local` in the contiguous layout.
+func (s Sharding) GlobalID(g ids.GroupID, local int) int {
+	return int(g)*s.ReplicasPerShard + local
+}
+
+// Range returns the half-open global index range [lo, hi) occupied by
+// group g.
+func (s Sharding) Range(g ids.GroupID) (lo, hi int) {
+	lo = s.GlobalID(g, 0)
+	return lo, lo + s.ReplicasPerShard
+}
+
+// DefaultMaxRetries is the client's retransmission budget when the
+// Client spec leaves MaxRetries unset — the value the pre-knob client
+// hard-coded.
+const DefaultMaxRetries = 20
+
+// Client collects the client-side retry knobs. The zero value
+// reproduces the historical behavior exactly: DefaultMaxRetries
+// broadcasts, a fixed retransmit timeout of Timing.ClientRetry, and no
+// backoff.
+type Client struct {
+	// MaxRetries bounds the number of broadcast retransmissions per
+	// request; 0 means DefaultMaxRetries.
+	MaxRetries int
+	// RetryTimeout is the wait before the first retransmission; 0 means
+	// Timing.ClientRetry.
+	RetryTimeout time.Duration
+	// Backoff multiplies the retransmit timeout after every retry
+	// (exponential backoff). Values ≤ 1 (including 0, the default) keep
+	// the timeout fixed. The client caps any backoff-grown wait at one
+	// minute so a deep retry budget cannot compound into an unbounded
+	// Invoke.
+	Backoff float64
+}
+
+// Validate rejects nonsensical client values.
+func (c Client) Validate() error {
+	switch {
+	case c.MaxRetries < 0:
+		return fmt.Errorf("config: negative MaxRetries %d", c.MaxRetries)
+	case c.RetryTimeout < 0:
+		return errors.New("config: negative RetryTimeout")
+	case c.Backoff < 0:
+		return errors.New("config: negative Backoff")
+	}
+	return nil
+}
+
+// Normalized applies the defaults, resolving the unset RetryTimeout
+// against the cluster's Timing.
+func (c Client) Normalized(t Timing) Client {
+	if c.MaxRetries == 0 {
+		c.MaxRetries = DefaultMaxRetries
+	}
+	if c.RetryTimeout <= 0 {
+		c.RetryTimeout = t.ClientRetry
+	}
+	if c.Backoff < 1 {
+		c.Backoff = 1
+	}
+	return c
+}
+
 // Cluster is the full static configuration of one SeeMoRe deployment:
 // membership, initial mode, timers, request batching, slot pipelining
 // and durability.

@@ -229,3 +229,92 @@ func TestPipeliningValidate(t *testing.T) {
 		t.Error("Depth 1 reports disabled")
 	}
 }
+
+func TestShardingValidateAndNormalize(t *testing.T) {
+	cases := []struct {
+		s  Sharding
+		ok bool
+	}{
+		{Sharding{}, true},
+		{Sharding{Shards: 1, ReplicasPerShard: 6}, true},
+		{Sharding{Shards: 4, ReplicasPerShard: 6}, true},
+		{Sharding{Shards: MaxShards}, true},
+		{Sharding{Shards: -1}, false},
+		{Sharding{Shards: MaxShards + 1}, false},
+		{Sharding{Shards: 2, ReplicasPerShard: -3}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.s.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%+v: Validate() = %v, want ok=%v", tc.s, err, tc.ok)
+		}
+	}
+	if (Sharding{}).Enabled() || (Sharding{Shards: 1}).Enabled() {
+		t.Error("single group reports sharded")
+	}
+	if !(Sharding{Shards: 2}).Enabled() {
+		t.Error("2 shards reports unsharded")
+	}
+	if got := (Sharding{}).Normalized().Shards; got != 1 {
+		t.Errorf("Normalized zero value has %d shards, want 1", got)
+	}
+}
+
+func TestShardingArithmetic(t *testing.T) {
+	s := Sharding{Shards: 3, ReplicasPerShard: 6}
+	if g := s.GroupOf(0); g != 0 {
+		t.Errorf("GroupOf(0) = %v", g)
+	}
+	if g := s.GroupOf(11); g != 1 {
+		t.Errorf("GroupOf(11) = %v", g)
+	}
+	if id := s.GlobalID(2, 3); id != 15 {
+		t.Errorf("GlobalID(2, 3) = %d", id)
+	}
+	lo, hi := s.Range(1)
+	if lo != 6 || hi != 12 {
+		t.Errorf("Range(1) = [%d, %d)", lo, hi)
+	}
+	// Round trip: every global index maps back to its group.
+	for global := 0; global < 18; global++ {
+		g := s.GroupOf(global)
+		glo, ghi := s.Range(g)
+		if global < glo || global >= ghi {
+			t.Errorf("global %d: GroupOf = %v but Range(%v) = [%d, %d)", global, g, g, glo, ghi)
+		}
+	}
+}
+
+func TestClientValidateAndNormalize(t *testing.T) {
+	cases := []struct {
+		c  Client
+		ok bool
+	}{
+		{Client{}, true},
+		{Client{MaxRetries: 5, RetryTimeout: time.Second, Backoff: 2}, true},
+		{Client{MaxRetries: -1}, false},
+		{Client{RetryTimeout: -time.Second}, false},
+		{Client{Backoff: -0.5}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.c.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%+v: Validate() = %v, want ok=%v", tc.c, err, tc.ok)
+		}
+	}
+	// The zero value resolves to the historical behavior exactly.
+	timing := DefaultTiming()
+	n := Client{}.Normalized(timing)
+	if n.MaxRetries != DefaultMaxRetries {
+		t.Errorf("default MaxRetries = %d, want %d", n.MaxRetries, DefaultMaxRetries)
+	}
+	if n.RetryTimeout != timing.ClientRetry {
+		t.Errorf("default RetryTimeout = %v, want %v", n.RetryTimeout, timing.ClientRetry)
+	}
+	if n.Backoff != 1 {
+		t.Errorf("default Backoff = %v, want 1 (fixed timeout)", n.Backoff)
+	}
+	// Explicit values pass through untouched.
+	n = Client{MaxRetries: 3, RetryTimeout: time.Second, Backoff: 1.5}.Normalized(timing)
+	if n.MaxRetries != 3 || n.RetryTimeout != time.Second || n.Backoff != 1.5 {
+		t.Errorf("explicit knobs rewritten: %+v", n)
+	}
+}

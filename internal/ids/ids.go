@@ -24,6 +24,21 @@ type ClientID int64
 // a view in a mode that has no transferer).
 const Nobody ReplicaID = -1
 
+// GroupID identifies one consensus group (shard) in a sharded
+// deployment. A deployment is S independent groups, each a full hybrid
+// cluster with its own primary, views and checkpoints; the keyspace is
+// partitioned across groups (internal/shard) and clients route each
+// operation to its owner group (client.Router). Group 0 is the only
+// group of an unsharded deployment, so every pre-sharding identifier is
+// implicitly group-0-qualified.
+type GroupID int
+
+// String implements fmt.Stringer.
+func (g GroupID) String() string { return fmt.Sprintf("group:%d", int(g)) }
+
+// Valid reports whether g is a usable group identifier.
+func (g GroupID) Valid() bool { return g >= 0 }
+
 // Mode enumerates the three operating modes of SeeMoRe (Section 5). The
 // zero value is Lion so that a fresh cluster starts in the cheapest mode.
 type Mode int

@@ -333,3 +333,15 @@ func TestProxySetProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestGroupID(t *testing.T) {
+	if GroupID(-1).Valid() {
+		t.Error("negative group reports valid")
+	}
+	if !GroupID(0).Valid() || !GroupID(7).Valid() {
+		t.Error("non-negative group reports invalid")
+	}
+	if got := GroupID(3).String(); got != "group:3" {
+		t.Errorf("String() = %q", got)
+	}
+}

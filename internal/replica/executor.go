@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/crypto"
 	"repro/internal/message"
@@ -19,8 +20,11 @@ type Executor struct {
 	sm      statemachine.StateMachine
 	clients *statemachine.ClientTable
 
-	period       uint64
-	lastExecuted uint64
+	period uint64
+	// lastExecuted is written only from the engine goroutine but read as
+	// a watermark by observers (the cluster harness waits on it instead
+	// of sleeping), hence atomic.
+	lastExecuted atomic.Uint64
 	snapshots    map[uint64][]byte // composite snapshots at period boundaries
 }
 
@@ -30,16 +34,16 @@ func NewExecutor(sm statemachine.StateMachine, period uint64) *Executor {
 		panic("replica: zero checkpoint period")
 	}
 	return &Executor{
-		sm:           sm,
-		clients:      statemachine.NewClientTable(),
-		period:       period,
-		lastExecuted: 0,
-		snapshots:    map[uint64][]byte{0: compositeSnapshot(sm, statemachine.NewClientTable())},
+		sm:        sm,
+		clients:   statemachine.NewClientTable(),
+		period:    period,
+		snapshots: map[uint64][]byte{0: compositeSnapshot(sm, statemachine.NewClientTable())},
 	}
 }
 
-// LastExecuted returns the highest sequence number applied so far.
-func (x *Executor) LastExecuted() uint64 { return x.lastExecuted }
+// LastExecuted returns the highest sequence number applied so far. Safe
+// to call from outside the engine goroutine.
+func (x *Executor) LastExecuted() uint64 { return x.lastExecuted.Load() }
 
 // Period returns the checkpoint period.
 func (x *Executor) Period() uint64 { return x.period }
@@ -67,7 +71,7 @@ func (x *Executor) CachedReply(req *message.Request) ([]byte, bool) {
 func (x *Executor) ExecuteReady(l *mlog.Log, onExec func(seq uint64, req *message.Request, result []byte)) int {
 	n := 0
 	for {
-		seq := x.lastExecuted + 1
+		seq := x.lastExecuted.Load() + 1
 		entry := l.Peek(seq)
 		if entry == nil || !entry.Committed() || entry.Executed() {
 			// Either the next slot has not committed yet, or it was
@@ -79,7 +83,7 @@ func (x *Executor) ExecuteReady(l *mlog.Log, onExec func(seq uint64, req *messag
 		if len(reqs) == 0 {
 			return n // committed but the request payload has not arrived yet
 		}
-		x.lastExecuted = seq
+		x.lastExecuted.Store(seq)
 		for _, req := range reqs {
 			x.applyOne(seq, req, onExec)
 		}
@@ -114,7 +118,7 @@ func (x *Executor) applyOne(seq uint64, req *message.Request, onExec func(uint64
 // buffer; this is its occupancy, useful for tests and metrics.
 func (x *Executor) Backlog(l *mlog.Log) int {
 	n := 0
-	for seq := x.lastExecuted + 1; seq <= l.High(); seq++ {
+	for seq := x.lastExecuted.Load() + 1; seq <= l.High(); seq++ {
 		e := l.Peek(seq)
 		if e != nil && e.Committed() && !e.Executed() {
 			n++
@@ -146,8 +150,8 @@ func (x *Executor) DropSnapshotsBelow(seq uint64) {
 // JumpTo installs a transferred snapshot for sequence number seq,
 // replacing local state. It refuses to move backwards.
 func (x *Executor) JumpTo(seq uint64, snapshot []byte) error {
-	if seq <= x.lastExecuted {
-		return fmt.Errorf("replica: state transfer to %d behind execution cursor %d", seq, x.lastExecuted)
+	if last := x.lastExecuted.Load(); seq <= last {
+		return fmt.Errorf("replica: state transfer to %d behind execution cursor %d", seq, last)
 	}
 	sm, ct, err := splitComposite(snapshot)
 	if err != nil {
@@ -161,7 +165,7 @@ func (x *Executor) JumpTo(seq uint64, snapshot []byte) error {
 		return err
 	}
 	x.clients = fresh
-	x.lastExecuted = seq
+	x.lastExecuted.Store(seq)
 	x.snapshots[seq] = append([]byte(nil), snapshot...)
 	return nil
 }

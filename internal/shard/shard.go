@@ -1,0 +1,151 @@
+// Package shard partitions the replicated keyspace across independent
+// consensus groups. One SeeMoRe group's throughput is capped by its
+// primary's pipeline no matter how much hardware the deployment adds;
+// running S groups side by side — each a full hybrid cluster with its
+// own primary, views, checkpoints and durable store — scales aggregate
+// throughput near-linearly as long as operations touch single keys.
+//
+// The package provides the deterministic key→group mapping (the
+// Partitioner) and the placement arithmetic the planner and the cluster
+// harness share. The shard-aware request routing lives in
+// internal/client (Router); the group-qualified transport addressing in
+// internal/transport (Grouped).
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"repro/internal/config"
+	"repro/internal/ids"
+)
+
+// Partitioner deterministically maps keys to their owner consensus
+// group. Every client and every tool must agree on the mapping, so
+// implementations are pure functions of the key and the shard count.
+type Partitioner interface {
+	// Shards returns the number of groups the keyspace is split into.
+	Shards() int
+	// Owner returns the group that owns key.
+	Owner(key string) ids.GroupID
+}
+
+// HashPartitioner splits the 64-bit FNV-1a hash space into Shards
+// equal, contiguous ranges: group g owns hashes in
+// [g·2⁶⁴/S, (g+1)·2⁶⁴/S). Hash-range (rather than hash-modulo)
+// ownership keeps the ranges contiguous, which is what makes future
+// range handoff between groups a boundary move instead of a reshuffle
+// of the whole keyspace.
+type HashPartitioner struct {
+	shards int
+	width  uint64 // hash-range width per group
+}
+
+// NewHashPartitioner builds a partitioner over `shards` groups.
+func NewHashPartitioner(shards int) (*HashPartitioner, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("shard: need at least one shard, got %d", shards)
+	}
+	if shards > config.MaxShards {
+		return nil, fmt.Errorf("shard: %d shards exceeds limit %d", shards, config.MaxShards)
+	}
+	// Ceiling division keeps group ranges equal-width with the last
+	// group absorbing the remainder, and guarantees hash/width < shards
+	// for every 64-bit hash. For a single shard the formula wraps to 0
+	// (the "whole space" sentinel); Owner guards it.
+	width := uint64(math.MaxUint64)/uint64(shards) + 1
+	return &HashPartitioner{shards: shards, width: width}, nil
+}
+
+// MustHashPartitioner is NewHashPartitioner that panics on error, for
+// tests and examples with hand-checked constants.
+func MustHashPartitioner(shards int) *HashPartitioner {
+	p, err := NewHashPartitioner(shards)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Shards implements Partitioner.
+func (p *HashPartitioner) Shards() int { return p.shards }
+
+// Owner implements Partitioner.
+func (p *HashPartitioner) Owner(key string) ids.GroupID {
+	if p.shards == 1 {
+		return 0
+	}
+	return ids.GroupID(hash64(key) / p.width)
+}
+
+// RangeOf returns the half-open hash range [lo, hi) group g owns; hi =
+// 0 means the top of the hash space (the last group's range — and a
+// single group's whole-space range — is closed there, not at a wrapped
+// product). Exposed for placement reports and debugging.
+func (p *HashPartitioner) RangeOf(g ids.GroupID) (lo, hi uint64) {
+	lo = uint64(g) * p.width
+	if int(g) == p.shards-1 {
+		return lo, 0
+	}
+	return lo, uint64(g+1) * p.width
+}
+
+// String implements fmt.Stringer.
+func (p *HashPartitioner) String() string {
+	return fmt.Sprintf("hash-range/%d", p.shards)
+}
+
+func hash64(key string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(key))
+	h := f.Sum64()
+	// FNV-1a diffuses short keys poorly into the high bits, and
+	// hash-range ownership is decided by exactly those bits; run the
+	// 64-bit murmur3 finalizer so similar keys spread uniformly.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Placement describes where one group of a sharded deployment lives:
+// its contiguous global replica-index range and its keyspace share.
+// cmd/seemore-plan prints one per shard.
+type Placement struct {
+	Group    ids.GroupID
+	LoID     int    // first global replica index (inclusive)
+	HiID     int    // last global replica index (exclusive)
+	HashLo   uint64 // first owned hash (inclusive)
+	HashHi   uint64 // one past the last owned hash (0 = top of space)
+	Replicas int
+}
+
+// Placements lays out a sharded deployment per the spec: groups are
+// contiguous runs of ReplicasPerShard global indices, and the keyspace
+// splits per HashPartitioner.
+func Placements(s config.Sharding) ([]Placement, error) {
+	s = s.Normalized()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if s.ReplicasPerShard < 1 {
+		return nil, fmt.Errorf("shard: need at least one replica per shard, got %d", s.ReplicasPerShard)
+	}
+	part, err := NewHashPartitioner(s.Shards)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Placement, s.Shards)
+	for g := range out {
+		lo, hi := s.Range(ids.GroupID(g))
+		hlo, hhi := part.RangeOf(ids.GroupID(g))
+		out[g] = Placement{
+			Group: ids.GroupID(g), LoID: lo, HiID: hi,
+			HashLo: hlo, HashHi: hhi, Replicas: s.ReplicasPerShard,
+		}
+	}
+	return out, nil
+}

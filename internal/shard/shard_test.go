@@ -1,0 +1,99 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/ids"
+)
+
+func TestHashPartitionerValidation(t *testing.T) {
+	for _, bad := range []int{0, -1, config.MaxShards + 1} {
+		if _, err := NewHashPartitioner(bad); err == nil {
+			t.Errorf("%d shards accepted", bad)
+		}
+	}
+	for _, ok := range []int{1, 2, 7, config.MaxShards} {
+		if _, err := NewHashPartitioner(ok); err != nil {
+			t.Errorf("%d shards rejected: %v", ok, err)
+		}
+	}
+}
+
+func TestOwnerInRangeAndDeterministic(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 4, 16} {
+		p := MustHashPartitioner(shards)
+		for i := 0; i < 500; i++ {
+			key := fmt.Sprintf("key-%d", i)
+			g := p.Owner(key)
+			if int(g) < 0 || int(g) >= shards {
+				t.Fatalf("shards=%d: Owner(%q) = %v out of range", shards, key, g)
+			}
+			if g2 := p.Owner(key); g2 != g {
+				t.Fatalf("shards=%d: Owner(%q) not deterministic (%v vs %v)", shards, key, g, g2)
+			}
+		}
+	}
+}
+
+// TestOwnerDistribution pins the property the whole throughput story
+// rests on: short, similar keys (the realistic workload shape) spread
+// across every shard instead of clumping in one hash range.
+func TestOwnerDistribution(t *testing.T) {
+	const shards, keys = 4, 2000
+	p := MustHashPartitioner(shards)
+	counts := make([]int, shards)
+	for i := 0; i < keys; i++ {
+		counts[p.Owner(fmt.Sprintf("k%d", i))]++
+	}
+	for g, n := range counts {
+		// Each shard should hold roughly keys/shards = 500; accept a
+		// generous ±50% band — the test targets clumping, not perfection.
+		if n < keys/shards/2 || n > keys*3/shards/2 {
+			t.Fatalf("group %d owns %d of %d keys (distribution %v)", g, n, keys, counts)
+		}
+	}
+}
+
+func TestRangeOfIsContiguousPartition(t *testing.T) {
+	p := MustHashPartitioner(4)
+	var prevHi uint64
+	for g := 0; g < 4; g++ {
+		lo, hi := p.RangeOf(ids.GroupID(g))
+		if g == 0 && lo != 0 {
+			t.Fatalf("first range starts at %d", lo)
+		}
+		if g > 0 && lo != prevHi {
+			t.Fatalf("range %d starts at %d, previous ended at %d", g, lo, prevHi)
+		}
+		prevHi = hi
+	}
+	if prevHi != 0 {
+		t.Fatalf("last range ends at %d, want wraparound 0 (top of hash space)", prevHi)
+	}
+}
+
+func TestPlacements(t *testing.T) {
+	ps, err := Placements(config.Sharding{Shards: 3, ReplicasPerShard: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 3 {
+		t.Fatalf("got %d placements, want 3", len(ps))
+	}
+	for g, pl := range ps {
+		if pl.Group != ids.GroupID(g) || pl.LoID != g*6 || pl.HiID != (g+1)*6 || pl.Replicas != 6 {
+			t.Fatalf("placement %d = %+v", g, pl)
+		}
+	}
+	if _, err := Placements(config.Sharding{Shards: 2}); err == nil {
+		t.Fatal("zero ReplicasPerShard accepted")
+	}
+}
+
+func TestPartitionerString(t *testing.T) {
+	if s := MustHashPartitioner(4).String(); s != "hash-range/4" {
+		t.Fatalf("String() = %q", s)
+	}
+}

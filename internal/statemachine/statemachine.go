@@ -112,6 +112,29 @@ func encodeKV(op byte, key string, value []byte) []byte {
 	return out
 }
 
+// KVOpKey extracts the key a KV operation addresses, without applying
+// it. Sharded deployments partition the keyspace across consensus
+// groups, and the client router needs the key before the operation is
+// ordered anywhere; this is that extraction point. It returns false for
+// operations that are not well-formed KV ops (the router falls back to
+// a deterministic default group, and the owner replica will answer
+// KVBadOp exactly as an unsharded one would).
+func KVOpKey(op []byte) (string, bool) {
+	if len(op) < 5 {
+		return "", false
+	}
+	switch op[0] {
+	case kvOpGet, kvOpPut, kvOpDelete, kvOpAdd:
+	default:
+		return "", false
+	}
+	keyLen := int(binary.BigEndian.Uint32(op[1:5]))
+	if keyLen < 0 || 5+keyLen > len(op) {
+		return "", false
+	}
+	return string(op[5 : 5+keyLen]), true
+}
+
 // DecodeResult splits a KV result into status and payload.
 func DecodeResult(res []byte) (status byte, value []byte) {
 	if len(res) == 0 {
@@ -211,7 +234,16 @@ func (kv *KVStore) Restore(snapshot []byte) error {
 		return errors.New("statemachine: short snapshot")
 	}
 	n := int(binary.BigEndian.Uint32(snapshot[:4]))
-	data := make(map[string][]byte, n)
+	// The count is untrusted input (state transfer ships snapshots from
+	// possibly-Byzantine peers): cap the allocation hint by what the
+	// bytes could actually hold — every entry costs at least its two
+	// length prefixes — so a short hostile snapshot cannot demand a
+	// multi-gigabyte map before the truncation checks reject it.
+	hint := n
+	if max := (len(snapshot) - 4) / 8; hint > max {
+		hint = max
+	}
+	data := make(map[string][]byte, hint)
 	off := 4
 	for i := 0; i < n; i++ {
 		k, next, err := readChunk(snapshot, off)
@@ -391,7 +423,13 @@ func (t *ClientTable) Restore(snapshot []byte) error {
 		return errors.New("statemachine: short client-table snapshot")
 	}
 	n := int(binary.BigEndian.Uint32(snapshot[:4]))
-	last := make(map[ids.ClientID]clientRecord, n)
+	// Untrusted count: cap the allocation hint by the bytes available
+	// (each record is at least 20 bytes of fixed header).
+	hint := n
+	if max := (len(snapshot) - 4) / 20; hint > max {
+		hint = max
+	}
+	last := make(map[ids.ClientID]clientRecord, hint)
 	off := 4
 	for i := 0; i < n; i++ {
 		if off+20 > len(snapshot) {

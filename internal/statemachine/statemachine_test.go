@@ -312,3 +312,40 @@ func TestClientTableSnapshot(t *testing.T) {
 		}
 	}
 }
+
+func TestKVOpKey(t *testing.T) {
+	cases := []struct {
+		name string
+		op   []byte
+		key  string
+		ok   bool
+	}{
+		{"get", EncodeGet("alpha"), "alpha", true},
+		{"put", EncodePut("beta", []byte("v")), "beta", true},
+		{"delete", EncodeDelete("gamma"), "gamma", true},
+		{"add", EncodeAdd("delta", 7), "delta", true},
+		{"empty key", EncodeGet(""), "", true},
+		{"nil", nil, "", false},
+		{"short", []byte{1, 0, 0}, "", false},
+		{"bad opcode", append([]byte{0xEE}, EncodeGet("x")[1:]...), "", false},
+		{"length past end", []byte{1, 0xFF, 0xFF, 0xFF, 0xFF, 'a'}, "", false},
+	}
+	for _, tc := range cases {
+		key, ok := KVOpKey(tc.op)
+		if ok != tc.ok || key != tc.key {
+			t.Errorf("%s: KVOpKey = (%q, %v), want (%q, %v)", tc.name, key, ok, tc.key, tc.ok)
+		}
+	}
+	// Key extraction must agree with what Apply acts on: a put through
+	// Apply lands under exactly the extracted key.
+	kv := NewKVStore()
+	op := EncodePut("router-key", []byte("val"))
+	key, ok := KVOpKey(op)
+	if !ok {
+		t.Fatal("no key extracted from a valid put")
+	}
+	kv.Apply(op)
+	if v, found := kv.Get(key); !found || string(v) != "val" {
+		t.Fatalf("extracted key %q does not address the written value", key)
+	}
+}

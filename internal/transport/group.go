@@ -1,0 +1,146 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ids"
+)
+
+// Group-qualified addressing: a sharded deployment runs S independent
+// consensus groups over one substrate (one SimNetwork in tests and
+// benchmarks, one process in small TCP deployments). Each group gets a
+// disjoint slice of the address space, GroupStride addresses wide, on
+// both sides of zero: group g's replica r lives at g·stride + r, and
+// group g's client c lives at -(1 + c + g·stride). Group 0 is the
+// identity mapping, so every pre-sharding address is already a valid
+// group-0 address and single-group deployments are byte-identical to
+// the unsharded protocol.
+
+// GroupStride is the width of one group's address slice. It bounds the
+// number of replicas (and distinct client endpoints) per group, far
+// above any deployable cluster size.
+const GroupStride = 1 << 20
+
+// GroupAddr maps a group-local address into group g's slice of the
+// global address space. Replica addresses shift up, client addresses
+// shift down, so the client/replica sign convention survives
+// qualification.
+func GroupAddr(g ids.GroupID, local Addr) Addr {
+	if g < 0 {
+		panic(fmt.Sprintf("transport: invalid group %d", int(g)))
+	}
+	if local.IsClient() {
+		return local - Addr(g)*GroupStride
+	}
+	return local + Addr(g)*GroupStride
+}
+
+// GroupReplicaAddr maps a replica of group g to its global address.
+func GroupReplicaAddr(g ids.GroupID, r ids.ReplicaID) Addr {
+	return GroupAddr(g, ReplicaAddr(r))
+}
+
+// Group returns the consensus group an address belongs to.
+func (a Addr) Group() ids.GroupID {
+	if a.IsClient() {
+		return ids.GroupID((-1 - a) / GroupStride)
+	}
+	return ids.GroupID(a / GroupStride)
+}
+
+// Local strips the group qualification, returning the address as the
+// group's own members know it. For group-0 addresses it is the
+// identity.
+func (a Addr) Local() Addr {
+	if a.IsClient() {
+		return -1 - ((-1 - a) % GroupStride)
+	}
+	return a % GroupStride
+}
+
+// Grouped restricts a Network to one consensus group: endpoints attach
+// at group-qualified global addresses but speak entirely in group-local
+// addresses, so an engine (or client) built over the wrapper needs no
+// knowledge of sharding at all. Frames from other groups are dropped at
+// the boundary — groups share a substrate but are isolated failure and
+// trust domains. Group 0 returns the network unchanged (the identity
+// mapping), keeping single-group deployments on the exact pre-sharding
+// code path.
+func Grouped(n Network, g ids.GroupID) Network {
+	if g == 0 {
+		return n
+	}
+	return &groupNetwork{inner: n, group: g, eps: make(map[Addr]*groupEndpoint)}
+}
+
+type groupNetwork struct {
+	inner Network
+	group ids.GroupID
+
+	mu  sync.Mutex
+	eps map[Addr]*groupEndpoint
+}
+
+// Endpoint implements Network: the group-local address a is attached at
+// its global equivalent. Like the underlying networks, asking for an
+// already-attached address returns the existing endpoint — one inbox,
+// one translation pump — which is what lets a restarted replica reuse
+// its address without a stale pump stealing its frames.
+func (n *groupNetwork) Endpoint(a Addr) Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.eps[a]; ok && !ep.closed.Load() {
+		return ep
+	}
+	inner := n.inner.Endpoint(GroupAddr(n.group, a))
+	ep := &groupEndpoint{inner: inner, group: n.group, local: a, inbox: make(chan Envelope, cap(inner.Inbox()))}
+	n.eps[a] = ep
+	go ep.pump()
+	return ep
+}
+
+// Close implements Network.
+func (n *groupNetwork) Close() { n.inner.Close() }
+
+type groupEndpoint struct {
+	inner  Endpoint
+	group  ids.GroupID
+	local  Addr
+	inbox  chan Envelope
+	closed atomic.Bool
+}
+
+// pump translates inbound envelopes to group-local addresses, dropping
+// frames that originate outside the group.
+func (e *groupEndpoint) pump() {
+	defer func() {
+		e.closed.Store(true)
+		close(e.inbox)
+	}()
+	for env := range e.inner.Inbox() {
+		if env.From.Group() != e.group {
+			continue
+		}
+		e.inbox <- Envelope{From: env.From.Local(), Frame: env.Frame}
+	}
+}
+
+// Addr implements Endpoint, answering with the group-local address the
+// owner attached at.
+func (e *groupEndpoint) Addr() Addr { return e.local }
+
+// Send implements Endpoint, qualifying the group-local destination.
+func (e *groupEndpoint) Send(to Addr, frame []byte) {
+	e.inner.Send(GroupAddr(e.group, to), frame)
+}
+
+// Inbox implements Endpoint.
+func (e *groupEndpoint) Inbox() <-chan Envelope { return e.inbox }
+
+// Close implements Endpoint.
+func (e *groupEndpoint) Close() {
+	e.closed.Store(true)
+	e.inner.Close()
+}

@@ -1,0 +1,153 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+)
+
+func TestGroupAddrRoundTrip(t *testing.T) {
+	for _, g := range []ids.GroupID{0, 1, 2, 7, 100} {
+		for _, local := range []Addr{ReplicaAddr(0), ReplicaAddr(5), ClientAddr(0), ClientAddr(42)} {
+			global := GroupAddr(g, local)
+			if global.Group() != g {
+				t.Fatalf("GroupAddr(%v, %v).Group() = %v", g, local, global.Group())
+			}
+			if global.Local() != local {
+				t.Fatalf("GroupAddr(%v, %v).Local() = %v", g, local, global.Local())
+			}
+			if global.IsClient() != local.IsClient() {
+				t.Fatalf("qualification changed the client/replica class of %v", local)
+			}
+		}
+	}
+}
+
+func TestGroupZeroIsIdentity(t *testing.T) {
+	for _, a := range []Addr{ReplicaAddr(0), ReplicaAddr(3), ClientAddr(0), ClientAddr(9)} {
+		if GroupAddr(0, a) != a {
+			t.Fatalf("GroupAddr(0, %v) = %v", a, GroupAddr(0, a))
+		}
+	}
+	n := NewSimNetwork(LAN(2, 1))
+	defer n.Close()
+	if Grouped(n, 0) != Network(n) {
+		t.Fatal("Grouped(net, 0) should return the network unchanged")
+	}
+}
+
+// TestGroupedIsolation runs two groups over one simulated network:
+// same group-local addresses, fully isolated traffic.
+func TestGroupedIsolation(t *testing.T) {
+	n := NewSimNetwork(LAN(2, 2))
+	defer n.Close()
+
+	g0 := Grouped(n, 0)
+	g1 := Grouped(n, 1)
+	a0 := g0.Endpoint(ReplicaAddr(0))
+	b0 := g0.Endpoint(ReplicaAddr(1))
+	a1 := g1.Endpoint(ReplicaAddr(0))
+	b1 := g1.Endpoint(ReplicaAddr(1))
+
+	if a1.Addr() != ReplicaAddr(0) {
+		t.Fatalf("grouped endpoint reports %v, want the group-local address", a1.Addr())
+	}
+
+	a0.Send(ReplicaAddr(1), []byte("zero"))
+	a1.Send(ReplicaAddr(1), []byte("one"))
+
+	recv := func(ep Endpoint) Envelope {
+		select {
+		case env := <-ep.Inbox():
+			return env
+		case <-time.After(2 * time.Second):
+			t.Fatalf("no delivery on %v", ep.Addr())
+			return Envelope{}
+		}
+	}
+	e0 := recv(b0)
+	if string(e0.Frame) != "zero" || e0.From != ReplicaAddr(0) {
+		t.Fatalf("group 0 got %q from %v", e0.Frame, e0.From)
+	}
+	e1 := recv(b1)
+	if string(e1.Frame) != "one" || e1.From != ReplicaAddr(0) {
+		t.Fatalf("group 1 got %q from %v (want group-local sender)", e1.Frame, e1.From)
+	}
+
+	// No crosstalk: nothing else arrives in either inbox.
+	select {
+	case env := <-b0.Inbox():
+		t.Fatalf("group 0 received stray frame %q from %v", env.Frame, env.From)
+	case env := <-b1.Inbox():
+		t.Fatalf("group 1 received stray frame %q from %v", env.Frame, env.From)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestGroupedDropsForeignFrames sends from group 0 directly to a group
+// 1 global address; the boundary filter must drop it before the
+// group-1 endpoint sees a sender it cannot name.
+func TestGroupedDropsForeignFrames(t *testing.T) {
+	n := NewSimNetwork(LAN(2, 3))
+	defer n.Close()
+	raw := n.Endpoint(ReplicaAddr(0)) // group 0, unwrapped
+	g1 := Grouped(n, 1)
+	b1 := g1.Endpoint(ReplicaAddr(1))
+
+	raw.Send(GroupReplicaAddr(1, 1), []byte("cross-group"))
+	select {
+	case env := <-b1.Inbox():
+		t.Fatalf("foreign frame delivered: %q from %v", env.Frame, env.From)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+// TestGroupedClientAddressing verifies the client side of the
+// translation: a client attached through a group wrapper talks to that
+// group's replicas under its plain client address.
+func TestGroupedClientAddressing(t *testing.T) {
+	n := NewSimNetwork(LAN(2, 4))
+	defer n.Close()
+	g2 := Grouped(n, 2)
+	cl := g2.Endpoint(ClientAddr(7))
+	rep := g2.Endpoint(ReplicaAddr(0))
+
+	cl.Send(ReplicaAddr(0), []byte("req"))
+	select {
+	case env := <-rep.Inbox():
+		if env.From != ClientAddr(7) {
+			t.Fatalf("replica saw sender %v, want %v", env.From, ClientAddr(7))
+		}
+		if !env.From.IsClient() || env.From.Client() != 7 {
+			t.Fatalf("client identity lost in translation: %v", env.From)
+		}
+		rep.Send(env.From, []byte("rep"))
+	case <-time.After(2 * time.Second):
+		t.Fatal("request not delivered")
+	}
+	select {
+	case env := <-cl.Inbox():
+		if string(env.Frame) != "rep" || env.From != ReplicaAddr(0) {
+			t.Fatalf("client got %q from %v", env.Frame, env.From)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reply not delivered")
+	}
+}
+
+// TestGroupLatencyClassesPerGroup pins that the sim's private/public
+// classification applies group-locally: replica 0 of any group is a
+// private-cloud node.
+func TestGroupLatencyClassesPerGroup(t *testing.T) {
+	n := NewSimNetwork(LAN(2, 5))
+	defer n.Close()
+	for _, g := range []ids.GroupID{0, 1, 3} {
+		if got := n.place(GroupReplicaAddr(g, 0)); got != placePrivate {
+			t.Fatalf("group %v replica 0 classified %v, want private", g, got)
+		}
+		if got := n.place(GroupReplicaAddr(g, 4)); got != placePublic {
+			t.Fatalf("group %v replica 4 classified %v, want public", g, got)
+		}
+	}
+}

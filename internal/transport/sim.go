@@ -245,7 +245,10 @@ func (n *SimNetwork) place(a Addr) place {
 	switch {
 	case a.IsClient():
 		return placeClient
-	case int64(a) < int64(n.cfg.PrivateSize):
+	// Classify by the group-local replica ID: every consensus group of a
+	// sharded deployment has the same private/public layout, and for
+	// group 0 (all unsharded deployments) Local is the identity.
+	case int64(a.Local()) < int64(n.cfg.PrivateSize):
 		return placePrivate
 	default:
 		return placePublic
