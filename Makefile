@@ -5,7 +5,7 @@ GO      ?= go
 PKGS    ?= ./...
 COVER   ?= coverage.out
 
-.PHONY: all build test race bench bench-json fuzz fmt fmt-check vet doclint cover clean help
+.PHONY: all build test race race-client bench bench-json fuzz fmt fmt-check vet doclint cover clean help
 
 all: build test ## build everything, then run the tests
 
@@ -18,14 +18,19 @@ test: ## run the full test suite
 race: ## run the test suite under the race detector
 	$(GO) test -race $(PKGS)
 
+race-client: ## race-detect the client/coordination layers (fast iteration gate)
+	$(GO) test -race ./internal/client ./internal/cluster ./internal/txn
+
 bench: ## regenerate the paper's figures/tables via the root benchmarks
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
-bench-json: ## machine-readable sweeps → BENCH_pipeline.json + BENCH_shard.json (CI artifacts)
+bench-json: ## machine-readable sweeps → BENCH_pipeline/shard/txn.json (CI artifacts)
 	$(GO) run ./cmd/seemore-bench -exp ablation-pipeline \
 		-measure 200ms -warmup 50ms -clients 1,8 -json BENCH_pipeline.json
 	$(GO) run ./cmd/seemore-bench -exp ablation-shard \
 		-measure 300ms -warmup 80ms -shards 1,2,4 -shard-clients 48 -json BENCH_shard.json
+	$(GO) run ./cmd/seemore-bench -exp ablation-txn \
+		-measure 300ms -warmup 80ms -shards 1,2,4 -shard-clients 32 -json BENCH_txn.json
 
 fuzz: ## fuzz the untrusted-input decoders briefly (wire codec + KV state machine)
 	$(GO) test -run='^$$' -fuzz=FuzzDecode$$ -fuzztime=15s ./internal/message

@@ -13,6 +13,17 @@
 //	  -peers 0:0=127.0.0.1:7000,...,0:5=127.0.0.1:7005,1:0=127.0.0.1:7100,...,1:5=127.0.0.1:7105 \
 //	  -op put -key greeting -value hello
 //	seemore-client -shards 2 -peers ... -op mget -keys greeting,other
+//
+// txput writes several keys atomically — two-phase commit across their
+// owner groups when they span shards:
+//
+//	seemore-client -shards 2 -peers ... -op txput -keys k1,k2 -values v1,v2
+//
+// Request timestamps are seeded from wall-clock nanoseconds, so a
+// restarted process reusing a -client id keeps getting replies from a
+// durable cluster (the replicated client table only executes strictly
+// newer timestamps); -initial-ts overrides the seed for reproducible
+// runs.
 package main
 
 import (
@@ -44,15 +55,17 @@ func main() {
 		seed     = flag.Int64("seed", 1, "shared key-derivation seed")
 		clients  = flag.Int64("clients", 64, "keyring client count (must match the servers)")
 		suiteFl  = flag.String("suite", "ed25519", "signature suite: ed25519, hmac, none")
-		op       = flag.String("op", "get", "operation: get, put, del, add, mget")
+		op       = flag.String("op", "get", "operation: get, put, del, add, mget, txput")
 		key      = flag.String("key", "", "key")
-		keys     = flag.String("keys", "", "comma-separated keys (mget)")
+		keys     = flag.String("keys", "", "comma-separated keys (mget, txput)")
 		value    = flag.String("value", "", "value (put)")
+		values   = flag.String("values", "", "comma-separated values (txput)")
 		delta    = flag.Int64("delta", 0, "delta (add)")
 		repeat   = flag.Int("n", 1, "repeat the operation n times")
 		retries  = flag.Int("max-retries", 0, "broadcast retransmissions per request (0: default)")
 		retryTmo = flag.Duration("retry-timeout", 0, "wait before the first retransmission (0: the protocol timer)")
 		backoff  = flag.Float64("retry-backoff", 0, "timeout multiplier per retry (≤1: fixed timeout)")
+		initTS   = flag.Int64("initial-ts", -1, "initial request timestamp (-1: wall-clock nanos, the safe default for reused client ids)")
 	)
 	flag.Parse()
 
@@ -68,7 +81,16 @@ func main() {
 	if err := sh.Validate(); err != nil {
 		log.Fatalf("sharding: %v", err)
 	}
-	cc := config.Client{MaxRetries: *retries, RetryTimeout: *retryTmo, Backoff: *backoff}
+	// Seed the timestamp counter from the wall clock by default: the
+	// replicated client table (which survives restarts on a durable
+	// cluster) silently discards timestamps it has already seen, so a
+	// restarted process reusing this client id must start above its
+	// previous run's counter.
+	ts := uint64(*initTS)
+	if *initTS < 0 {
+		ts = uint64(time.Now().UnixNano())
+	}
+	cc := config.Client{MaxRetries: *retries, RetryTimeout: *retryTmo, Backoff: *backoff, InitialTimestamp: ts}
 	if err := cc.Validate(); err != nil {
 		log.Fatalf("client config: %v", err)
 	}
@@ -110,6 +132,31 @@ func main() {
 		log.Fatalf("router: %v", err)
 	}
 	defer router.Close()
+
+	if strings.EqualFold(*op, "txput") {
+		// Keys and values must stay positionally aligned, so both use
+		// the same tokenization (trim, keep empties — an empty value is
+		// legal, an empty key is not).
+		ks := splitList(*keys)
+		vs := splitList(*values)
+		if len(ks) == 0 || len(ks) != len(vs) {
+			log.Fatalf("txput needs -keys k1,k2,... and a matching -values v1,v2,... (got %d keys, %d values)", len(ks), len(vs))
+		}
+		vals := make([][]byte, len(vs))
+		for i, v := range vs {
+			if ks[i] == "" {
+				log.Fatalf("txput key %d is empty", i)
+			}
+			vals[i] = []byte(v)
+		}
+		start := time.Now()
+		if err := router.MultiPut(ks, vals); err != nil {
+			log.Fatalf("txput: %v", err)
+		}
+		fmt.Printf("OK: %d keys committed atomically across %d shard(s) in %v\n",
+			len(ks), router.Shards(), time.Since(start))
+		return
+	}
 
 	if strings.EqualFold(*op, "mget") {
 		ks := splitKeys(*keys)
@@ -157,6 +204,12 @@ func main() {
 			fmt.Printf("OK %q\n", payload)
 		case statemachine.KVNotFound:
 			fmt.Println("NOT FOUND")
+		case statemachine.KVLocked:
+			if holder, ok := statemachine.DecodeLockHolder(payload); ok {
+				fmt.Printf("LOCKED by %v — an in-flight or abandoned transaction holds this key; retry, or issue a txput touching it to trigger presumed-abort recovery\n", holder)
+			} else {
+				fmt.Println("LOCKED")
+			}
 		default:
 			fmt.Println("BAD OPERATION")
 		}
@@ -215,4 +268,15 @@ func splitKeys(s string) []string {
 		}
 	}
 	return out
+}
+
+// splitList splits a comma-separated list, trimming whitespace but
+// keeping empty elements, so parallel lists (txput keys/values) stay
+// positionally aligned.
+func splitList(s string) []string {
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
 }

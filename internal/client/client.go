@@ -31,6 +31,11 @@ import (
 // reaching a reply quorum.
 var ErrTimeout = errors.New("client: request timed out")
 
+// ErrCanceled is returned by InvokeCancel when the caller's cancel
+// channel closes before a reply quorum is reached. The request may
+// still execute — cancellation abandons the wait, not the operation.
+var ErrCanceled = errors.New("client: request canceled")
+
 // maxRetryWait caps a backoff-grown retransmit wait. Without it,
 // Backoff > 1 composed with the default 20-retry budget turns an
 // unreachable cluster into a wait of ClientRetry·2²⁰ — the cap keeps
@@ -65,7 +70,8 @@ type Client struct {
 	maxRetries int
 	backoff    float64
 
-	ts uint64
+	ts     uint64
+	seeded bool // ts started from config.Client.InitialTimestamp
 }
 
 // New assembles a client from a policy with the default retry behavior
@@ -87,11 +93,28 @@ func NewWithConfig(id ids.ClientID, suite crypto.Suite, network transport.Networ
 		retry:      cc.RetryTimeout,
 		maxRetries: cc.MaxRetries,
 		backoff:    cc.Backoff,
+		ts:         cc.InitialTimestamp,
+		seeded:     cc.InitialTimestamp > 0,
 	}
 }
 
 // ID returns the client identity.
 func (c *Client) ID() ids.ClientID { return c.id }
+
+// Timestamp returns the timestamp of the last issued request (or the
+// initial seed before the first one).
+func (c *Client) Timestamp() uint64 { return c.ts }
+
+// AllocateTimestamp consumes and returns the next request timestamp
+// without issuing a request. The transaction coordinator mints
+// transaction ids from it, so txn sequence numbers and request
+// timestamps share one monotonic counter — seeding
+// config.Client.InitialTimestamp above a previous run therefore makes
+// both fresh, with no separate rule for transaction ids.
+func (c *Client) AllocateTimestamp() uint64 {
+	c.ts++
+	return c.ts
+}
 
 // Close detaches the client's endpoint.
 func (c *Client) Close() { c.ep.Close() }
@@ -99,6 +122,15 @@ func (c *Client) Close() { c.ep.Close() }
 // Invoke executes one state-machine operation and blocks until the
 // reply quorum accepts a result or the retry budget is exhausted.
 func (c *Client) Invoke(op []byte) ([]byte, error) {
+	return c.InvokeCancel(op, nil)
+}
+
+// InvokeCancel is Invoke with an early-exit signal: when cancel closes,
+// the wait is abandoned with ErrCanceled (a nil channel never fires and
+// is equivalent to Invoke). The router's fan-out calls use it so one
+// group's failure stops the sibling waits immediately instead of
+// letting each run out its own retry budget.
+func (c *Client) InvokeCancel(op []byte, cancel <-chan struct{}) ([]byte, error) {
 	c.ts++
 	req := &message.Request{Op: op, Timestamp: c.ts, Client: c.id}
 	req.Sig = c.suite.Sign(crypto.ClientPrincipal(int64(c.id)), req.SignedBytes())
@@ -119,6 +151,8 @@ func (c *Client) Invoke(op []byte) ([]byte, error) {
 
 	for attempt := 0; ; {
 		select {
+		case <-cancel:
+			return nil, fmt.Errorf("%w (client %d, ts %d)", ErrCanceled, c.id, c.ts)
 		case env, ok := <-c.ep.Inbox():
 			if !ok {
 				return nil, errors.New("client: endpoint closed")
@@ -135,6 +169,14 @@ func (c *Client) Invoke(op []byte) ([]byte, error) {
 		case <-deadline.C:
 			attempt++
 			if attempt > c.maxRetries {
+				// A zero-seeded timestamp counter is the classic silent
+				// failure against a durable cluster: a restarted process
+				// reusing this client id replays timestamps the replicated
+				// client table has already seen, and replicas drop the
+				// requests without any reply. Surface the likely cause.
+				if !c.seeded {
+					return nil, fmt.Errorf("%w (client %d, ts %d; stale timestamp? a reused client id against a durable cluster needs config.Client.InitialTimestamp seeded above its previous run)", ErrTimeout, c.id, c.ts)
+				}
 				return nil, fmt.Errorf("%w (client %d, ts %d)", ErrTimeout, c.id, c.ts)
 			}
 			// Timeout: suspect the primary and broadcast to everyone

@@ -1,11 +1,12 @@
 package client
 
 import (
+	"errors"
 	"fmt"
-	"sync"
 
 	"repro/internal/ids"
 	"repro/internal/statemachine"
+	"repro/internal/txn"
 )
 
 // Partitioner is the key→group mapping the router consults; the
@@ -27,6 +28,7 @@ type Router struct {
 	clients []*Client // indexed by GroupID
 	part    Partitioner
 	keyOf   func(op []byte) (string, bool)
+	coord   *txn.Coordinator // lazily built by Txn/MultiPut/ResolveTx
 }
 
 // NewRouter assembles a router from per-group clients (index g serves
@@ -75,7 +77,9 @@ func (r *Router) Invoke(op []byte) ([]byte, error) {
 // their owner groups in parallel (one goroutine per involved group;
 // keys within a group are read sequentially through that group's
 // client). Results are returned in key order; a missing key yields a
-// nil value. The first group error aborts the whole read.
+// nil value. The first group error aborts the whole read: the sibling
+// goroutines are canceled, so the call returns as soon as the error is
+// observed instead of waiting out every other group's retry budget.
 func (r *Router) MultiGet(keys []string) ([][]byte, error) {
 	type slot struct {
 		idx int
@@ -87,36 +91,98 @@ func (r *Router) MultiGet(keys []string) ([][]byte, error) {
 		byGroup[g] = append(byGroup[g], slot{idx: i, key: k})
 	}
 
-	out := make([][]byte, len(keys))
-	errs := make([]error, 0, len(byGroup))
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for g, slots := range byGroup {
-		wg.Add(1)
-		go func(g ids.GroupID, slots []slot) {
-			defer wg.Done()
-			for _, s := range slots {
-				res, err := r.clients[g].Invoke(statemachine.EncodeGet(s.key))
-				if err != nil {
-					mu.Lock()
-					errs = append(errs, fmt.Errorf("client: multi-get %q from %v: %w", s.key, g, err))
-					mu.Unlock()
-					return
-				}
-				status, value := statemachine.DecodeResult(res)
-				if status == statemachine.KVOK {
-					mu.Lock()
-					out[s.idx] = append([]byte(nil), value...)
-					mu.Unlock()
-				}
-			}
-		}(g, slots)
+	groups := make([]ids.GroupID, 0, len(byGroup))
+	for g := range byGroup {
+		groups = append(groups, g)
 	}
-	wg.Wait()
-	if len(errs) > 0 {
-		return nil, errs[0]
+	out := make([][]byte, len(keys)) // each slot written by exactly one goroutine
+	err := txn.FanOut(groups, true, func(g ids.GroupID, cancel <-chan struct{}) error {
+		for _, s := range byGroup[g] {
+			select {
+			case <-cancel: // a sibling group already failed
+				return txn.ErrLegCanceled
+			default:
+			}
+			res, err := r.clients[g].InvokeCancel(statemachine.EncodeGet(s.key), cancel)
+			if err != nil {
+				// Cancellation is the consequence of the first error,
+				// not an error of its own.
+				if errors.Is(err, ErrCanceled) {
+					return txn.ErrLegCanceled
+				}
+				return fmt.Errorf("client: multi-get %q from %v: %w", s.key, g, err)
+			}
+			status, value := statemachine.DecodeResult(res)
+			if status == statemachine.KVOK {
+				out[s.idx] = append([]byte(nil), value...)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// coordinator lazily assembles the 2PC coordinator over the per-group
+// clients. Transaction ids are minted from the group-0 client's
+// timestamp counter (AllocateTimestamp), so they live in the same
+// monotonic domain as request timestamps: seeding a restarted client's
+// InitialTimestamp above its previous run makes both its requests and
+// its transaction ids collision-free, with no separate rule to follow.
+func (r *Router) coordinator() (*txn.Coordinator, error) {
+	if r.coord != nil {
+		return r.coord, nil
+	}
+	groups := make([]txn.Invoker, len(r.clients))
+	for g, cl := range r.clients {
+		groups[g] = cl
+	}
+	co, err := txn.New(r.clients[0].ID(), groups, r.part, r.clients[0].AllocateTimestamp)
+	if err != nil {
+		return nil, err
+	}
+	r.coord = co
+	return co, nil
+}
+
+// Txn atomically applies a set of KV writes (EncodePut / EncodeDelete /
+// EncodeAdd) that may span any number of shards, running two-phase
+// commit over the owner groups (internal/txn). Either every shard
+// applies all of its writes or no shard applies any. Lock conflicts
+// with an abandoned transaction are resolved (presumed abort) and the
+// transaction retried under a fresh id; txn.ErrAborted reports a
+// transaction that left no effects anywhere.
+func (r *Router) Txn(writes [][]byte) error {
+	co, err := r.coordinator()
+	if err != nil {
+		return err
+	}
+	return co.Exec(writes)
+}
+
+// MultiPut atomically writes several key/value pairs across their owner
+// shards — the cross-shard companion of MultiGet.
+func (r *Router) MultiPut(keys []string, values [][]byte) error {
+	writes, err := txn.MultiPut(keys, values)
+	if err != nil {
+		return err
+	}
+	return r.Txn(writes)
+}
+
+// ResolveTx settles a possibly-abandoned transaction observed on group
+// g (the id arrives in a KVLocked result payload, see
+// statemachine.DecodeLockHolder): presumed abort unless the coordinator
+// shard recorded a commit, then the finish legs run so every lock is
+// released. It reports the settled outcome.
+func (r *Router) ResolveTx(g ids.GroupID, id statemachine.TxID) (committed bool, err error) {
+	co, err := r.coordinator()
+	if err != nil {
+		return false, err
+	}
+	return co.Resolve(g, id)
 }
 
 // Close closes every per-group client.

@@ -2,12 +2,14 @@ package client
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/config"
 	"repro/internal/crypto"
 	"repro/internal/ids"
+	"repro/internal/message"
 	"repro/internal/statemachine"
 	"repro/internal/transport"
 )
@@ -103,6 +105,97 @@ func TestRouterRoutesByKey(t *testing.T) {
 		if string(v) != want[i] {
 			t.Fatalf("MultiGet[%d] = %q, want %q", i, v, want[i])
 		}
+	}
+}
+
+// TestMultiGetReturnsOnFirstGroupError is the regression test for the
+// fan-out cancellation bug: one group fails immediately (closed
+// endpoint) while the other is a crashed shard — nobody answers, and
+// its 20-retry default budget would hold the call for ~20× the retry
+// interval. The first error must cancel the sibling goroutine, so the
+// whole call returns within one retry interval.
+func TestMultiGetReturnsOnFirstGroupError(t *testing.T) {
+	mb := ids.MustMembership(2, 4, 1, 1)
+	suite := crypto.NewEd25519Suite(4, mb.N(), 4)
+	net := transport.NewSimNetwork(transport.SimConfig{Seed: 4, PrivateSize: 2})
+	defer net.Close()
+
+	timing := testTiming()
+	timing.ClientRetry = 100 * time.Millisecond
+	mk := func(g ids.GroupID) *Client {
+		return New(0, suite, transport.Grouped(net, g), NewSeeMoRePolicy(mb, ids.Lion), timing)
+	}
+	r, err := NewRouter([]*Client{mk(0), mk(1)}, evenOdd{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	// Group 0's client fails fast: its endpoint is gone. Group 1 (the
+	// crashed shard) stays silent behind the full retry schedule.
+	r.clients[0].Close()
+
+	start := time.Now()
+	_, err = r.MultiGet([]string{"a2", "a1"}) // a2 → group 0, a1 → group 1
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("MultiGet against a dead group succeeded")
+	}
+	if errors.Is(err, ErrCanceled) {
+		t.Fatalf("cancellation surfaced as the call's error: %v", err)
+	}
+	if elapsed > timing.ClientRetry {
+		t.Fatalf("MultiGet took %v, want < one retry interval (%v): the failed group did not cancel the crashed shard's wait", elapsed, timing.ClientRetry)
+	}
+}
+
+// TestInitialTimestampSeedsRequests pins the restarted-client satellite
+// at the unit level: a seeded client's first request carries a
+// timestamp above the seed, and a zero-seeded timeout carries the
+// stale-timestamp hint.
+func TestInitialTimestampSeedsRequests(t *testing.T) {
+	mb := ids.MustMembership(2, 4, 1, 1)
+	suite := crypto.NewEd25519Suite(5, mb.N(), 4)
+	net := transport.NewSimNetwork(transport.SimConfig{Seed: 5, PrivateSize: 2})
+	defer net.Close()
+
+	var gotTS uint64
+	startFake(net, suite, 0, func(req *message.Request) *message.Message {
+		if req.Client != 0 {
+			return nil // leave the other clients to their timeout paths
+		}
+		gotTS = req.Timestamp
+		return okReply(ids.Lion, 0, []byte("r"))(req)
+	})
+
+	const seed = 1_000_000
+	c := NewWithConfig(0, suite, net, NewSeeMoRePolicy(mb, ids.Lion), testTiming(),
+		config.Client{InitialTimestamp: seed})
+	if c.Timestamp() != seed {
+		t.Fatalf("Timestamp() = %d before first request, want the seed %d", c.Timestamp(), seed)
+	}
+	if _, err := c.Invoke([]byte("op")); err != nil {
+		t.Fatal(err)
+	}
+	if gotTS != seed+1 {
+		t.Fatalf("first request timestamp = %d, want %d", gotTS, seed+1)
+	}
+
+	// Zero-seeded timeouts explain the silent-rejection failure mode.
+	timing := testTiming()
+	timing.ClientRetry = 5 * time.Millisecond
+	c2 := NewWithConfig(1, suite, net, NewSeeMoRePolicy(mb, ids.Lion), timing,
+		config.Client{MaxRetries: 1})
+	_, err := c2.Invoke([]byte("op"))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if !strings.Contains(err.Error(), "stale timestamp") {
+		t.Fatalf("zero-seeded timeout lacks the stale-timestamp hint: %v", err)
+	}
+	c3 := NewWithConfig(2, suite, net, NewSeeMoRePolicy(mb, ids.Lion), timing,
+		config.Client{MaxRetries: 1, InitialTimestamp: 7})
+	if _, err := c3.Invoke([]byte("op")); err == nil || strings.Contains(err.Error(), "stale timestamp") {
+		t.Fatalf("seeded timeout should not carry the hint: %v", err)
 	}
 }
 

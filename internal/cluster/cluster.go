@@ -436,8 +436,15 @@ func (c *Cluster) NewClient(id ids.ClientID) *client.Client {
 // NewClientIn builds a client against one consensus group; its
 // endpoint, policy and primary belief are all scoped to that group.
 func (c *Cluster) NewClientIn(g ids.GroupID, id ids.ClientID) *client.Client {
+	return c.NewClientInWithConfig(g, id, c.Spec.Client)
+}
+
+// NewClientInWithConfig is NewClientIn with explicit per-client knobs
+// overriding Spec.Client — the restart tests use it to model a client
+// process coming back with a reseeded initial timestamp.
+func (c *Cluster) NewClientInWithConfig(g ids.GroupID, id ids.ClientID, cc config.Client) *client.Client {
 	return client.NewWithConfig(id, c.SuiteImpl, transport.Grouped(c.Net, g),
-		c.newPolicy(), c.timing, c.Spec.Client)
+		c.newPolicy(), c.timing, cc)
 }
 
 // NewRouter builds the shard-aware client of a sharded deployment: one

@@ -368,6 +368,15 @@ type Client struct {
 	// minute so a deep retry budget cannot compound into an unbounded
 	// Invoke.
 	Backoff float64
+	// InitialTimestamp seeds the client's request timestamp counter.
+	// The replicated client table (exactly-once semantics) only executes
+	// requests with strictly increasing timestamps per client id — and
+	// it survives restarts via snapshots on a durable cluster — so a
+	// restarted client process reusing an id must start above its old
+	// counter. The CLI seeds this from wall-clock nanoseconds; the zero
+	// value keeps the deterministic zero start the simulation tests
+	// depend on.
+	InitialTimestamp uint64
 }
 
 // Validate rejects nonsensical client values.

@@ -3,6 +3,8 @@ package statemachine
 import (
 	"bytes"
 	"testing"
+
+	"repro/internal/ids"
 )
 
 // FuzzKVApply hammers the KV store's untrusted-input surfaces. The
@@ -30,6 +32,12 @@ func FuzzKVApply(f *testing.F) {
 	f.Add(EncodeAdd("counter", 42))
 	f.Add(EncodePut("", nil))
 	f.Add([]byte{0xFF, 0, 0, 0, 0})
+	txid := TxID{Client: 3, Seq: 9}
+	f.Add(EncodeTxPrepare(txid, []ids.GroupID{0, 1}, [][]byte{EncodePut("a", []byte("x"))}))
+	f.Add(EncodeTxCommit(txid))
+	f.Add(EncodeTxAbort(txid))
+	f.Add(EncodeTxDecide(txid, true))
+	f.Add(EncodeTxStatus(txid))
 	// A valid snapshot seed so the Restore arm starts somewhere useful.
 	seedKV := NewKVStore()
 	seedKV.Apply(EncodePut("a", []byte("1")))
@@ -59,7 +67,7 @@ func FuzzKVApply(f *testing.F) {
 		}
 		status, _ := DecodeResult(r1)
 		switch status {
-		case KVOK, KVNotFound, KVBadOp:
+		case KVOK, KVNotFound, KVBadOp, KVLocked, TxVoteYes, TxVoteNo:
 		default:
 			t.Fatalf("Apply returned undecodable status %d", status)
 		}

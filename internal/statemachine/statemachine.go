@@ -11,6 +11,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/crypto"
 	"repro/internal/ids"
@@ -43,12 +45,19 @@ func Digest(sm StateMachine) crypto.Digest {
 // KVStore
 
 // KV opcodes. A KV operation is opcode byte + length-prefixed key
-// (+ length-prefixed value for Put).
+// (+ length-prefixed value for Put). The Tx opcodes carry a
+// transaction id instead of a key; they are the per-shard legs of the
+// two-phase commit protocol internal/txn runs across consensus groups.
 const (
 	kvOpGet byte = iota + 1
 	kvOpPut
 	kvOpDelete
-	kvOpAdd // arithmetic add to a uint64-encoded value; used by the bank example
+	kvOpAdd       // arithmetic add to a uint64-encoded value; used by the bank example
+	kvOpTxPrepare // acquire per-key locks and buffer the shard's writes, vote
+	kvOpTxCommit  // apply the buffered writes, release locks
+	kvOpTxAbort   // drop the buffered writes, release locks
+	kvOpTxDecide  // durably record the commit/abort decision (coordinator shard)
+	kvOpTxStatus  // query a transaction's fate (recovery path)
 )
 
 // KV result status bytes.
@@ -56,30 +65,263 @@ const (
 	// KVOK prefixes a successful result; the value (possibly empty)
 	// follows.
 	KVOK byte = iota + 1
-	// KVNotFound is returned by Get/Delete/Add on a missing key.
+	// KVNotFound is returned by Get/Delete/Add on a missing key, and by
+	// TxCommit for a transaction this shard never prepared.
 	KVNotFound
 	// KVBadOp is returned for a malformed operation.
 	KVBadOp
+	// KVLocked is returned by a write whose key is locked by a prepared
+	// transaction; the 16-byte holder TxID follows so the caller can
+	// drive recovery of an abandoned transaction.
+	KVLocked
+	// TxVoteYes is TxPrepare's yes vote: locks acquired, writes buffered.
+	TxVoteYes
+	// TxVoteNo is TxPrepare's no vote; the 16-byte TxID of the blocking
+	// (or already-decided) transaction follows.
+	TxVoteNo
 )
+
+// Transaction fate bytes, reported by TxStatus and recorded by TxDecide.
+// They are a separate namespace from the result status bytes above:
+// results carry one of these in their payload, never as the leading
+// status byte.
+const (
+	// TxUnknown: this shard has neither a prepared portion nor a recorded
+	// decision — under presumed abort the transaction counts as aborted.
+	TxUnknown byte = iota
+	// TxPrepared: locks held and writes buffered, decision unknown here
+	// (the in-doubt state).
+	TxPrepared
+	// TxCommitted and TxAborted are recorded decisions.
+	TxCommitted
+	TxAborted
+)
+
+// ---------------------------------------------------------------------------
+// Transaction ids and the Tx op codec
+
+// TxID names one cross-shard transaction: the coordinating client plus
+// a per-coordinator sequence number. Coordinators that may restart must
+// seed Seq from a monotonic source (the client's initial timestamp) so
+// ids never repeat against a durable deployment.
+type TxID struct {
+	Client ids.ClientID
+	Seq    uint64
+}
+
+// String implements fmt.Stringer.
+func (id TxID) String() string { return fmt.Sprintf("tx:%d.%d", int64(id.Client), id.Seq) }
+
+const txIDLen = 16
+
+func appendTxID(out []byte, id TxID) []byte {
+	out = binary.BigEndian.AppendUint64(out, uint64(id.Client))
+	return binary.BigEndian.AppendUint64(out, id.Seq)
+}
+
+func readTxID(b []byte) (TxID, []byte, bool) {
+	if len(b) < txIDLen {
+		return TxID{}, nil, false
+	}
+	id := TxID{
+		Client: ids.ClientID(binary.BigEndian.Uint64(b)),
+		Seq:    binary.BigEndian.Uint64(b[8:]),
+	}
+	return id, b[txIDLen:], true
+}
+
+// DecodeLockHolder extracts the blocking transaction from a KVLocked or
+// TxVoteNo result payload.
+func DecodeLockHolder(payload []byte) (TxID, bool) {
+	id, rest, ok := readTxID(payload)
+	return id, ok && len(rest) == 0
+}
+
+// EncodeTxPrepare builds the prepare leg for one shard: the transaction
+// id, the full participant group list (every shard stores it, so any
+// in-doubt shard can name the coordinator group during recovery), and
+// this shard's buffered writes (well-formed KV write ops).
+func EncodeTxPrepare(id TxID, participants []ids.GroupID, writes [][]byte) []byte {
+	size := 1 + txIDLen + 4 + 4*len(participants) + 4
+	for _, w := range writes {
+		size += 4 + len(w)
+	}
+	out := make([]byte, 0, size)
+	out = append(out, kvOpTxPrepare)
+	out = appendTxID(out, id)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(participants)))
+	for _, g := range participants {
+		out = binary.BigEndian.AppendUint32(out, uint32(g))
+	}
+	out = binary.BigEndian.AppendUint32(out, uint32(len(writes)))
+	for _, w := range writes {
+		out = binary.BigEndian.AppendUint32(out, uint32(len(w)))
+		out = append(out, w...)
+	}
+	return out
+}
+
+// EncodeTxCommit builds the commit leg: apply buffered writes, release
+// locks.
+func EncodeTxCommit(id TxID) []byte {
+	return appendTxID([]byte{kvOpTxCommit}, id)
+}
+
+// EncodeTxAbort builds the abort leg: drop buffered writes, release
+// locks. Aborting a transaction this shard never saw records the abort,
+// so a late prepare cannot resurrect it.
+func EncodeTxAbort(id TxID) []byte {
+	return appendTxID([]byte{kvOpTxAbort}, id)
+}
+
+// EncodeTxDecide builds the decision record for the coordinator shard.
+// The first decision ordered through that shard's consensus wins; the
+// result echoes the recorded decision, so a coordinator and a recovery
+// client racing each other always converge on the same outcome.
+func EncodeTxDecide(id TxID, commit bool) []byte {
+	out := appendTxID([]byte{kvOpTxDecide}, id)
+	if commit {
+		return append(out, TxCommitted)
+	}
+	return append(out, TxAborted)
+}
+
+// EncodeTxStatus builds the fate query recovery uses.
+func EncodeTxStatus(id TxID) []byte {
+	return appendTxID([]byte{kvOpTxStatus}, id)
+}
+
+// DecodeTxStatusReply splits a TxStatus result payload into the fate
+// byte and, for TxPrepared, the participant group list.
+func DecodeTxStatusReply(payload []byte) (fate byte, participants []ids.GroupID, ok bool) {
+	if len(payload) < 1 {
+		return 0, nil, false
+	}
+	fate = payload[0]
+	rest := payload[1:]
+	if fate != TxPrepared {
+		return fate, nil, len(rest) == 0
+	}
+	if len(rest) < 4 {
+		return 0, nil, false
+	}
+	n := int(binary.BigEndian.Uint32(rest))
+	rest = rest[4:]
+	if len(rest) != 4*n {
+		return 0, nil, false
+	}
+	participants = make([]ids.GroupID, n)
+	for i := range participants {
+		participants[i] = ids.GroupID(binary.BigEndian.Uint32(rest[4*i:]))
+	}
+	return fate, participants, true
+}
 
 // KVStore is an in-memory replicated key/value store with canonical
 // snapshots. It is the workhorse state machine for the examples and the
-// integration tests.
+// integration tests. Beyond plain KV ops it executes the per-shard legs
+// of cross-shard transactions (internal/txn): prepared transactions
+// hold per-key write locks and buffered writes until the coordinator's
+// commit or abort arrives, and that in-doubt state is part of the
+// snapshot, so durability and state transfer cover mid-2PC crashes.
+//
+// The mutex is not for Apply — replicas apply from a single execution
+// goroutine — but for the direct read accessors (Get, Len, Fate) the
+// test harnesses call while the engine is running.
 type KVStore struct {
-	data map[string][]byte
+	mu      sync.RWMutex
+	data    map[string][]byte
+	locks   map[string]TxID    // key → prepared transaction holding it
+	pending map[TxID]pendingTx // prepared, in-doubt transactions
+	decided map[TxID]byte      // TxCommitted or TxAborted outcomes
+	// abortOrder is the abort ledger's insertion order. Abort records
+	// are FIFO-bounded at txAbortLedgerCap (eviction is driven purely
+	// by Apply order, so every replica evicts identically). Commit
+	// records are NOT evictable — a participant can sit in doubt for
+	// unbounded wall-clock time after its coordinator dies, and
+	// recovery must still find the recorded commit to roll it forward;
+	// reclaiming them would take participant acknowledgments, which
+	// this protocol deliberately leaves out.
+	abortOrder []TxID
+	// abortHorizon fences evicted abort records: per client, the
+	// highest transaction sequence number whose abort was evicted.
+	// Without it, evicting an abort recorded at the decision point
+	// would re-open the decision — a stalled coordinator's late
+	// TxDecide(commit) could then record a commit for a transaction
+	// recovery already settled as aborted. With the fence, any
+	// decision, prepare or finish for (client, seq ≤ horizon) with no
+	// surviving record is answered as aborted. Transaction sequence
+	// numbers are monotonic per client (they share the client's request
+	// timestamp counter), so the fence never blocks a fresh
+	// transaction. Bounded by the number of distinct clients, like the
+	// client table itself.
+	abortHorizon map[ids.ClientID]uint64
+}
+
+// txAbortLedgerCap bounds the abort ledger: an abort record only
+// sharpens error reporting for late legs (a refused resurrect-prepare
+// names itself instead of voting on unknown), it is never needed for
+// safety.
+const txAbortLedgerCap = 4096
+
+// pendingTx is one shard's prepared portion of a cross-shard
+// transaction: the buffered writes (applied in order on commit) and the
+// full participant list (so recovery can find the coordinator shard
+// from any in-doubt participant).
+type pendingTx struct {
+	participants []ids.GroupID
+	writes       [][]byte
 }
 
 // NewKVStore returns an empty store.
-func NewKVStore() *KVStore { return &KVStore{data: make(map[string][]byte)} }
+func NewKVStore() *KVStore {
+	return &KVStore{
+		data:         make(map[string][]byte),
+		locks:        make(map[string]TxID),
+		pending:      make(map[TxID]pendingTx),
+		decided:      make(map[TxID]byte),
+		abortHorizon: make(map[ids.ClientID]uint64),
+	}
+}
 
 // Len returns the number of keys; handy for tests.
-func (kv *KVStore) Len() int { return len(kv.data) }
+func (kv *KVStore) Len() int {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	return len(kv.data)
+}
 
 // Get reads a key directly (local, not through consensus); examples use
-// it to inspect replica state.
+// it to inspect replica state. Reads see committed state only: a
+// prepared transaction's buffered writes are invisible until commit.
 func (kv *KVStore) Get(key string) ([]byte, bool) {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
 	v, ok := kv.data[key]
 	return v, ok
+}
+
+// Fate reports a transaction's fate as this shard knows it (a local
+// read, not through consensus); tests use it to assert 2PC outcomes.
+func (kv *KVStore) Fate(id TxID) byte {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	if _, ok := kv.pending[id]; ok {
+		return TxPrepared
+	}
+	if d, ok := kv.decided[id]; ok {
+		return d
+	}
+	if kv.belowAbortHorizon(id) {
+		return TxAborted
+	}
+	return TxUnknown
+}
+
+// belowAbortHorizon reports whether id's abort record may have been
+// evicted: everything at or below the fence counts as aborted.
+func (kv *KVStore) belowAbortHorizon(id TxID) bool {
+	return id.Seq <= kv.abortHorizon[id.Client]
 }
 
 // EncodeGet builds a GET operation.
@@ -135,6 +377,35 @@ func KVOpKey(op []byte) (string, bool) {
 	return string(op[5 : 5+keyLen]), true
 }
 
+// IsKVWrite reports whether op is a well-formed KV write (Put, Delete
+// or Add) — the only operations a transaction may buffer. Prepare
+// votes reject anything else; combined with commit-time upsert
+// semantics (Delete of a missing key ensures absence, Add of a missing
+// key starts from zero) a buffered write always applies with a
+// well-defined effect.
+func IsKVWrite(op []byte) bool {
+	if len(op) < 5 {
+		return false
+	}
+	keyLen := int(binary.BigEndian.Uint32(op[1:5]))
+	if keyLen < 0 || 5+keyLen > len(op) {
+		return false
+	}
+	rest := op[5+keyLen:]
+	switch op[0] {
+	case kvOpDelete:
+		return len(rest) == 0
+	case kvOpPut:
+		_, ok := decodeValue(rest)
+		return ok
+	case kvOpAdd:
+		v, ok := decodeValue(rest)
+		return ok && len(v) == 8
+	default:
+		return false
+	}
+}
+
 // DecodeResult splits a KV result into status and payload.
 func DecodeResult(res []byte) (status byte, value []byte) {
 	if len(res) == 0 {
@@ -145,6 +416,33 @@ func DecodeResult(res []byte) (status byte, value []byte) {
 
 // Apply implements StateMachine.
 func (kv *KVStore) Apply(op []byte) []byte {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	if len(op) == 0 {
+		return []byte{KVBadOp}
+	}
+	switch op[0] {
+	case kvOpTxPrepare:
+		return kv.txPrepare(op[1:])
+	case kvOpTxCommit:
+		return kv.txFinish(op[1:], true)
+	case kvOpTxAbort:
+		return kv.txFinish(op[1:], false)
+	case kvOpTxDecide:
+		return kv.txDecide(op[1:])
+	case kvOpTxStatus:
+		return kv.txStatus(op[1:])
+	}
+	return kv.applyKV(op, false)
+}
+
+// applyKV executes one plain KV operation. inTx marks the commit-time
+// replay of a transaction's buffered writes: the lock check is skipped
+// (the writes own their locks) and Add upserts from zero on a missing
+// or non-numeric key — a committed transaction must apply every one of
+// its writes with a well-defined effect, it cannot half-fail the way a
+// standalone Add returning KVNotFound does.
+func (kv *KVStore) applyKV(op []byte, inTx bool) []byte {
 	if len(op) < 5 {
 		return []byte{KVBadOp}
 	}
@@ -155,6 +453,11 @@ func (kv *KVStore) Apply(op []byte) []byte {
 	}
 	key := string(op[5 : 5+keyLen])
 	rest := op[5+keyLen:]
+	if !inTx && code != kvOpGet {
+		if holder, held := kv.locks[key]; held {
+			return append([]byte{KVLocked}, appendTxID(nil, holder)...)
+		}
+	}
 	switch code {
 	case kvOpGet:
 		v, ok := kv.data[key]
@@ -181,10 +484,13 @@ func (kv *KVStore) Apply(op []byte) []byte {
 			return []byte{KVBadOp}
 		}
 		cur, ok := kv.data[key]
-		if !ok {
+		switch {
+		case ok && len(cur) == 8:
+		case inTx:
+			cur = make([]byte, 8) // transactional Add upserts from zero
+		case !ok:
 			return []byte{KVNotFound}
-		}
-		if len(cur) != 8 {
+		default:
 			return []byte{KVBadOp}
 		}
 		sum := binary.BigEndian.Uint64(cur) + binary.BigEndian.Uint64(v)
@@ -195,6 +501,209 @@ func (kv *KVStore) Apply(op []byte) []byte {
 	default:
 		return []byte{KVBadOp}
 	}
+}
+
+// txPrepare validates and buffers one shard's portion of a cross-shard
+// transaction, locking every written key. All-or-nothing: a single
+// conflicting key votes the whole shard no and acquires nothing.
+func (kv *KVStore) txPrepare(b []byte) []byte {
+	id, b, ok := readTxID(b)
+	if !ok || len(b) < 4 {
+		return []byte{KVBadOp}
+	}
+	np := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	// An empty participant list is malformed: recovery derives the
+	// coordinator shard from it, so accepting the prepare would create
+	// locks nothing could ever release.
+	if np <= 0 || 4*np > len(b) {
+		return []byte{KVBadOp}
+	}
+	participants := make([]ids.GroupID, np)
+	for i := range participants {
+		participants[i] = ids.GroupID(binary.BigEndian.Uint32(b[4*i:]))
+	}
+	b = b[4*np:]
+	if len(b) < 4 {
+		return []byte{KVBadOp}
+	}
+	nw := int(binary.BigEndian.Uint32(b))
+	off := 4
+	// Cap by what the bytes can hold (untrusted input, same discipline
+	// as Restore): every write costs at least its length prefix.
+	if nw < 0 || 4*nw > len(b)-off {
+		return []byte{KVBadOp}
+	}
+	writes := make([][]byte, 0, nw)
+	keys := make([]string, 0, nw)
+	for i := 0; i < nw; i++ {
+		w, next, err := readChunk(b, off)
+		if err != nil {
+			return []byte{KVBadOp}
+		}
+		if !IsKVWrite(w) {
+			return []byte{KVBadOp}
+		}
+		key, _ := KVOpKey(w)
+		writes = append(writes, append([]byte(nil), w...))
+		keys = append(keys, key)
+		off = next
+	}
+	if off != len(b) {
+		return []byte{KVBadOp}
+	}
+
+	// Idempotent re-prepare of a still-pending transaction.
+	if _, ok := kv.pending[id]; ok {
+		return []byte{TxVoteYes}
+	}
+	// A decided (or horizon-fenced) transaction can never be
+	// re-prepared: under presumed abort a late prepare arriving after
+	// recovery aborted the transaction must not re-acquire locks. (The
+	// decided transaction itself is the "blocker" the payload names.)
+	if _, ok := kv.decided[id]; ok || kv.belowAbortHorizon(id) {
+		return append([]byte{TxVoteNo}, appendTxID(nil, id)...)
+	}
+	for _, key := range keys {
+		if holder, held := kv.locks[key]; held && holder != id {
+			return append([]byte{TxVoteNo}, appendTxID(nil, holder)...)
+		}
+	}
+	for _, key := range keys {
+		kv.locks[key] = id
+	}
+	kv.pending[id] = pendingTx{participants: participants, writes: writes}
+	return []byte{TxVoteYes}
+}
+
+// txFinish resolves a prepared transaction: commit applies the buffered
+// writes in order, abort drops them; both release the locks and record
+// the outcome. Finishing an already-finished transaction the same way
+// is idempotent; the opposite way is a protocol violation and returns
+// KVBadOp without touching state. Aborting a transaction this shard
+// never prepared records the abort (presumed abort: the late prepare
+// must then vote no); committing one returns KVNotFound, because a
+// correct coordinator only sends commit after this shard voted yes.
+func (kv *KVStore) txFinish(b []byte, commit bool) []byte {
+	id, rest, ok := readTxID(b)
+	if !ok || len(rest) != 0 {
+		return []byte{KVBadOp}
+	}
+	if p, ok := kv.pending[id]; ok {
+		// A recorded decision binds even while the portion is pending
+		// (this shard may be the coordinator shard): a finish leg
+		// contradicting it is refused without touching state, so a
+		// client sending opposite legs to different shards cannot split
+		// its own transaction's outcome.
+		if d, ok := kv.decided[id]; ok && (d == TxCommitted) != commit {
+			return []byte{KVBadOp}
+		}
+		outcome := TxAborted
+		if commit {
+			outcome = TxCommitted
+			for _, w := range p.writes {
+				kv.applyKV(w, true)
+			}
+		}
+		for _, w := range p.writes {
+			if key, ok := KVOpKey(w); ok && kv.locks[key] == id {
+				delete(kv.locks, key)
+			}
+		}
+		delete(kv.pending, id)
+		kv.recordDecision(id, outcome)
+		return []byte{KVOK, outcome}
+	}
+	if d, ok := kv.decided[id]; ok {
+		if (d == TxCommitted) == commit {
+			return []byte{KVOK, d}
+		}
+		return []byte{KVBadOp}
+	}
+	if kv.belowAbortHorizon(id) {
+		if commit {
+			return []byte{KVBadOp} // fenced as aborted; a commit leg contradicts it
+		}
+		return []byte{KVOK, TxAborted} // already covered by the fence, no new record
+	}
+	if commit {
+		return []byte{KVNotFound}
+	}
+	kv.recordDecision(id, TxAborted)
+	return []byte{KVOK, TxAborted}
+}
+
+// recordDecision stores an outcome. Aborts enter the bounded FIFO
+// ledger; commits are permanent (see the abortOrder field comment for
+// why the asymmetry is forced).
+func (kv *KVStore) recordDecision(id TxID, outcome byte) {
+	if _, ok := kv.decided[id]; !ok && outcome == TxAborted {
+		kv.abortOrder = append(kv.abortOrder, id)
+		for len(kv.abortOrder) > txAbortLedgerCap {
+			old := kv.abortOrder[0]
+			// Raise the fence before forgetting the record, so the
+			// evicted abort stays binding (see abortHorizon).
+			if old.Seq > kv.abortHorizon[old.Client] {
+				kv.abortHorizon[old.Client] = old.Seq
+			}
+			delete(kv.decided, old)
+			kv.abortOrder = kv.abortOrder[1:]
+		}
+	}
+	kv.decided[id] = outcome
+}
+
+// txDecide records the transaction's fate on the coordinator shard —
+// the single linearization point of the whole cross-shard protocol.
+// First decision ordered through consensus wins; every later decide
+// (the original coordinator racing a recovery client, or vice versa)
+// gets the recorded one back and must follow it.
+func (kv *KVStore) txDecide(b []byte) []byte {
+	id, rest, ok := readTxID(b)
+	if !ok || len(rest) != 1 {
+		return []byte{KVBadOp}
+	}
+	d := rest[0]
+	if d != TxCommitted && d != TxAborted {
+		return []byte{KVBadOp}
+	}
+	if prev, ok := kv.decided[id]; ok {
+		return []byte{KVOK, prev}
+	}
+	// The horizon stands in for evicted abort records: a late decide for
+	// a fenced transaction gets the abort back and must follow it — the
+	// linearization point cannot re-open.
+	if kv.belowAbortHorizon(id) {
+		return []byte{KVOK, TxAborted}
+	}
+	kv.recordDecision(id, d)
+	return []byte{KVOK, d}
+}
+
+// txStatus reports a transaction's fate. A pending (in-doubt) portion
+// answers TxPrepared plus the participant list even when a decision
+// record also exists, so recovery keeps driving the commit/abort legs
+// until the locks are actually released.
+func (kv *KVStore) txStatus(b []byte) []byte {
+	id, rest, ok := readTxID(b)
+	if !ok || len(rest) != 0 {
+		return []byte{KVBadOp}
+	}
+	if p, ok := kv.pending[id]; ok {
+		out := []byte{KVOK, TxPrepared}
+		out = binary.BigEndian.AppendUint32(out, uint32(len(p.participants)))
+		for _, g := range p.participants {
+			out = binary.BigEndian.AppendUint32(out, uint32(g))
+		}
+		return out
+	}
+	if d, ok := kv.decided[id]; ok {
+		return []byte{KVOK, d}
+	}
+	if kv.belowAbortHorizon(id) {
+		return []byte{KVOK, TxAborted}
+	}
+	return []byte{KVOK, TxUnknown}
 }
 
 func decodeValue(b []byte) ([]byte, bool) {
@@ -208,9 +717,25 @@ func decodeValue(b []byte) ([]byte, bool) {
 	return b[4:], true
 }
 
-// Snapshot implements StateMachine with a canonical (key-sorted)
-// encoding.
+// sortTxIDs orders transaction ids canonically (client, then seq).
+func sortTxIDs(ts []TxID) {
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].Client != ts[j].Client {
+			return ts[i].Client < ts[j].Client
+		}
+		return ts[i].Seq < ts[j].Seq
+	})
+}
+
+// Snapshot implements StateMachine with a canonical (sorted) encoding.
+// The transactional sections — lock table, prepared (in-doubt)
+// transactions with their buffered writes, and decided outcomes — are
+// part of replicated state: two replicas differing only in a prepared
+// transaction are divergent, and a replica restarting mid-2PC must come
+// back still holding its locks.
 func (kv *KVStore) Snapshot() []byte {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
 	keys := make([]string, 0, len(kv.data))
 	for k := range kv.data {
 		keys = append(keys, k)
@@ -224,6 +749,77 @@ func (kv *KVStore) Snapshot() []byte {
 		v := kv.data[k]
 		out = binary.BigEndian.AppendUint32(out, uint32(len(v)))
 		out = append(out, v...)
+	}
+
+	// Lock table, key-sorted.
+	lkeys := make([]string, 0, len(kv.locks))
+	for k := range kv.locks {
+		lkeys = append(lkeys, k)
+	}
+	sort.Strings(lkeys)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(lkeys)))
+	for _, k := range lkeys {
+		out = binary.BigEndian.AppendUint32(out, uint32(len(k)))
+		out = append(out, k...)
+		out = appendTxID(out, kv.locks[k])
+	}
+
+	// Prepared transactions, id-sorted; writes keep prepare order.
+	pids := make([]TxID, 0, len(kv.pending))
+	for id := range kv.pending {
+		pids = append(pids, id)
+	}
+	sortTxIDs(pids)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(pids)))
+	for _, id := range pids {
+		p := kv.pending[id]
+		out = appendTxID(out, id)
+		out = binary.BigEndian.AppendUint32(out, uint32(len(p.participants)))
+		for _, g := range p.participants {
+			out = binary.BigEndian.AppendUint32(out, uint32(g))
+		}
+		out = binary.BigEndian.AppendUint32(out, uint32(len(p.writes)))
+		for _, w := range p.writes {
+			out = binary.BigEndian.AppendUint32(out, uint32(len(w)))
+			out = append(out, w...)
+		}
+	}
+
+	// Decided outcomes: commits id-sorted (they are a plain permanent
+	// set), then aborts in ledger (insertion) order — the abort order
+	// is a pure function of Apply order, identical on every replica,
+	// and FIFO eviction depends on it, so it is canonical state.
+	out = binary.BigEndian.AppendUint32(out, uint32(len(kv.decided)))
+	nc := len(kv.decided) - len(kv.abortOrder)
+	if nc < 0 {
+		nc = 0
+	}
+	commits := make([]TxID, 0, nc)
+	for id, d := range kv.decided {
+		if d != TxAborted {
+			commits = append(commits, id)
+		}
+	}
+	sortTxIDs(commits)
+	for _, id := range commits {
+		out = appendTxID(out, id)
+		out = append(out, kv.decided[id])
+	}
+	for _, id := range kv.abortOrder {
+		out = appendTxID(out, id)
+		out = append(out, TxAborted)
+	}
+
+	// Abort horizon, client-sorted.
+	hcs := make([]ids.ClientID, 0, len(kv.abortHorizon))
+	for c := range kv.abortHorizon {
+		hcs = append(hcs, c)
+	}
+	sort.Slice(hcs, func(i, j int) bool { return hcs[i] < hcs[j] })
+	out = binary.BigEndian.AppendUint32(out, uint32(len(hcs)))
+	for _, c := range hcs {
+		out = binary.BigEndian.AppendUint64(out, uint64(c))
+		out = binary.BigEndian.AppendUint64(out, kv.abortHorizon[c])
 	}
 	return out
 }
@@ -257,11 +853,157 @@ func (kv *KVStore) Restore(snapshot []byte) error {
 		data[string(k)] = append([]byte(nil), v...)
 		off = next2
 	}
+
+	// A snapshot ending after the data section is the pre-transaction
+	// format (or a store that has simply never seen a transaction leg
+	// serialized by an older writer): accept it with empty
+	// transactional state, so durable deployments can restart across
+	// the format change.
+	if off == len(snapshot) {
+		kv.mu.Lock()
+		defer kv.mu.Unlock()
+		kv.data = data
+		kv.locks = make(map[string]TxID)
+		kv.pending = make(map[TxID]pendingTx)
+		kv.decided = make(map[TxID]byte)
+		kv.abortOrder = nil
+		kv.abortHorizon = make(map[ids.ClientID]uint64)
+		return nil
+	}
+
+	// Lock table.
+	nl, off, err := readCount(snapshot, off, 4+txIDLen)
+	if err != nil {
+		return err
+	}
+	locks := make(map[string]TxID, nl)
+	for i := 0; i < nl; i++ {
+		k, next, err := readChunk(snapshot, off)
+		if err != nil {
+			return err
+		}
+		if next+txIDLen > len(snapshot) {
+			return errors.New("statemachine: truncated lock entry")
+		}
+		id, _, _ := readTxID(snapshot[next:])
+		locks[string(k)] = id
+		off = next + txIDLen
+	}
+
+	// Prepared transactions.
+	np, off, err := readCount(snapshot, off, txIDLen+8)
+	if err != nil {
+		return err
+	}
+	pending := make(map[TxID]pendingTx, np)
+	for i := 0; i < np; i++ {
+		if off+txIDLen+4 > len(snapshot) {
+			return errors.New("statemachine: truncated pending transaction")
+		}
+		id, _, _ := readTxID(snapshot[off:])
+		off += txIDLen
+		ng := int(binary.BigEndian.Uint32(snapshot[off:]))
+		off += 4
+		if ng < 0 || off+4*ng+4 > len(snapshot) {
+			return errors.New("statemachine: truncated participant list")
+		}
+		participants := make([]ids.GroupID, ng)
+		for j := range participants {
+			participants[j] = ids.GroupID(binary.BigEndian.Uint32(snapshot[off+4*j:]))
+		}
+		off += 4 * ng
+		nw := int(binary.BigEndian.Uint32(snapshot[off:]))
+		off += 4
+		if nw < 0 || 4*nw > len(snapshot)-off {
+			return errors.New("statemachine: truncated write list")
+		}
+		writes := make([][]byte, 0, nw)
+		for j := 0; j < nw; j++ {
+			w, next, err := readChunk(snapshot, off)
+			if err != nil {
+				return err
+			}
+			writes = append(writes, append([]byte(nil), w...))
+			off = next
+		}
+		pending[id] = pendingTx{participants: participants, writes: writes}
+	}
+
+	// Decided outcomes: aborts rebuild the FIFO ledger in serialized
+	// order; everything else is the permanent (commit) set. Duplicate
+	// ids (possible only in hostile input) keep their first occurrence,
+	// matching what the maps can hold.
+	nd, off, err := readCount(snapshot, off, txIDLen+1)
+	if err != nil {
+		return err
+	}
+	decided := make(map[TxID]byte, nd)
+	var abortOrder []TxID
+	for i := 0; i < nd; i++ {
+		if off+txIDLen+1 > len(snapshot) {
+			return errors.New("statemachine: truncated decision entry")
+		}
+		id, _, _ := readTxID(snapshot[off:])
+		d := snapshot[off+txIDLen]
+		// The fate byte is an enum; anything else is a corrupt or
+		// hostile snapshot (the maps only ever hold these two values).
+		if d != TxCommitted && d != TxAborted {
+			return fmt.Errorf("statemachine: invalid decision fate %d", d)
+		}
+		if _, dup := decided[id]; !dup {
+			decided[id] = d
+			if d == TxAborted {
+				abortOrder = append(abortOrder, id)
+			}
+		}
+		off += txIDLen + 1
+	}
+	for len(abortOrder) > txAbortLedgerCap {
+		delete(decided, abortOrder[0])
+		abortOrder = abortOrder[1:]
+	}
+
+	// Abort horizon.
+	nh, off, err := readCount(snapshot, off, 16)
+	if err != nil {
+		return err
+	}
+	abortHorizon := make(map[ids.ClientID]uint64, nh)
+	for i := 0; i < nh; i++ {
+		if off+16 > len(snapshot) {
+			return errors.New("statemachine: truncated abort-horizon entry")
+		}
+		c := ids.ClientID(binary.BigEndian.Uint64(snapshot[off:]))
+		abortHorizon[c] = binary.BigEndian.Uint64(snapshot[off+8:])
+		off += 16
+	}
+
 	if off != len(snapshot) {
 		return fmt.Errorf("statemachine: %d trailing snapshot bytes", len(snapshot)-off)
 	}
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
 	kv.data = data
+	kv.locks = locks
+	kv.pending = pending
+	kv.decided = decided
+	kv.abortOrder = abortOrder
+	kv.abortHorizon = abortHorizon
 	return nil
+}
+
+// readCount reads a section's entry count and caps it by the bytes
+// remaining (each entry costs at least minEntry bytes), the untrusted
+// allocation-hint discipline of Restore.
+func readCount(b []byte, off, minEntry int) (n, next int, err error) {
+	if off+4 > len(b) {
+		return 0, 0, errors.New("statemachine: truncated section count")
+	}
+	n = int(binary.BigEndian.Uint32(b[off:]))
+	if n < 0 || n*minEntry > len(b)-off-4 {
+		return 0, 0, errors.New("statemachine: section count exceeds snapshot size")
+	}
+	return n, off + 4, nil
 }
 
 func readChunk(b []byte, off int) ([]byte, int, error) {
@@ -282,28 +1024,30 @@ func readChunk(b []byte, off int) ([]byte, int, error) {
 // Counter is the minimal deterministic state machine: every operation
 // increments it and returns the new value. The micro-benchmarks (0/0
 // payloads, Section 6.1) use it so that execution cost is negligible.
+// The count is atomic so harness code can read Value while the engine
+// goroutine applies operations.
 type Counter struct {
-	n uint64
+	n atomic.Uint64
 }
 
 // NewCounter returns a zeroed counter.
 func NewCounter() *Counter { return &Counter{} }
 
-// Value returns the current count.
-func (c *Counter) Value() uint64 { return c.n }
+// Value returns the current count. Safe to call concurrently with Apply.
+func (c *Counter) Value() uint64 { return c.n.Load() }
 
 // Apply implements StateMachine.
 func (c *Counter) Apply(op []byte) []byte {
-	c.n++
+	n := c.n.Add(1)
 	out := make([]byte, 8)
-	binary.BigEndian.PutUint64(out, c.n)
+	binary.BigEndian.PutUint64(out, n)
 	return out
 }
 
 // Snapshot implements StateMachine.
 func (c *Counter) Snapshot() []byte {
 	out := make([]byte, 8)
-	binary.BigEndian.PutUint64(out, c.n)
+	binary.BigEndian.PutUint64(out, c.n.Load())
 	return out
 }
 
@@ -312,7 +1056,7 @@ func (c *Counter) Restore(snapshot []byte) error {
 	if len(snapshot) != 8 {
 		return errors.New("statemachine: counter snapshot must be 8 bytes")
 	}
-	c.n = binary.BigEndian.Uint64(snapshot)
+	c.n.Store(binary.BigEndian.Uint64(snapshot))
 	return nil
 }
 

@@ -1,0 +1,356 @@
+package txn
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/statemachine"
+)
+
+// evenOdd partitions by the key's last digit, mirroring the router
+// tests' predictable split.
+type evenOdd struct{}
+
+func (evenOdd) Shards() int { return 2 }
+func (evenOdd) Owner(key string) ids.GroupID {
+	if len(key) > 0 && (key[len(key)-1]-'0')%2 == 1 {
+		return 1
+	}
+	return 0
+}
+
+// kvGroup stands in for one consensus group: Invoke applies directly to
+// a local KVStore, which is exactly the state every replica of the
+// group would reach after ordering the op.
+type kvGroup struct{ kv *statemachine.KVStore }
+
+func (g *kvGroup) Invoke(op []byte) ([]byte, error) { return g.kv.Apply(op), nil }
+
+// deadGroup models an unreachable shard.
+type deadGroup struct{}
+
+func (deadGroup) Invoke([]byte) ([]byte, error) { return nil, errors.New("unreachable") }
+
+func twoGroups() (*kvGroup, *kvGroup, []Invoker) {
+	g0 := &kvGroup{kv: statemachine.NewKVStore()}
+	g1 := &kvGroup{kv: statemachine.NewKVStore()}
+	return g0, g1, []Invoker{g0, g1}
+}
+
+func TestNewValidation(t *testing.T) {
+	_, _, groups := twoGroups()
+	if _, err := New(1, groups, nil, nil); err == nil {
+		t.Error("nil partitioner accepted")
+	}
+	if _, err := New(1, groups[:1], evenOdd{}, nil); err == nil {
+		t.Error("group/shard mismatch accepted")
+	}
+	if _, err := New(1, []Invoker{groups[0], nil}, evenOdd{}, nil); err == nil {
+		t.Error("nil invoker accepted")
+	}
+}
+
+func TestExecCommitsAcrossGroups(t *testing.T) {
+	g0, g1, groups := twoGroups()
+	co, err := New(1, groups, evenOdd{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes, err := MultiPut([]string{"k1", "k2"}, [][]byte{[]byte("v1"), []byte("v2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Exec(writes); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := g1.kv.Get("k1"); string(v) != "v1" {
+		t.Fatalf("group 1 k1 = %q", v)
+	}
+	if v, _ := g0.kv.Get("k2"); string(v) != "v2" {
+		t.Fatalf("group 0 k2 = %q", v)
+	}
+	// Locks are gone: plain writes go straight through.
+	for _, g := range []*kvGroup{g0, g1} {
+		for _, k := range []string{"k1", "k2"} {
+			res, _ := g.Invoke(statemachine.EncodePut(k, []byte("w")))
+			if st, _ := statemachine.DecodeResult(res); st == statemachine.KVLocked {
+				t.Fatalf("lock on %s survived commit", k)
+			}
+		}
+	}
+}
+
+func TestExecSingleGroupTransaction(t *testing.T) {
+	g0, _, groups := twoGroups()
+	co, _ := New(2, groups, evenOdd{}, nil)
+	if err := co.Exec([][]byte{
+		statemachine.EncodePut("a0", []byte("x")),
+		statemachine.EncodePut("b2", []byte("y")),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if g0.kv.Len() != 2 {
+		t.Fatalf("group 0 has %d keys, want 2", g0.kv.Len())
+	}
+}
+
+func TestExecRejectsNonWrites(t *testing.T) {
+	_, _, groups := twoGroups()
+	co, _ := New(1, groups, evenOdd{}, nil)
+	if err := co.Exec([][]byte{statemachine.EncodeGet("k1")}); err == nil {
+		t.Fatal("read op accepted in a transaction")
+	}
+	if err := co.Exec(nil); err == nil {
+		t.Fatal("empty transaction accepted")
+	}
+}
+
+// TestExecUnreachableShardAborts: a dead participant fails the prepare;
+// the healthy shard's locks are released and nothing is applied.
+func TestExecUnreachableShardAborts(t *testing.T) {
+	g0 := &kvGroup{kv: statemachine.NewKVStore()}
+	groups := []Invoker{g0, deadGroup{}}
+	co, _ := New(3, groups, evenOdd{}, nil)
+	err := co.Exec([][]byte{
+		statemachine.EncodePut("k1", []byte("v")), // group 1 (dead)
+		statemachine.EncodePut("k2", []byte("v")), // group 0
+	})
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	if _, ok := g0.kv.Get("k2"); ok {
+		t.Fatal("aborted transaction left a write on the healthy shard")
+	}
+	res, _ := g0.Invoke(statemachine.EncodePut("k2", []byte("w")))
+	if st, _ := statemachine.DecodeResult(res); st != statemachine.KVOK {
+		t.Fatalf("healthy shard still locked after abort: status %d", st)
+	}
+}
+
+// abandon prepares a transaction on every participant exactly as a
+// coordinator that dies between prepare and commit would leave it.
+func abandon(t *testing.T, groups []Invoker, id statemachine.TxID, writes [][]byte, part Partitioner) {
+	t.Helper()
+	perGroup := map[ids.GroupID][][]byte{}
+	for _, w := range writes {
+		key, _ := statemachine.KVOpKey(w)
+		g := part.Owner(key)
+		perGroup[g] = append(perGroup[g], w)
+	}
+	parts := make([]ids.GroupID, 0, len(perGroup))
+	for g := 0; g < part.Shards(); g++ {
+		if _, ok := perGroup[ids.GroupID(g)]; ok {
+			parts = append(parts, ids.GroupID(g))
+		}
+	}
+	for g, ws := range perGroup {
+		res, err := groups[g].Invoke(statemachine.EncodeTxPrepare(id, parts, ws))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st, _ := statemachine.DecodeResult(res); st != statemachine.TxVoteYes {
+			t.Fatalf("abandon prepare on %v: status %d", g, st)
+		}
+	}
+}
+
+// TestExecResolvesAbandonedBlockerByPresumedAbort is the crashed-
+// coordinator scenario: a transaction prepared everywhere but never
+// decided blocks a later one; Exec resolves it (abort), releases its
+// locks, and commits its own writes. The abandoned writes appear
+// nowhere.
+func TestExecResolvesAbandonedBlockerByPresumedAbort(t *testing.T) {
+	g0, g1, groups := twoGroups()
+	dead := statemachine.TxID{Client: 99, Seq: 1}
+	abandon(t, groups, dead, [][]byte{
+		statemachine.EncodePut("k1", []byte("dead")),
+		statemachine.EncodePut("k2", []byte("dead")),
+	}, evenOdd{})
+
+	co, _ := New(4, groups, evenOdd{}, nil)
+	if err := co.Exec([][]byte{
+		statemachine.EncodePut("k1", []byte("live")),
+		statemachine.EncodePut("k2", []byte("live")),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for g, key := range map[*kvGroup]string{g1: "k1", g0: "k2"} {
+		if v, _ := g.kv.Get(key); string(v) != "live" {
+			t.Fatalf("%s = %q, want \"live\"", key, v)
+		}
+		if g.kv.Fate(dead) != statemachine.TxAborted {
+			t.Fatalf("abandoned txn fate on %s's shard = %d, want TxAborted", key, g.kv.Fate(dead))
+		}
+	}
+}
+
+// TestResolveHonorsRecordedCommit: if the dead coordinator got as far
+// as recording the commit decision, recovery must roll the transaction
+// forward on every shard, not abort it.
+func TestResolveHonorsRecordedCommit(t *testing.T) {
+	g0, g1, groups := twoGroups()
+	dead := statemachine.TxID{Client: 99, Seq: 2}
+	abandon(t, groups, dead, [][]byte{
+		statemachine.EncodePut("k1", []byte("decided")),
+		statemachine.EncodePut("k2", []byte("decided")),
+	}, evenOdd{})
+	// The decision landed at the coordinator shard (group 0, the lowest
+	// participant) before the coordinator died.
+	if _, err := groups[0].Invoke(statemachine.EncodeTxDecide(dead, true)); err != nil {
+		t.Fatal(err)
+	}
+
+	co, _ := New(5, groups, evenOdd{}, nil)
+	committed, err := co.Resolve(1, dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !committed {
+		t.Fatal("recovery aborted a transaction with a recorded commit")
+	}
+	if v, _ := g1.kv.Get("k1"); string(v) != "decided" {
+		t.Fatalf("k1 = %q after roll-forward", v)
+	}
+	if v, _ := g0.kv.Get("k2"); string(v) != "decided" {
+		t.Fatalf("k2 = %q after roll-forward", v)
+	}
+}
+
+// TestResolveSurvivesBogusParticipantList: a prepare whose stored
+// participant list names groups outside the deployment (a coordinator
+// sabotaging its own transaction) must still be resolvable — recovery
+// clamps to the in-range participants plus the observed shard and
+// aborts, releasing the locks instead of wedging the key forever.
+func TestResolveSurvivesBogusParticipantList(t *testing.T) {
+	g0, _, groups := twoGroups()
+	dead := statemachine.TxID{Client: 66, Seq: 1}
+	res, err := groups[0].Invoke(statemachine.EncodeTxPrepare(
+		dead, []ids.GroupID{0, 99}, [][]byte{statemachine.EncodePut("k2", []byte("x"))}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := statemachine.DecodeResult(res); st != statemachine.TxVoteYes {
+		t.Fatalf("bogus-list prepare on its own shard: status %d", st)
+	}
+
+	co, _ := New(9, groups, evenOdd{}, nil)
+	committed, err := co.Resolve(0, dead)
+	if err != nil {
+		t.Fatalf("resolve with out-of-range participant: %v", err)
+	}
+	if committed {
+		t.Fatal("bogus transaction resolved as committed")
+	}
+	out, _ := g0.Invoke(statemachine.EncodePut("k2", []byte("w")))
+	if st, _ := statemachine.DecodeResult(out); st != statemachine.KVOK {
+		t.Fatalf("lock survived recovery of a bogus transaction: status %d", st)
+	}
+}
+
+// TestDecideRaceConverges: the original coordinator and a recovery
+// client race the decision; whoever loses follows the recorded outcome,
+// so both finish the transaction the same way.
+func TestDecideRaceConverges(t *testing.T) {
+	_, g1, groups := twoGroups()
+	co, _ := New(6, groups, evenOdd{}, nil)
+	tx, err := co.Begin([][]byte{
+		statemachine.EncodePut("k1", []byte("v")),
+		statemachine.EncodePut("k2", []byte("v")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	// Recovery gets to the coordinator shard first and presumes abort.
+	rec, _ := New(7, groups, evenOdd{}, nil)
+	if committed, err := rec.Resolve(1, tx.ID); err != nil || committed {
+		t.Fatalf("recovery: committed=%v err=%v, want aborted", committed, err)
+	}
+	// The original coordinator's commit decision must come back "abort".
+	committed, err := tx.Decide(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committed {
+		t.Fatal("coordinator overrode the recorded abort")
+	}
+	if err := tx.Finish(committed); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g1.kv.Get("k1"); ok {
+		t.Fatal("aborted transaction applied a write")
+	}
+}
+
+// TestExecConcurrentConflictingTransactions: two live coordinators
+// hammering the same keys must serialize via the lock table, not abort
+// each other — the grace period before force-resolving a blocker keeps
+// recovery aimed at abandoned transactions only.
+func TestExecConcurrentConflictingTransactions(t *testing.T) {
+	g0, g1, groups := twoGroups()
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			co, _ := New(ids.ClientID(20+w), groups, evenOdd{}, nil)
+			for i := 0; i < 4; i++ {
+				if err := co.Exec([][]byte{
+					statemachine.EncodeAdd("hot1", 1), // group 1
+					statemachine.EncodeAdd("hot2", 1), // group 0
+				}); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	// Every increment applied exactly once on its owner shard: 2 workers
+	// × 4 transactions (Add upserts from zero inside a transaction).
+	for kv, key := range map[*kvGroup]string{g1: "hot1", g0: "hot2"} {
+		v, ok := kv.kv.Get(key)
+		if !ok || len(v) != 8 {
+			t.Fatalf("%s missing after concurrent transactions", key)
+		}
+		if n := binary.BigEndian.Uint64(v); n != 8 {
+			t.Fatalf("%s = %d, want 8", key, n)
+		}
+	}
+}
+
+// TestExecManyTransactionsDistinctIDs: transaction ids are minted from
+// the injected sequence source (the router wires the client timestamp
+// counter in), so a seeded source yields ids above the seed and no
+// reuse.
+func TestExecManyTransactionsDistinctIDs(t *testing.T) {
+	_, _, groups := twoGroups()
+	seq := uint64(1000)
+	co, _ := New(8, groups, evenOdd{}, func() uint64 { seq++; return seq })
+	seen := map[string]bool{}
+	for i := 0; i < 5; i++ {
+		tx, err := co.Begin([][]byte{statemachine.EncodePut(fmt.Sprintf("k%d", i), []byte("v"))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[tx.ID.String()] {
+			t.Fatalf("transaction id %v reused", tx.ID)
+		}
+		seen[tx.ID.String()] = true
+		if tx.ID.Seq <= 1000 {
+			t.Fatalf("seq %d not drawn from the seeded source", tx.ID.Seq)
+		}
+	}
+}
