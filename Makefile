@@ -24,13 +24,15 @@ race-client: ## race-detect the client/coordination layers (fast iteration gate)
 bench: ## regenerate the paper's figures/tables via the root benchmarks
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
-bench-json: ## machine-readable sweeps → BENCH_pipeline/shard/txn.json (CI artifacts)
+bench-json: ## machine-readable sweeps → BENCH_pipeline/shard/txn/readmix.json (CI artifacts)
 	$(GO) run ./cmd/seemore-bench -exp ablation-pipeline \
 		-measure 200ms -warmup 50ms -clients 1,8 -json BENCH_pipeline.json
 	$(GO) run ./cmd/seemore-bench -exp ablation-shard \
 		-measure 300ms -warmup 80ms -shards 1,2,4 -shard-clients 48 -json BENCH_shard.json
 	$(GO) run ./cmd/seemore-bench -exp ablation-txn \
 		-measure 300ms -warmup 80ms -shards 1,2,4 -shard-clients 32 -json BENCH_txn.json
+	$(GO) run ./cmd/seemore-bench -exp ablation-readmix \
+		-measure 300ms -warmup 80ms -shard-clients 48 -json BENCH_readmix.json
 
 fuzz: ## fuzz the untrusted-input decoders briefly (wire codec + KV state machine)
 	$(GO) test -run='^$$' -fuzz=FuzzDecode$$ -fuzztime=15s ./internal/message

@@ -19,6 +19,16 @@
 //
 //	seemore-client -shards 2 -peers ... -op txput -keys k1,k2 -values v1,v2
 //
+// Reads take a -consistency level: linearizable (the default) orders
+// the read through consensus; leased lets a leader with a valid lease
+// answer locally; stale reads any trusted replica's local state,
+// bounded by -max-staleness. Range scans stream merge-sorted pairs
+// across shards and page with -lo/-hi/-limit:
+//
+//	seemore-client ... -op get -key greeting -consistency leased
+//	seemore-client ... -op get -key greeting -consistency stale -max-staleness 100ms
+//	seemore-client -shards 2 -peers ... -op scan -lo user/ -hi user0 -limit 50
+//
 // Request timestamps are seeded from wall-clock nanoseconds, so a
 // restarted process reusing a -client id keeps getting replies from a
 // durable cluster (the replicated client table only executes strictly
@@ -27,6 +37,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -38,7 +49,6 @@ import (
 	"repro/internal/crypto"
 	"repro/internal/ids"
 	"repro/internal/shard"
-	"repro/internal/statemachine"
 	"repro/internal/transport"
 )
 
@@ -55,12 +65,17 @@ func main() {
 		seed     = flag.Int64("seed", 1, "shared key-derivation seed")
 		clients  = flag.Int64("clients", 64, "keyring client count (must match the servers)")
 		suiteFl  = flag.String("suite", "ed25519", "signature suite: ed25519, hmac, none")
-		op       = flag.String("op", "get", "operation: get, put, del, add, mget, txput")
+		op       = flag.String("op", "get", "operation: get, put, del, add, scan, mget, txput")
 		key      = flag.String("key", "", "key")
 		keys     = flag.String("keys", "", "comma-separated keys (mget, txput)")
 		value    = flag.String("value", "", "value (put)")
 		values   = flag.String("values", "", "comma-separated values (txput)")
 		delta    = flag.Int64("delta", 0, "delta (add)")
+		consist  = flag.String("consistency", "linearizable", "read consistency: linearizable, leased, stale (get, scan)")
+		maxStale = flag.Duration("max-staleness", 0, "freshness bound for stale reads (0: only this client's own monotonic floor)")
+		scanLo   = flag.String("lo", "", "scan range start, inclusive")
+		scanHi   = flag.String("hi", "", "scan range end, exclusive (empty: unbounded)")
+		scanN    = flag.Int("limit", 100, "max pairs per scan")
 		repeat   = flag.Int("n", 1, "repeat the operation n times")
 		retries  = flag.Int("max-retries", 0, "broadcast retransmissions per request (0: default)")
 		retryTmo = flag.Duration("retry-timeout", 0, "wait before the first retransmission (0: the protocol timer)")
@@ -179,41 +194,91 @@ func main() {
 		return
 	}
 
-	var encoded []byte
-	switch strings.ToLower(*op) {
-	case "get":
-		encoded = statemachine.EncodeGet(*key)
-	case "put":
-		encoded = statemachine.EncodePut(*key, []byte(*value))
-	case "del":
-		encoded = statemachine.EncodeDelete(*key)
-	case "add":
-		encoded = statemachine.EncodeAdd(*key, *delta)
-	default:
-		log.Fatalf("unknown op %q", *op)
+	ropts, err := parseReadOptions(*consist, *maxStale)
+	if err != nil {
+		log.Fatal(err)
 	}
-
+	kv := client.NewKV(router)
 	for i := 0; i < *repeat; i++ {
-		res, err := router.Invoke(encoded)
-		if err != nil {
-			log.Fatalf("invoke: %v", err)
-		}
-		status, payload := statemachine.DecodeResult(res)
-		switch status {
-		case statemachine.KVOK:
-			fmt.Printf("OK %q\n", payload)
-		case statemachine.KVNotFound:
-			fmt.Println("NOT FOUND")
-		case statemachine.KVLocked:
-			if holder, ok := statemachine.DecodeLockHolder(payload); ok {
-				fmt.Printf("LOCKED by %v — an in-flight or abandoned transaction holds this key; retry, or issue a txput touching it to trigger presumed-abort recovery\n", holder)
+		switch strings.ToLower(*op) {
+		case "get":
+			v, found, err := kv.Get(*key, ropts)
+			switch {
+			case err != nil:
+				reportKVError("get", err)
+			case found:
+				fmt.Printf("OK %q\n", v)
+			default:
+				fmt.Println("NOT FOUND")
+			}
+		case "put":
+			if err := kv.Put(*key, []byte(*value)); err != nil {
+				reportKVError("put", err)
 			} else {
-				fmt.Println("LOCKED")
+				fmt.Printf("OK %q\n", []byte(nil))
+			}
+		case "del":
+			found, err := kv.Delete(*key)
+			switch {
+			case err != nil:
+				reportKVError("del", err)
+			case found:
+				fmt.Printf("OK %q\n", []byte(nil))
+			default:
+				fmt.Println("NOT FOUND")
+			}
+		case "add":
+			sum, err := kv.Add(*key, *delta)
+			if err != nil {
+				reportKVError("add", err)
+			} else {
+				fmt.Printf("OK %d\n", sum)
+			}
+		case "scan":
+			pairs, more, err := kv.Scan(*scanLo, *scanHi, *scanN, ropts)
+			if err != nil {
+				log.Fatalf("scan: %v", err)
+			}
+			for _, p := range pairs {
+				fmt.Printf("%s: %q\n", p.Key, p.Value)
+			}
+			if more {
+				fmt.Printf("(more keys remain; resume with -lo %q)\n", pairs[len(pairs)-1].Key+"\x00")
+			} else {
+				fmt.Printf("(%d pairs, range exhausted)\n", len(pairs))
 			}
 		default:
-			fmt.Println("BAD OPERATION")
+			log.Fatalf("unknown op %q", *op)
 		}
 	}
+}
+
+// parseReadOptions maps the -consistency / -max-staleness flags onto
+// client.ReadOptions.
+func parseReadOptions(consistency string, maxStaleness time.Duration) (client.ReadOptions, error) {
+	var c client.Consistency
+	switch strings.ToLower(consistency) {
+	case "linearizable":
+		c = client.Linearizable
+	case "leased":
+		c = client.Leased
+	case "stale":
+		c = client.Stale
+	default:
+		return client.ReadOptions{}, fmt.Errorf("unknown consistency %q (want linearizable, leased or stale)", consistency)
+	}
+	return client.ReadOptions{Consistency: c, MaxStaleness: maxStaleness}, nil
+}
+
+// reportKVError renders a typed facade error, keeping the LOCKED hint
+// the hand-rolled decoder used to print.
+func reportKVError(op string, err error) {
+	var locked *client.LockedError
+	if errors.As(err, &locked) {
+		fmt.Printf("LOCKED by %v — an in-flight or abandoned transaction holds this key; retry, or issue a txput touching it to trigger presumed-abort recovery\n", locked.Holder)
+		return
+	}
+	log.Fatalf("%s: %v", op, err)
 }
 
 func parseMode(s string) (ids.Mode, error) {

@@ -48,6 +48,8 @@ func main() {
 		batch    = flag.Int("batch", 1, "max requests per consensus slot (1 disables batching)")
 		batchTmo = flag.Duration("batch-timeout", config.DefaultBatchTimeout, "partial-batch flush deadline")
 		pipeline = flag.Int("pipeline", 0, "max consensus slots the primary keeps in flight (0 disables pipelining)")
+		lease    = flag.Duration("lease", 0, "leader lease duration for local leased reads (0 disables; trusted modes only)")
+		leaseSkw = flag.Duration("lease-skew", 0, "assumed clock-skew bound backing the lease safety margin")
 		dataDir  = flag.String("data-dir", "", "durable storage directory (WAL + snapshots); empty runs fully in memory")
 		fsyncEv  = flag.Int("fsync-every", 1, "fsync the WAL every N appends (1: every append; >1 trades a bounded power-failure window for throughput)")
 		shards   = flag.Int("shards", 1, "total consensus groups in the sharded deployment this replica belongs to")
@@ -83,6 +85,10 @@ func main() {
 	cl.Pipelining = config.Pipelining{Depth: *pipeline}
 	if err := cl.Pipelining.Validate(); err != nil {
 		log.Fatalf("pipelining: %v", err)
+	}
+	cl.Leases = config.Leases{Duration: *lease, MaxClockSkew: *leaseSkw}
+	if err := cl.Leases.Validate(cl.Timing); err != nil {
+		log.Fatalf("leases: %v", err)
 	}
 
 	// Each consensus group of a sharded deployment is its own TCP

@@ -36,6 +36,10 @@ var ErrTimeout = errors.New("client: request timed out")
 // still execute — cancellation abandons the wait, not the operation.
 var ErrCanceled = errors.New("client: request canceled")
 
+// errEndpointClosed reports a client whose transport endpoint shut down
+// under it.
+var errEndpointClosed = errors.New("client: endpoint closed")
+
 // maxRetryWait caps a backoff-grown retransmit wait. Without it,
 // Backoff > 1 composed with the default 20-retry budget turns an
 // unreachable cluster into a wait of ClientRetry·2²⁰ — the cap keeps
@@ -72,6 +76,13 @@ type Client struct {
 
 	ts     uint64
 	seeded bool // ts started from config.Client.InitialTimestamp
+
+	// Fast-read freshness tracking (read.go): the monotonic floor every
+	// stale read must clear, the observation log backing MaxStaleness
+	// bounds, and the follower rotation cursor.
+	readFloor uint64
+	wmLog     []wmObs
+	staleRR   int
 }
 
 // New assembles a client from a policy with the default retry behavior
@@ -155,15 +166,17 @@ func (c *Client) InvokeCancel(op []byte, cancel <-chan struct{}) ([]byte, error)
 			return nil, fmt.Errorf("%w (client %d, ts %d)", ErrCanceled, c.id, c.ts)
 		case env, ok := <-c.ep.Inbox():
 			if !ok {
-				return nil, errors.New("client: endpoint closed")
+				return nil, errEndpointClosed
 			}
 			rep := c.validReply(env, c.ts)
 			if rep == nil {
 				continue
 			}
+			c.noteWatermark(rep.Watermark, time.Now())
 			replies[rep.From] = rep
 			if result, ok := c.policy.Done(replies, retried); ok {
 				c.policy.Observe(replies)
+				c.advanceFloor(replies, result)
 				return result, nil
 			}
 		case <-deadline.C:
@@ -185,6 +198,7 @@ func (c *Client) InvokeCancel(op []byte, cancel <-chan struct{}) ([]byte, error)
 			send(c.policy.All())
 			if result, ok := c.policy.Done(replies, retried); ok {
 				c.policy.Observe(replies)
+				c.advanceFloor(replies, result)
 				return result, nil
 			}
 			if c.backoff > 1 {
@@ -291,6 +305,20 @@ func (p *SeeMoRePolicy) Observe(replies map[ids.ReplicaID]*message.Message) {
 		}
 	}
 }
+
+// LeaseTarget implements ReadPolicy: in the trusted-primary modes the
+// primary is the lease holder; the Peacock primary is untrusted, so no
+// replica may serve a linearizable read on its own say-so.
+func (p *SeeMoRePolicy) LeaseTarget() (ids.ReplicaID, bool) {
+	if p.mode == ids.Peacock {
+		return 0, false
+	}
+	return p.mb.Primary(p.mode, p.view), true
+}
+
+// StaleTargets implements ReadPolicy: only a trusted (private-cloud)
+// replica's lone word on its executed prefix is worth anything.
+func (p *SeeMoRePolicy) StaleTargets() []ids.ReplicaID { return p.mb.Trusted() }
 
 // Mode returns the client's current belief of the cluster mode.
 func (p *SeeMoRePolicy) Mode() ids.Mode { return p.mode }

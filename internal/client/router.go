@@ -18,6 +18,21 @@ type Partitioner interface {
 	Owner(key string) ids.GroupID
 }
 
+// RangePartitioner is the optional capability a Partitioner implements
+// when it can prune which groups a key-range scan must visit. A
+// hash-range partitioner scatters every key range across all groups, so
+// its implementation returns everyone; a future range partitioner would
+// return only the owners of [lo, hi).
+type RangePartitioner interface {
+	RangeGroups(lo, hi string) []ids.GroupID
+}
+
+// ErrUnroutable reports an operation the router cannot map to an owner
+// group: no routing key is extractable from it. Malformed frames used
+// to fall through to group 0 silently, which hid client-side encoding
+// bugs behind a KVBadOp from an arbitrary shard.
+var ErrUnroutable = errors.New("client: operation has no routing key")
+
 // Router is the shard-aware client of a sharded deployment: one
 // underlying Client (with its own Policy tracking that group's mode,
 // view and primary) per consensus group. Single-key operations route to
@@ -34,8 +49,7 @@ type Router struct {
 // NewRouter assembles a router from per-group clients (index g serves
 // group g; every group must be covered). keyOf extracts the routing key
 // from an operation; nil uses the KV codec (statemachine.KVOpKey).
-// Operations without an extractable key go to group 0, so any opaque
-// workload still has the deterministic single-group semantics.
+// Operations without an extractable key fail with ErrUnroutable.
 func NewRouter(clients []*Client, part Partitioner, keyOf func(op []byte) (string, bool)) (*Router, error) {
 	if part == nil {
 		return nil, fmt.Errorf("client: router needs a partitioner")
@@ -57,20 +71,141 @@ func NewRouter(clients []*Client, part Partitioner, keyOf func(op []byte) (strin
 // Shards returns the number of groups the router spans.
 func (r *Router) Shards() int { return len(r.clients) }
 
-// OwnerOf returns the group an operation routes to.
-func (r *Router) OwnerOf(op []byte) ids.GroupID {
+// OwnerOf returns the group an operation routes to, or ErrUnroutable
+// when no key is extractable from it (a malformed op, or a range scan —
+// which addresses every group; use Scan).
+func (r *Router) OwnerOf(op []byte) (ids.GroupID, error) {
 	key, ok := r.keyOf(op)
 	if !ok {
-		return 0
+		return 0, fmt.Errorf("%w (op of %d bytes)", ErrUnroutable, len(op))
 	}
-	return r.part.Owner(key)
+	return r.part.Owner(key), nil
 }
 
 // Invoke routes one operation to its owner group and blocks for that
 // group's reply quorum, exactly as Client.Invoke does against an
 // unsharded cluster.
 func (r *Router) Invoke(op []byte) ([]byte, error) {
-	return r.clients[r.OwnerOf(op)].Invoke(op)
+	g, err := r.OwnerOf(op)
+	if err != nil {
+		return nil, err
+	}
+	return r.clients[g].Invoke(op)
+}
+
+// InvokeCancel is Invoke with an early-exit signal, completing the
+// Invoker surface (the 2PC coordinator cancels sibling legs through
+// it).
+func (r *Router) InvokeCancel(op []byte, cancel <-chan struct{}) ([]byte, error) {
+	g, err := r.OwnerOf(op)
+	if err != nil {
+		return nil, err
+	}
+	return r.clients[g].InvokeCancel(op, cancel)
+}
+
+// Read routes a single-key read to its owner group at the requested
+// consistency level (see Client.Read). Range scans have no single
+// owner; use Scan.
+func (r *Router) Read(op []byte, opts ReadOptions) ([]byte, error) {
+	g, err := r.OwnerOf(op)
+	if err != nil {
+		return nil, err
+	}
+	return r.clients[g].Read(op, opts)
+}
+
+// scanGroups returns the groups a scan of [lo, hi) must visit.
+func (r *Router) scanGroups(lo, hi string) []ids.GroupID {
+	if rp, ok := r.part.(RangePartitioner); ok {
+		return rp.RangeGroups(lo, hi)
+	}
+	out := make([]ids.GroupID, r.part.Shards())
+	for g := range out {
+		out[g] = ids.GroupID(g)
+	}
+	return out
+}
+
+// Scan merge-streams the key range [lo, hi) across every involved
+// group in ascending key order, up to limit pairs. Each group is read
+// in pages through its own continuation token, so an arbitrarily large
+// range never materializes anywhere at once; more reports that keys
+// remain past the last returned one (resume from its successor). The
+// consistency level applies per shard: a Stale merge is a union of
+// per-shard bounded-staleness snapshots, not one cross-shard cut.
+func (r *Router) Scan(lo, hi string, limit int, opts ReadOptions) (pairs []statemachine.ScanPair, more bool, err error) {
+	if limit <= 0 || limit > statemachine.MaxScanLimit {
+		limit = statemachine.MaxScanLimit
+	}
+	type shardStream struct {
+		g    ids.GroupID
+		buf  []statemachine.ScanPair
+		next string // resume key of the shard's following page
+		done bool   // shard exhausted (last page had no continuation)
+	}
+	// Per-shard page size: every group could in principle own the next
+	// `limit` smallest keys, but paging keeps refills cheap.
+	page := limit
+	if page > 256 {
+		page = 256
+	}
+	fill := func(s *shardStream) error {
+		res, err := r.clients[s.g].Read(statemachine.EncodeScan(s.next, hi, page), opts)
+		if err != nil {
+			return fmt.Errorf("client: scan on group %v: %w", s.g, err)
+		}
+		buf, pageMore, err := statemachine.DecodeScanResult(res)
+		if err != nil {
+			return fmt.Errorf("client: scan on group %v: %w", s.g, err)
+		}
+		s.buf = buf
+		if pageMore {
+			if len(buf) == 0 {
+				return fmt.Errorf("client: scan on group %v stalled with a continuation but no results", s.g)
+			}
+			s.next = buf[len(buf)-1].Key + "\x00"
+		} else {
+			s.done = true
+		}
+		return nil
+	}
+	streams := make([]*shardStream, 0, r.part.Shards())
+	for _, g := range r.scanGroups(lo, hi) {
+		s := &shardStream{g: g, next: lo}
+		if err := fill(s); err != nil {
+			return nil, false, err
+		}
+		streams = append(streams, s)
+	}
+	for len(pairs) < limit {
+		// Pick the stream holding the smallest next key.
+		var min *shardStream
+		for _, s := range streams {
+			if len(s.buf) == 0 {
+				continue
+			}
+			if min == nil || s.buf[0].Key < min.buf[0].Key {
+				min = s
+			}
+		}
+		if min == nil {
+			return pairs, false, nil // every shard exhausted
+		}
+		pairs = append(pairs, min.buf[0])
+		min.buf = min.buf[1:]
+		if len(min.buf) == 0 && !min.done {
+			if err := fill(min); err != nil {
+				return nil, false, err
+			}
+		}
+	}
+	for _, s := range streams {
+		if len(s.buf) > 0 || !s.done {
+			return pairs, true, nil
+		}
+	}
+	return pairs, false, nil
 }
 
 // MultiGet reads several keys in one call, fanning the GETs out across

@@ -77,8 +77,16 @@ func TestRouterRoutesByKey(t *testing.T) {
 	defer r.Close()
 
 	// key "x1" is odd → group 1; "x2" is even → group 0.
-	if g := r.OwnerOf(statemachine.EncodeGet("x1")); g != 1 {
-		t.Fatalf("OwnerOf(x1) = %v", g)
+	if g, err := r.OwnerOf(statemachine.EncodeGet("x1")); err != nil || g != 1 {
+		t.Fatalf("OwnerOf(x1) = %v, %v", g, err)
+	}
+	// A malformed op has no routing key — that is an explicit error, not
+	// a silent trip to group 0.
+	if _, err := r.OwnerOf([]byte{0xff, 0x01}); !errors.Is(err, ErrUnroutable) {
+		t.Fatalf("OwnerOf(malformed) = %v, want ErrUnroutable", err)
+	}
+	if _, err := r.Invoke([]byte{0xff, 0x01}); !errors.Is(err, ErrUnroutable) {
+		t.Fatalf("Invoke(malformed) = %v, want ErrUnroutable", err)
 	}
 	res, err := r.Invoke(statemachine.EncodePut("x1", []byte("v")))
 	if err != nil {

@@ -121,6 +121,10 @@ type Spec struct {
 	// Client tunes client-side retries for every client the harness
 	// builds; the zero value keeps the historical retry behavior.
 	Client config.Client
+	// Leases enables leader leases on SeeMoRe's trusted-primary modes so
+	// the primary serves Leased reads locally (see config.Leases). The
+	// zero value disables leases; baselines ignore the field.
+	Leases config.Leases
 }
 
 // Node is the uniform replica handle.
@@ -305,6 +309,7 @@ func (c *Cluster) buildNode(g ids.GroupID, id ids.ReplicaID) (Node, error) {
 		cl.Batching = c.Spec.Batching
 		cl.Pipelining = c.Spec.Pipelining
 		cl.Durability = c.Spec.Durability
+		cl.Leases = c.Spec.Leases
 		return core.NewReplica(core.Options{
 			ID: id, Cluster: cl, Suite: c.SuiteImpl, Network: c.groupNets[g],
 			StateMachine: sm, TickInterval: c.Spec.TickInterval,
@@ -463,6 +468,17 @@ func (c *Cluster) NewRouter(id ids.ClientID) (*client.Router, error) {
 	return client.NewRouter(clients, part, nil)
 }
 
+// NewInvoker builds the protocol-invocation handle matching the
+// deployment's shape: a plain Client for a single group, a Router for a
+// sharded one. Callers that only need the client.Invoker / Reader
+// surface use this instead of special-casing Shards.
+func (c *Cluster) NewInvoker(id ids.ClientID) (client.Invoker, error) {
+	if len(c.Groups) == 1 {
+		return c.NewClient(id), nil
+	}
+	return c.NewRouter(id)
+}
+
 // SeeMoReNode returns the typed SeeMoRe replica (panics for baselines);
 // the mode-switch example and the bench harness use it.
 func (c *Cluster) SeeMoReNode(id ids.ReplicaID) *core.Replica {
@@ -516,4 +532,38 @@ func (c *Cluster) HealNode(id ids.ReplicaID) {
 // HealNodeIn reconnects a partitioned replica of one shard.
 func (c *Cluster) HealNodeIn(g ids.GroupID, id ids.ReplicaID) {
 	c.Net.Heal(transport.GroupReplicaAddr(g, id))
+}
+
+// PartitionReplicaLinks cuts a group-0 replica off from its peer
+// replicas while leaving its client links up — the asymmetric partition
+// the lease-safety test needs: the severed node can still receive
+// client reads but can neither commit nor renew its lease, while the
+// rest of the group elects a new primary.
+func (c *Cluster) PartitionReplicaLinks(id ids.ReplicaID) {
+	c.PartitionReplicaLinksIn(0, id)
+}
+
+// PartitionReplicaLinksIn is PartitionReplicaLinks on one shard.
+func (c *Cluster) PartitionReplicaLinksIn(g ids.GroupID, id ids.ReplicaID) {
+	a := transport.GroupReplicaAddr(g, id)
+	for peer := ids.ReplicaID(0); int(peer) < c.N; peer++ {
+		if peer != id {
+			c.Net.Block(a, transport.GroupReplicaAddr(g, peer))
+		}
+	}
+}
+
+// HealReplicaLinks undoes PartitionReplicaLinks.
+func (c *Cluster) HealReplicaLinks(id ids.ReplicaID) {
+	c.HealReplicaLinksIn(0, id)
+}
+
+// HealReplicaLinksIn undoes PartitionReplicaLinksIn.
+func (c *Cluster) HealReplicaLinksIn(g ids.GroupID, id ids.ReplicaID) {
+	a := transport.GroupReplicaAddr(g, id)
+	for peer := ids.ReplicaID(0); int(peer) < c.N; peer++ {
+		if peer != id {
+			c.Net.Unblock(a, transport.GroupReplicaAddr(g, peer))
+		}
+	}
 }

@@ -217,8 +217,8 @@ func TestSingleShardSpecIsLegacy(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer r.Close()
-	if g := r.OwnerOf(statemachine.EncodePut("anything", []byte("v"))); g != 0 {
-		t.Fatalf("single-shard router routed to group %v", g)
+	if g, err := r.OwnerOf(statemachine.EncodePut("anything", []byte("v"))); err != nil || g != 0 {
+		t.Fatalf("single-shard router routed to group %v (err %v)", g, err)
 	}
 	putNVia(t, r, 0, 10)
 	verifyConvergence(t, c, nil)

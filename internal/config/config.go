@@ -251,6 +251,51 @@ func (p Pipelining) Validate() error {
 // Enabled reports whether the windowed pipeline is on.
 func (p Pipelining) Enabled() bool { return p.Depth >= 1 }
 
+// Leases configures leader leases for the trusted modes (Lion and
+// Dog). A primary whose latest quorum-acknowledged slot committed at
+// propose-time T holds the read lease until T + Duration on its own
+// clock; within the lease it serves linearizable reads locally, with no
+// slot allocated and no network round. The zero value disables leases
+// entirely — every read orders through consensus as before.
+//
+// Safety rests on a timing assumption the deployment must honor: the
+// lease (plus the worst-case clock skew between any replica pair) must
+// fit inside the view-change timer, because a backup starts suspecting
+// the primary no earlier than the propose time of the slot that armed
+// the lease — so no new view can activate while an old primary still
+// believes it holds a lease. Validate (via Cluster assembly and the
+// replica constructor) enforces Duration + MaxClockSkew ≤ ViewChange.
+type Leases struct {
+	// Duration is how long each quorum-acknowledged slot extends the
+	// primary's read lease, measured from the slot's propose time.
+	// Zero disables leases.
+	Duration time.Duration
+	// MaxClockSkew is the assumed bound on clock-rate divergence between
+	// any two replicas over one lease window; it shrinks nothing at the
+	// holder but widens the margin Validate demands from ViewChange.
+	MaxClockSkew time.Duration
+}
+
+// Enabled reports whether leader leases are on.
+func (l Leases) Enabled() bool { return l.Duration > 0 }
+
+// Validate checks the lease knob against the view-change timer that
+// anchors its safety argument.
+func (l Leases) Validate(t Timing) error {
+	if l.Duration < 0 {
+		return errors.New("config: negative lease Duration")
+	}
+	if l.MaxClockSkew < 0 {
+		return errors.New("config: negative lease MaxClockSkew")
+	}
+	if l.Enabled() && l.Duration+l.MaxClockSkew > t.ViewChange {
+		return fmt.Errorf(
+			"config: lease Duration %v + MaxClockSkew %v exceeds ViewChange timer %v (an expired-view primary could still think it holds a lease)",
+			l.Duration, l.MaxClockSkew, t.ViewChange)
+	}
+	return nil
+}
+
 // Durability configures the durable storage subsystem
 // (internal/storage): a write-ahead log plus checkpoint snapshots that
 // let a crashed replica recover its consensus state on restart. The
@@ -424,6 +469,9 @@ type Cluster struct {
 	// Durability configures the write-ahead log and snapshot store; the
 	// zero value keeps the legacy fully-in-memory replica.
 	Durability Durability
+	// Leases configures leader leases for local linearizable reads at
+	// trusted-mode primaries; the zero value orders every read.
+	Leases Leases
 }
 
 // NewCluster validates the pieces together: the membership must support

@@ -141,16 +141,31 @@ func (r *Replica) drainPendingStable() {
 // evidence of a stable checkpoint at least one full period ahead of its
 // own execution — the "bring slow replicas up to date" path.
 func (r *Replica) maybeRequestState() {
+	last := r.exec.LastExecuted()
 	behindBy := uint64(0)
 	for seq := range r.pendingStable {
-		if seq > r.exec.LastExecuted() && seq-r.exec.LastExecuted() > behindBy {
-			behindBy = seq - r.exec.LastExecuted()
+		if seq > last && seq-last > behindBy {
+			behindBy = seq - last
 		}
 	}
-	if behindBy < r.exec.Period() {
+	if behindBy == 0 {
 		return
 	}
 	now := time.Now()
+	if behindBy < r.exec.Period() {
+		// A sub-period gap normally closes by itself as in-flight commits
+		// execute. But an executor that sits still a whole view-change
+		// period with stable evidence ahead of it is wedged on a hole —
+		// slots that committed while it was partitioned or deposed — and
+		// only a transfer can unwedge it.
+		if last != r.stallExec {
+			r.stallExec, r.stallSince = last, now
+			return
+		}
+		if now.Sub(r.stallSince) < r.timing.ViewChange {
+			return
+		}
+	}
 	if now.Sub(r.stateRequested) < r.timing.ViewChange {
 		return // throttle
 	}

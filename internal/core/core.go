@@ -93,8 +93,19 @@ type Replica struct {
 	// NEW-VIEW processed, or view 0). Dog view changes report it.
 	activeView ids.View
 
-	// stateRequested throttles state-transfer requests.
+	// lastNewView retains the collector's signed NEW-VIEW so it can be
+	// re-sent to peers observed still operating in an older view — a
+	// deposed primary partitioned through the change would otherwise
+	// never learn the view moved on. nvResent throttles per peer.
+	lastNewView *message.Message
+	nvResent    map[ids.ReplicaID]time.Time
+
+	// stateRequested throttles state-transfer requests. stallExec and
+	// stallSince detect an executor that stopped advancing with stable
+	// checkpoint evidence ahead of it (see maybeRequestState).
 	stateRequested time.Time
+	stallExec      uint64
+	stallSince     time.Time
 
 	// queue buffers client requests that arrive while a view change is
 	// in progress on the primary.
@@ -112,6 +123,13 @@ type Replica struct {
 
 	// leanCommits strips µ from Lion commits (see Options.LeanCommits).
 	leanCommits bool
+
+	// leases is the leader-lease knob; lease holds the primary-side
+	// bookkeeping and parked buffers leased reads awaiting the executor
+	// watermark (see read.go).
+	leases config.Leases
+	lease  leaseState
+	parked []parkedRead
 
 	// probe observes protocol events (tests and the bench harness use it
 	// to watch commits and view changes). Atomic so SetProbe may be
@@ -156,6 +174,9 @@ func NewReplica(opts Options) (*Replica, error) {
 	if err := opts.Cluster.Pipelining.Validate(); err != nil {
 		return nil, err
 	}
+	if err := opts.Cluster.Leases.Validate(opts.Cluster.Timing); err != nil {
+		return nil, err
+	}
 	r := &Replica{
 		mb:            mb,
 		timing:        opts.Cluster.Timing,
@@ -169,6 +190,9 @@ func NewReplica(opts Options) (*Replica, error) {
 		pending:       replica.NewPending(),
 		pendingStable: make(map[uint64]*stableEvidence),
 		inFlight:      make(map[inFlightKey]uint64),
+		leases:        opts.Cluster.Leases,
+		lease:         leaseState{propose: make(map[uint64]time.Time)},
+		nvResent:      make(map[ids.ReplicaID]time.Time),
 	}
 	r.vc.reset()
 	r.jr = replica.NewJournal(opts.Storage)
@@ -260,6 +284,23 @@ func (r *Replica) trustedSelf() bool { return r.mb.IsTrusted(r.eng.ID()) }
 
 // HandleMessage implements replica.Handler: the single dispatch point.
 func (r *Replica) HandleMessage(m *message.Message) {
+	// Agreement traffic from an older view marks a peer that missed the
+	// NEW-VIEW multicast (partitioned through the change); hand it the
+	// stored, independently verifiable NEW-VIEW so it can rejoin.
+	switch m.Kind {
+	case message.KindPrepare, message.KindPrePrepare, message.KindAccept,
+		message.KindCommit, message.KindInform:
+		if m.View < r.view && r.mb.Contains(m.From) {
+			r.maybeResendNewView(m.From, m.View)
+		}
+	case message.KindViewChange:
+		// A VIEW-CHANGE whose sender last activated an older view marks
+		// the same laggard, suspecting its way through views the rest of
+		// the cluster already left behind.
+		if m.ActiveView < r.view && r.mb.Contains(m.From) {
+			r.maybeResendNewView(m.From, m.ActiveView)
+		}
+	}
 	switch m.Kind {
 	case message.KindRequest:
 		r.onRequest(m.Request)
@@ -285,6 +326,8 @@ func (r *Replica) HandleMessage(m *message.Message) {
 		r.onStateRequest(m)
 	case message.KindStateReply:
 		r.onStateReply(m)
+	case message.KindRead:
+		r.onRead(m)
 	}
 }
 
@@ -310,6 +353,10 @@ func (r *Replica) HandleTick(now time.Time) {
 	if r.status == statusNormal {
 		r.maybeRequestState()
 	}
+	// A parked leased read whose lease lapsed mid-wait must not starve:
+	// re-route it through consensus on the tick (no-op when nothing is
+	// parked or the executor is still behind a live lease's watermark).
+	r.drainParkedReads()
 	// Any single slot prepared-but-uncommitted past τ: suspect the
 	// primary and start a view change (Section 5.1, View Changes). The
 	// timers are per slot, so a stalled slot n is suspected on schedule
@@ -340,6 +387,12 @@ func (r *Replica) HandleTick(now time.Time) {
 			r.vc.deadline = time.Time{}
 			r.vc.target = 0
 			r.resetPending()
+			// Requests buffered while the abandoned suspicion ran must
+			// not stay stranded: re-propose them (primary) or drop them
+			// for the client's retransmission to recover (backup). The
+			// resulting proposals also tell peers in a newer view that
+			// this replica fell behind, triggering a NEW-VIEW resend.
+			r.drainQueue()
 		}
 	}
 }
@@ -375,6 +428,7 @@ func (r *Replica) executeReady() {
 		r.clearPending(relaySentinel)
 		r.maybeCheckpoint()
 		r.drainPendingStable()
+		r.drainParkedReads()
 	}
 	// Commits (including out-of-order ones that could not execute yet)
 	// free pipeline window room: refill it from the backlog.
@@ -414,6 +468,10 @@ func (r *Replica) sendReply(mode ids.Mode, view ids.View, req *message.Request, 
 		Timestamp: req.Timestamp,
 		Client:    req.Client,
 		Result:    result,
+		// Every reply advertises the executed prefix so clients can
+		// anchor the staleness bound and monotonicity of later
+		// coordination-free reads (read.go).
+		Watermark: r.exec.LastExecuted(),
 	}
 	r.eng.Sign(rep)
 	r.eng.SendClient(req.Client, rep)
@@ -537,6 +595,7 @@ func (r *Replica) proposeBatch(reqs []*message.Request) {
 	}
 	seq := r.nextSeq
 	r.nextSeq++
+	r.leaseRecordPropose(seq)
 
 	kind := message.KindPrepare
 	if r.mode == ids.Peacock {

@@ -189,6 +189,7 @@ func (r *Replica) dogOnInform(m *message.Message) {
 		entry.MarkCommitted()
 		r.jr.Commit(m.Seq, r.view, m.Digest, nil)
 		r.clearPending(m.Seq) // the Dog primary armed the timer when proposing
+		r.leaseRenew(m.Seq)   // ... and this is where it learns the quorum held
 		r.executeReady()      // passive nodes execute but never reply
 	}
 }

@@ -181,6 +181,7 @@ func (r *Replica) lionOnAccept(m *message.Message) {
 func (r *Replica) lionCommit(entry *mlog.Entry) {
 	entry.MarkCommitted()
 	r.clearPending(entry.Seq())
+	r.leaseRenew(entry.Seq())
 
 	prop := entry.Proposal()
 	commit := &message.Signed{

@@ -61,6 +61,7 @@ func (r *Replica) startViewChange(target ids.View, targetMode ids.Mode) {
 	r.vc.targetMode = targetMode
 	r.vc.deadline = time.Now().Add(2 * r.timing.ViewChange)
 	r.resetPending()
+	r.leaseInvalidate()
 
 	vcm := r.buildViewChange(target, targetMode)
 	r.recordViewChange(vcm)
@@ -497,6 +498,23 @@ func (r *Replica) selectDigest(oldMode ids.Mode, ev *slotEvidence) (crypto.Diges
 	return crypto.Digest{}, nil, false
 }
 
+// maybeResendNewView hands the retained NEW-VIEW to a peer observed
+// acting in an older view. The receiver re-validates everything
+// (collector identity, signature, checkpoint proof), so this is pure
+// liveness help; the per-peer throttle bounds the bandwidth a stale or
+// forged frame can trigger.
+func (r *Replica) maybeResendNewView(peer ids.ReplicaID, staleView ids.View) {
+	if r.lastNewView == nil || staleView >= r.lastNewView.View {
+		return
+	}
+	now := time.Now()
+	if now.Sub(r.nvResent[peer]) < r.timing.ViewChange {
+		return
+	}
+	r.nvResent[peer] = now
+	r.eng.Send(peer, r.lastNewView)
+}
+
 // onNewView validates a NEW-VIEW from the trusted collector and enters
 // the view.
 func (r *Replica) onNewView(m *message.Message) {
@@ -541,6 +559,10 @@ func (r *Replica) onNewView(m *message.Message) {
 // re-issued entries, answer them according to the new mode, and resume
 // normal operation.
 func (r *Replica) applyNewView(m *message.Message) {
+	// A lease armed in the old view dies with it, whoever the new
+	// primary is (re-issued slots must not extend it either).
+	r.leaseInvalidate()
+	r.lastNewView = m
 	r.view = m.View
 	r.mode = m.Mode
 	r.status = statusNormal

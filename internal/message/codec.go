@@ -299,6 +299,8 @@ func Marshal(m *Message) []byte {
 	e.i64(int64(m.Client))
 	e.digest(m.StateDigest)
 	e.u64(uint64(m.ActiveView))
+	e.u8(uint8(m.Consistency))
+	e.u64(m.Watermark)
 	e.signedSet(m.CheckpointProof)
 	e.signedSet(m.Prepares)
 	e.signedSet(m.Commits)
@@ -326,6 +328,8 @@ func Unmarshal(frame []byte) (*Message, error) {
 	m.Client = ids.ClientID(d.i64())
 	m.StateDigest = d.digest()
 	m.ActiveView = ids.View(d.u64())
+	m.Consistency = Consistency(d.u8())
+	m.Watermark = d.u64()
 	m.CheckpointProof = d.signedSet()
 	m.Prepares = d.signedSet()
 	m.Commits = d.signedSet()

@@ -48,6 +48,12 @@ const (
 	// KindStateReply carries a stable checkpoint's snapshot (in Result)
 	// together with its sequence number, state digest and proof.
 	KindStateReply
+	// KindRead is a client read that asks to bypass consensus ordering:
+	// a leased linearizable read served locally by a primary holding a
+	// quorum-acknowledged lease, or a bounded-staleness read served by
+	// any replica from its executed prefix. The envelope carries the
+	// read Request plus a Consistency level; replies stamp Watermark.
+	KindRead
 	kindSentinel // keep last
 )
 
@@ -66,6 +72,44 @@ var kindNames = [...]string{
 	KindModeChange:   "MODE-CHANGE",
 	KindStateRequest: "STATE-REQUEST",
 	KindStateReply:   "STATE-REPLY",
+	KindRead:         "READ",
+}
+
+// Consistency selects how a read is served. It rides on KindRead
+// requests and is echoed in their replies.
+type Consistency uint8
+
+const (
+	// ConsistencyLinearizable orders the read through consensus like any
+	// write — the default, and the only level baseline protocols serve.
+	ConsistencyLinearizable Consistency = iota
+	// ConsistencyLeased asks the trusted-mode primary to serve the read
+	// locally under a quorum-acknowledged leader lease, after waiting
+	// out its executor watermark. Still linearizable; a replica without
+	// a valid lease falls back to consensus ordering.
+	ConsistencyLeased
+	// ConsistencyStale lets any replica answer from its executed prefix
+	// with no coordination; the reply's Watermark lets the client
+	// enforce its staleness bound and its own read-your-writes floor.
+	ConsistencyStale
+	consistencySentinel // keep last
+)
+
+// Valid reports whether c is a defined consistency level.
+func (c Consistency) Valid() bool { return c < consistencySentinel }
+
+var consistencyNames = [...]string{
+	ConsistencyLinearizable: "linearizable",
+	ConsistencyLeased:       "leased",
+	ConsistencyStale:        "stale",
+}
+
+// String implements fmt.Stringer.
+func (c Consistency) String() string {
+	if c.Valid() {
+		return consistencyNames[c]
+	}
+	return fmt.Sprintf("Consistency(%d)", uint8(c))
 }
 
 // String implements fmt.Stringer.
@@ -263,6 +307,13 @@ type Message struct {
 	// in). Section 5.2 requires the new primary to collect view-change
 	// messages from the proxies of the last active view.
 	ActiveView ids.View
+	// Consistency is the requested read level on a READ and is echoed in
+	// the reply so clients can tell fast-path replies from ordered ones.
+	Consistency Consistency
+	// Watermark is the replying replica's last-executed sequence number,
+	// stamped on read replies. Clients use it to bound staleness and to
+	// keep their own reads monotonic.
+	Watermark uint64
 	// CheckpointProof is ξ, the checkpoint certificate carried by a
 	// VIEW-CHANGE: the signed CHECKPOINT message(s) proving stability.
 	CheckpointProof []Signed
@@ -298,6 +349,8 @@ func (m *Message) SignedBytes() []byte {
 	e.digest(m.StateDigest)
 	e.u64(uint64(m.ActiveView))
 	e.digest(crypto.Sum(m.Result))
+	e.u8(uint8(m.Consistency))
+	e.u64(m.Watermark)
 	e.digest(digestSigned(m.CheckpointProof))
 	e.digest(digestSigned(m.Prepares))
 	e.digest(digestSigned(m.Commits))
@@ -399,6 +452,13 @@ func (m *Message) Validate() error {
 		if m.From < 0 {
 			return fmt.Errorf("message: %s without sender", m.Kind)
 		}
+	case KindRead:
+		if m.Request == nil {
+			return fmt.Errorf("message: READ without request body")
+		}
+		if !m.Consistency.Valid() {
+			return fmt.Errorf("message: READ with invalid consistency %d", uint8(m.Consistency))
+		}
 	}
 	return nil
 }
@@ -412,6 +472,7 @@ func (m *Message) Equal(o *Message) bool {
 		m.Seq != o.Seq || m.Digest != o.Digest || m.Mode != o.Mode ||
 		m.Timestamp != o.Timestamp || m.Client != o.Client ||
 		m.StateDigest != o.StateDigest || m.ActiveView != o.ActiveView ||
+		m.Consistency != o.Consistency || m.Watermark != o.Watermark ||
 		string(m.Result) != string(o.Result) ||
 		string(m.Sig) != string(o.Sig) ||
 		!m.Request.Equal(o.Request) ||

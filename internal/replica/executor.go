@@ -112,6 +112,19 @@ func (x *Executor) applyOne(seq uint64, req *message.Request, onExec func(uint64
 	}
 }
 
+// Query serves a read-only operation against the current state,
+// outside consensus ordering — the serving path for leased and
+// bounded-staleness reads. ok is false when the state machine does not
+// support local queries (the capability below) or the op is not
+// read-only; callers must order such operations normally.
+func (x *Executor) Query(op []byte) ([]byte, bool) {
+	q, ok := x.sm.(interface{ Query([]byte) ([]byte, bool) })
+	if !ok {
+		return nil, false
+	}
+	return q.Query(op)
+}
+
 // Backlog counts the committed slots parked behind the first gap: slots
 // the pipeline committed out of order that cannot execute until the
 // missing sequence numbers commit too. The message log is the reorder

@@ -105,7 +105,7 @@ func (e *Engine) loop(h Handler) {
 			// the link-level sender. Client requests arrive from client
 			// addresses with From = -1.
 			if env.From.IsClient() {
-				if m.Kind != message.KindRequest {
+				if m.Kind != message.KindRequest && m.Kind != message.KindRead {
 					continue
 				}
 			} else if m.From != env.From.Replica() {

@@ -79,6 +79,18 @@ func (p *HashPartitioner) Owner(key string) ids.GroupID {
 	return ids.GroupID(hash64(key) / p.width)
 }
 
+// RangeGroups returns the groups a scan of the key range [lo, hi) must
+// visit. Hash-range ownership scatters every key range across the whole
+// hash space, so all groups are involved; a contiguous range
+// partitioner could prune this to the owners of the interval.
+func (p *HashPartitioner) RangeGroups(lo, hi string) []ids.GroupID {
+	out := make([]ids.GroupID, p.shards)
+	for g := range out {
+		out[g] = ids.GroupID(g)
+	}
+	return out
+}
+
 // RangeOf returns the half-open hash range [lo, hi) group g owns; hi =
 // 0 means the top of the hash space (the last group's range — and a
 // single group's whole-space range — is closed there, not at a wrapped

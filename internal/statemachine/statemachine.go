@@ -58,7 +58,13 @@ const (
 	kvOpTxAbort   // drop the buffered writes, release locks
 	kvOpTxDecide  // durably record the commit/abort decision (coordinator shard)
 	kvOpTxStatus  // query a transaction's fate (recovery path)
+	kvOpScan      // ordered iteration over a key range with a result cap
 )
+
+// MaxScanLimit caps how many pairs one Scan returns. A request asking
+// for more (or for 0, i.e. "no preference") is clamped here; the
+// continuation flag tells the caller to come back for the rest.
+const MaxScanLimit = 4096
 
 // KV result status bytes.
 const (
@@ -342,6 +348,118 @@ func EncodeAdd(key string, delta int64) []byte {
 	return encodeKV(kvOpAdd, key, buf[:])
 }
 
+// EncodeScan builds a SCAN operation over the half-open key range
+// [lo, hi), returning at most limit pairs in ascending key order. An
+// empty hi means "no upper bound"; limit <= 0 asks for the maximum.
+func EncodeScan(lo, hi string, limit int) []byte {
+	if limit < 0 {
+		limit = 0
+	}
+	out := make([]byte, 0, 1+4+len(lo)+4+len(hi)+4)
+	out = append(out, kvOpScan)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(lo)))
+	out = append(out, lo...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(hi)))
+	out = append(out, hi...)
+	out = binary.BigEndian.AppendUint32(out, uint32(limit))
+	return out
+}
+
+// DecodeScan splits a SCAN operation into its range and limit. It is
+// the inverse of EncodeScan; ok is false for anything else.
+func DecodeScan(op []byte) (lo, hi string, limit int, ok bool) {
+	if len(op) < 1 || op[0] != kvOpScan {
+		return "", "", 0, false
+	}
+	b := op[1:]
+	read := func() (string, bool) {
+		if len(b) < 4 {
+			return "", false
+		}
+		n := int(binary.BigEndian.Uint32(b))
+		b = b[4:]
+		if n < 0 || n > len(b) {
+			return "", false
+		}
+		s := string(b[:n])
+		b = b[n:]
+		return s, true
+	}
+	if lo, ok = read(); !ok {
+		return "", "", 0, false
+	}
+	if hi, ok = read(); !ok {
+		return "", "", 0, false
+	}
+	if len(b) != 4 {
+		return "", "", 0, false
+	}
+	return lo, hi, int(binary.BigEndian.Uint32(b)), true
+}
+
+// IsScan reports whether op is a well-formed SCAN. Scans address a key
+// range, not a single key, so the router fans them out instead of
+// routing by owner.
+func IsScan(op []byte) bool {
+	_, _, _, ok := DecodeScan(op)
+	return ok
+}
+
+// ScanPair is one key/value result of a Scan.
+type ScanPair struct {
+	Key   string
+	Value []byte
+}
+
+// DecodeScanResult parses a Scan result: the ordered pairs plus a
+// continuation flag — more=true means the range holds further keys past
+// the last returned one (the caller resumes from its successor).
+func DecodeScanResult(res []byte) (pairs []ScanPair, more bool, err error) {
+	status, b := DecodeResult(res)
+	if status != KVOK {
+		return nil, false, fmt.Errorf("statemachine: scan failed with status %d", status)
+	}
+	if len(b) < 4 {
+		return nil, false, errors.New("statemachine: truncated scan result")
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	if n < 0 || n > MaxScanLimit {
+		return nil, false, fmt.Errorf("statemachine: scan result count %d out of range", n)
+	}
+	// Hostile-input discipline: cap the allocation hint by what the
+	// payload could possibly hold (8 bytes of lengths per pair minimum).
+	hint := n
+	if max := len(b)/8 + 1; hint > max {
+		hint = max
+	}
+	pairs = make([]ScanPair, 0, hint)
+	for i := 0; i < n; i++ {
+		var p ScanPair
+		for j := 0; j < 2; j++ {
+			if len(b) < 4 {
+				return nil, false, errors.New("statemachine: truncated scan result")
+			}
+			l := int(binary.BigEndian.Uint32(b))
+			b = b[4:]
+			if l < 0 || l > len(b) {
+				return nil, false, errors.New("statemachine: truncated scan result")
+			}
+			if j == 0 {
+				p.Key = string(b[:l])
+			} else {
+				p.Value = append([]byte(nil), b[:l]...)
+			}
+			b = b[l:]
+		}
+		pairs = append(pairs, p)
+	}
+	if len(b) != 1 {
+		return nil, false, errors.New("statemachine: malformed scan result tail")
+	}
+	return pairs, b[0] != 0, nil
+}
+
 func encodeKV(op byte, key string, value []byte) []byte {
 	out := make([]byte, 0, 1+4+len(key)+4+len(value))
 	out = append(out, op)
@@ -406,6 +524,14 @@ func IsKVWrite(op []byte) bool {
 	}
 }
 
+// DecodeCounter parses the uint64 payload an Add result carries.
+func DecodeCounter(payload []byte) (uint64, error) {
+	if len(payload) != 8 {
+		return 0, fmt.Errorf("statemachine: counter payload of %d bytes", len(payload))
+	}
+	return binary.BigEndian.Uint64(payload), nil
+}
+
 // DecodeResult splits a KV result into status and payload.
 func DecodeResult(res []byte) (status byte, value []byte) {
 	if len(res) == 0 {
@@ -432,8 +558,84 @@ func (kv *KVStore) Apply(op []byte) []byte {
 		return kv.txDecide(op[1:])
 	case kvOpTxStatus:
 		return kv.txStatus(op[1:])
+	case kvOpScan:
+		return kv.scan(op)
 	}
 	return kv.applyKV(op, false)
+}
+
+// Query serves a read-only operation (Get or Scan) against committed
+// state without going through consensus — the serving path for leased
+// and bounded-staleness reads. ok is false for any op with a write (or
+// malformed) shape, which callers must order normally instead.
+func (kv *KVStore) Query(op []byte) (result []byte, ok bool) {
+	if !IsKVRead(op) {
+		return nil, false
+	}
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	if op[0] == kvOpScan {
+		return kv.scan(op), true
+	}
+	return kv.applyKV(op, false), true
+}
+
+// IsKVRead reports whether op is a well-formed read-only KV operation:
+// a Get or a Scan. Only these may bypass consensus ordering; everything
+// else (including malformed frames, whose KVBadOp answer is itself a
+// deterministic state-machine result) takes the ordered path.
+func IsKVRead(op []byte) bool {
+	if len(op) == 0 {
+		return false
+	}
+	switch op[0] {
+	case kvOpGet:
+		key, ok := KVOpKey(op)
+		return ok && len(op) == 5+len(key)
+	case kvOpScan:
+		return IsScan(op)
+	default:
+		return false
+	}
+}
+
+// scan executes a SCAN op: ascending key order over [lo, hi), clamped
+// to MaxScanLimit pairs, with a continuation flag when the range holds
+// more. Callers hold kv.mu (either mode — scan never mutates).
+func (kv *KVStore) scan(op []byte) []byte {
+	lo, hi, limit, ok := DecodeScan(op)
+	if !ok {
+		return []byte{KVBadOp}
+	}
+	if limit <= 0 || limit > MaxScanLimit {
+		limit = MaxScanLimit
+	}
+	keys := make([]string, 0, len(kv.data))
+	for k := range kv.data {
+		if k >= lo && (hi == "" || k < hi) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	more := len(keys) > limit
+	if more {
+		keys = keys[:limit]
+	}
+	out := []byte{KVOK}
+	out = binary.BigEndian.AppendUint32(out, uint32(len(keys)))
+	for _, k := range keys {
+		out = binary.BigEndian.AppendUint32(out, uint32(len(k)))
+		out = append(out, k...)
+		v := kv.data[k]
+		out = binary.BigEndian.AppendUint32(out, uint32(len(v)))
+		out = append(out, v...)
+	}
+	if more {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	return out
 }
 
 // applyKV executes one plain KV operation. inTx marks the commit-time
