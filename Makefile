@@ -5,7 +5,9 @@ GO      ?= go
 PKGS    ?= ./...
 COVER   ?= coverage.out
 
-.PHONY: all build test race race-client bench bench-json fuzz fmt fmt-check vet doclint cover clean help
+.PHONY: all build test race race-client bench bench-json fuzz sim-explore fmt fmt-check vet doclint cover clean help
+
+SIM_SEEDS ?= 200
 
 all: build test ## build everything, then run the tests
 
@@ -34,10 +36,14 @@ bench-json: ## machine-readable sweeps → BENCH_pipeline/shard/txn/readmix.json
 	$(GO) run ./cmd/seemore-bench -exp ablation-readmix \
 		-measure 300ms -warmup 80ms -shard-clients 48 -json BENCH_readmix.json
 
-fuzz: ## fuzz the untrusted-input decoders briefly (wire codec + KV state machine)
+fuzz: ## fuzz the untrusted-input decoders briefly (wire codec + KV state machine + linearizability checker)
 	$(GO) test -run='^$$' -fuzz=FuzzDecode$$ -fuzztime=15s ./internal/message
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeRequest -fuzztime=5s ./internal/message
 	$(GO) test -run='^$$' -fuzz=FuzzKVApply -fuzztime=10s ./internal/statemachine
+	$(GO) test -run='^$$' -fuzz=FuzzLinearizable -fuzztime=15s ./internal/sim
+
+sim-explore: ## sweep SIM_SEEDS deterministic-simulation seeds (failures print a one-line reproduction)
+	$(GO) test ./internal/sim -run TestSimSeed -sim.seeds $(SIM_SEEDS) -timeout 60m
 
 fmt: ## gofmt all source in place
 	gofmt -w .

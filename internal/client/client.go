@@ -281,13 +281,23 @@ func (p *SeeMoRePolicy) Done(replies map[ids.ReplicaID]*message.Message, retried
 // otherwise the (mode, view) pair must be echoed by m+1 public replies
 // so at least one correct replica vouches for it.
 func (p *SeeMoRePolicy) Observe(replies map[ids.ReplicaID]*message.Message) {
+	// Iterate trusted replies deterministically and adopt the freshest:
+	// map-iteration order must never decide which belief wins, or the
+	// deterministic simulation cannot reproduce client schedules.
+	var trusted *message.Message
 	for from, m := range replies {
 		if p.mb.IsTrusted(from) && m.Mode.Valid() {
-			if m.View > p.view || (m.View == p.view && m.Mode != p.mode) {
-				p.view, p.mode = m.View, m.Mode
+			if trusted == nil || m.View > trusted.View ||
+				(m.View == trusted.View && m.From < trusted.From) {
+				trusted = m
 			}
-			return
 		}
+	}
+	if trusted != nil {
+		if trusted.View > p.view || (trusted.View == p.view && trusted.Mode != p.mode) {
+			p.view, p.mode = trusted.View, trusted.Mode
+		}
+		return
 	}
 	type mv struct {
 		mode ids.Mode
@@ -299,10 +309,19 @@ func (p *SeeMoRePolicy) Observe(replies map[ids.ReplicaID]*message.Message) {
 			counts[mv{m.Mode, m.View}]++
 		}
 	}
+	// Among credible (mode, view) pairs, adopt the highest view (mode
+	// breaks the tie) rather than whichever the map yields last.
+	var best mv
+	found := false
 	for k, n := range counts {
 		if n >= p.mb.M()+1 && k.view >= p.view {
-			p.view, p.mode = k.view, k.mode
+			if !found || k.view > best.view || (k.view == best.view && k.mode > best.mode) {
+				best, found = k, true
+			}
 		}
+	}
+	if found {
+		p.view, p.mode = best.view, best.mode
 	}
 }
 

@@ -1,0 +1,128 @@
+// Package clock is the injectable time source behind every protocol
+// timer in this repository. Engines never call time.Now directly —
+// they read the Clock handed to them at construction — so a test
+// harness can substitute a virtual clock and drive batch-flush
+// deadlines, per-slot liveness timers, view-change deadlines, lease
+// validity and state-request throttles from a simulated schedule
+// instead of the host's wall clock. Production deployments pass nil
+// and get the real clock; the deterministic simulation (internal/sim)
+// passes a Virtual clock advanced by its event loop, optionally skewed
+// per replica with Offset (absolute disagreement) or Drift (rate
+// error) to model clock skew between nodes.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock yields the current time. Implementations must be safe for
+// concurrent use: engines read their clock from the engine goroutine
+// while harnesses advance or inspect it from outside.
+type Clock interface {
+	Now() time.Time
+}
+
+// Real reads the system clock.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// OrReal returns c, or the real clock when c is nil — the idiom every
+// constructor uses so a zero Options value keeps wall-clock behavior.
+func OrReal(c Clock) Clock {
+	if c == nil {
+		return Real{}
+	}
+	return c
+}
+
+// Epoch is the instant a fresh Virtual clock starts at. It is
+// deliberately non-zero: protocol code uses time.Time's zero value as
+// a "timer disarmed" sentinel (lease expiry, view-change deadlines),
+// and a clock that started there would make every disarmed timer look
+// armed-at-boot.
+var Epoch = time.Unix(0, 0).UTC()
+
+// Virtual is a manually advanced clock. It only moves forward, and
+// only when the owning scheduler tells it to — between advances, every
+// reader sees the same instant, which is what makes simulated
+// executions reproducible.
+type Virtual struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewVirtual builds a virtual clock standing at Epoch.
+func NewVirtual() *Virtual { return &Virtual{now: Epoch} }
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Set moves the clock to t. Attempts to move backwards are ignored:
+// the event loop may process several events scheduled at the same
+// instant, and time must not regress between them.
+func (v *Virtual) Set(t time.Time) {
+	v.mu.Lock()
+	if t.After(v.now) {
+		v.now = t
+	}
+	v.mu.Unlock()
+}
+
+// Advance moves the clock forward by d and returns the new time.
+func (v *Virtual) Advance(d time.Duration) time.Time {
+	v.mu.Lock()
+	v.now = v.now.Add(d)
+	t := v.now
+	v.mu.Unlock()
+	return t
+}
+
+// Offset derives a clock that runs a constant skew ahead of (positive
+// d) or behind (negative d) base. A constant offset shifts absolute
+// timestamps but cancels out of every duration measured on the same
+// clock, so it models disagreeing wall clocks, not timer drift.
+func Offset(base Clock, d time.Duration) Clock {
+	if d == 0 {
+		return base
+	}
+	return offsetClock{base: base, d: d}
+}
+
+type offsetClock struct {
+	base Clock
+	d    time.Duration
+}
+
+func (o offsetClock) Now() time.Time { return o.base.Now().Add(o.d) }
+
+// Drift derives a clock running at rate times the speed of base,
+// anchored so both clocks agree at the anchor instant. A rate below 1
+// is a slow clock: every real duration looks shorter to it, so its
+// timers — including a lease expiry — overrun in real time. That rate
+// error, not constant offset, is the clock-skew failure mode
+// config.Leases.MaxClockSkew budgets for, and the lease-safety
+// simulations inject it here.
+func Drift(base Clock, anchor time.Time, rate float64) Clock {
+	if rate == 1 {
+		return base
+	}
+	return driftClock{base: base, anchor: anchor, rate: rate}
+}
+
+type driftClock struct {
+	base   Clock
+	anchor time.Time
+	rate   float64
+}
+
+func (d driftClock) Now() time.Time {
+	elapsed := d.base.Now().Sub(d.anchor)
+	return d.anchor.Add(time.Duration(float64(elapsed) * d.rate))
+}

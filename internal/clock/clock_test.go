@@ -1,0 +1,47 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestVirtualAdvances(t *testing.T) {
+	v := NewVirtual()
+	if !v.Now().Equal(Epoch) {
+		t.Fatalf("fresh virtual clock at %v, want %v", v.Now(), Epoch)
+	}
+	v.Advance(time.Second)
+	if got := v.Now().Sub(Epoch); got != time.Second {
+		t.Fatalf("advanced %v, want 1s", got)
+	}
+	// Set never regresses.
+	v.Set(Epoch)
+	if got := v.Now().Sub(Epoch); got != time.Second {
+		t.Fatalf("Set moved the clock backwards to %v", got)
+	}
+	v.Set(Epoch.Add(3 * time.Second))
+	if got := v.Now().Sub(Epoch); got != 3*time.Second {
+		t.Fatalf("Set forward gave %v, want 3s", got)
+	}
+}
+
+func TestOffset(t *testing.T) {
+	v := NewVirtual()
+	skewed := Offset(v, time.Minute)
+	if got := skewed.Now().Sub(v.Now()); got != time.Minute {
+		t.Fatalf("offset %v, want 1m", got)
+	}
+	if Offset(v, 0) != Clock(v) {
+		t.Fatal("zero offset should return the base clock")
+	}
+}
+
+func TestOrReal(t *testing.T) {
+	if _, ok := OrReal(nil).(Real); !ok {
+		t.Fatal("OrReal(nil) is not the real clock")
+	}
+	v := NewVirtual()
+	if OrReal(v) != Clock(v) {
+		t.Fatal("OrReal(v) should pass v through")
+	}
+}

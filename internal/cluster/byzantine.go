@@ -27,6 +27,25 @@ const (
 	// corrupted-but-validly-signed vote to the other half: the classic
 	// split-vote attack.
 	BehaviorEquivocate
+	// BehaviorEquivocatePrimary is the equivocating-leader attack: when
+	// this node proposes a slot (PRE-PREPARE, or a Lion/Dog PREPARE), it
+	// sends the true proposal to half the peers and a conflicting one —
+	// same view and sequence number, but a µ∅ no-op payload with a
+	// matching recomputed digest and a fresh valid signature — to the
+	// other half. Honest quorum intersection must keep the two halves
+	// from both committing.
+	BehaviorEquivocatePrimary
+	// BehaviorReplayStale records every agreement vote this node sends
+	// and, after it observes a view change (its own outgoing view number
+	// rising), replays the recorded votes from the dead view alongside
+	// each new send. Honest replicas must discard votes stamped with a
+	// stale view instead of counting them toward current quorums.
+	BehaviorReplayStale
+	// BehaviorCorruptState flips bytes in outgoing STATE-REPLY snapshot
+	// payloads and re-signs the message, so the signature verifies and
+	// only the snapshot-digest-vs-checkpoint-certificate check can save
+	// the receiver from installing a forged state.
+	BehaviorCorruptState
 )
 
 // String implements fmt.Stringer.
@@ -40,6 +59,12 @@ func (b Behavior) String() string {
 		return "corrupt"
 	case BehaviorEquivocate:
 		return "equivocate"
+	case BehaviorEquivocatePrimary:
+		return "equivocate-primary"
+	case BehaviorReplayStale:
+		return "replay-stale"
+	case BehaviorCorruptState:
+		return "corrupt-state"
 	default:
 		return "unknown"
 	}
@@ -76,6 +101,14 @@ func wrapByzantine(inner transport.Network, suite crypto.Suite, behaviors map[id
 	return &byzNetwork{inner: inner, suite: suite, behaviors: behaviors}
 }
 
+// WrapByzantine installs the configured misbehaviours over an arbitrary
+// transport — the same wrapper New applies internally, exported for
+// harnesses (internal/sim) that build their own networks and nodes but
+// want the identical adversary.
+func WrapByzantine(inner transport.Network, suite crypto.Suite, behaviors map[ids.ReplicaID]Behavior) transport.Network {
+	return wrapByzantine(inner, suite, behaviors)
+}
+
 // Endpoint implements transport.Network.
 func (n *byzNetwork) Endpoint(a transport.Addr) transport.Endpoint {
 	ep := n.inner.Endpoint(a)
@@ -98,7 +131,16 @@ type byzEndpoint struct {
 	suite    crypto.Suite
 	self     ids.ReplicaID
 	sends    uint64
+
+	// Replay-stale state: votes recorded in the highest view seen so
+	// far, replayed once the view moves past them.
+	staleView  ids.View
+	staleVotes [][]byte
 }
+
+// maxStaleVotes bounds the replay buffer; an adversary with bounded
+// memory is also what keeps the attack's traffic bounded.
+const maxStaleVotes = 32
 
 // Send implements transport.Endpoint with the configured misbehaviour.
 func (e *byzEndpoint) Send(to transport.Addr, frame []byte) {
@@ -123,9 +165,99 @@ func (e *byzEndpoint) Send(to transport.Addr, frame []byte) {
 			}
 		}
 		e.Endpoint.Send(to, frame)
+	case BehaviorEquivocatePrimary:
+		// Split the peer set by destination parity so each half sees a
+		// self-consistent stream of (conflicting) proposals.
+		if !to.IsClient() && to.Replica()%2 == 1 {
+			if forged, ok := e.forgeProposal(frame); ok {
+				e.Endpoint.Send(to, forged)
+				return
+			}
+		}
+		e.Endpoint.Send(to, frame)
+	case BehaviorReplayStale:
+		e.replayStale(to, frame)
+		e.Endpoint.Send(to, frame)
+	case BehaviorCorruptState:
+		if mutated, ok := e.corruptState(frame); ok {
+			e.Endpoint.Send(to, mutated)
+			return
+		}
+		e.Endpoint.Send(to, frame)
 	default:
 		e.Endpoint.Send(to, frame)
 	}
+}
+
+// forgeProposal rewrites a proposal this node originated into a
+// conflicting proposal for the same slot: same kind, view and sequence
+// number, but a µ∅ no-op payload, the matching recomputed digest and a
+// fresh valid signature. Non-proposal frames pass through untouched.
+func (e *byzEndpoint) forgeProposal(frame []byte) ([]byte, bool) {
+	m, err := message.Unmarshal(frame)
+	if err != nil || m.From != e.self {
+		return nil, false
+	}
+	switch m.Kind {
+	case message.KindPrePrepare, message.KindPrepare:
+	default:
+		return nil, false
+	}
+	if m.Request == nil && len(m.Batch) == 0 {
+		return nil, false // digest-only relay, nothing to equivocate about
+	}
+	// µ∅ no-ops (Client < 0) carry no client signature and verify
+	// everywhere, so the forged proposal is structurally valid; stamping
+	// the slot's sequence number as the timestamp keeps distinct forged
+	// slots distinct.
+	noop := &message.Request{Client: -1, Timestamp: m.Seq}
+	m.Request = noop
+	m.Batch = nil
+	m.Digest = noop.Digest()
+	m.Sig = e.suite.Sign(crypto.ReplicaPrincipal(int(e.self)), m.SignedBytes())
+	return message.Marshal(m), true
+}
+
+// replayStale records outgoing agreement votes and, when this node's
+// own view number rises (it observed a view change), re-sends the votes
+// recorded in the dead view to the current destination. The replayed
+// frames are bit-exact originals — validly signed, just stamped with a
+// view that is no longer current.
+func (e *byzEndpoint) replayStale(to transport.Addr, frame []byte) {
+	m, err := message.Unmarshal(frame)
+	if err != nil || m.From != e.self || !isAgreementKind(m.Kind) {
+		return
+	}
+	switch {
+	case m.View > e.staleView:
+		// View moved: everything recorded below is now stale — replay it
+		// before adopting the new view as the recording target.
+		for _, old := range e.staleVotes {
+			e.Endpoint.Send(to, old)
+		}
+		e.staleView = m.View
+		e.staleVotes = e.staleVotes[:0]
+		fallthrough
+	case m.View == e.staleView:
+		if len(e.staleVotes) < maxStaleVotes {
+			e.staleVotes = append(e.staleVotes, frame)
+		}
+	}
+}
+
+// corruptState flips bytes in an outgoing STATE-REPLY snapshot payload
+// and re-signs the whole message, leaving the checkpoint certificate
+// intact: the signature verifies, so only the receiver's
+// snapshot-digest-vs-certificate check stands between it and installing
+// forged state.
+func (e *byzEndpoint) corruptState(frame []byte) ([]byte, bool) {
+	m, err := message.Unmarshal(frame)
+	if err != nil || m.Kind != message.KindStateReply || m.From != e.self || len(m.Result) == 0 {
+		return nil, false
+	}
+	m.Result[0] ^= 0xFF
+	m.Sig = e.suite.Sign(crypto.ReplicaPrincipal(int(e.self)), m.SignedBytes())
+	return message.Marshal(m), true
 }
 
 // corrupt rewrites an agreement message with a flipped digest and a

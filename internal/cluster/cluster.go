@@ -170,6 +170,12 @@ type Cluster struct {
 	stopped   bool
 }
 
+// Sizes computes the cluster size for the spec, following Section 6:
+// CFT and BFT tolerate f = c+m failures of their single class. The
+// simulation harness shares it so both build identically shaped
+// deployments.
+func (s *Spec) Sizes() (n int, err error) { return s.sizes() }
+
 // sizes computes the cluster size for the spec, following Section 6: CFT
 // and BFT tolerate f = c+m failures of their single class.
 func (s *Spec) sizes() (n int, err error) {

@@ -1,12 +1,11 @@
 package core
 
 import (
-	"time"
-
 	"repro/internal/crypto"
 	"repro/internal/ids"
 	"repro/internal/message"
 	"repro/internal/replica"
+	"sort"
 )
 
 // Checkpointing and state transfer (the State Transfer subsections of
@@ -127,13 +126,21 @@ func (r *Replica) markStableLocal(seq uint64, d crypto.Digest, proof []message.S
 }
 
 // drainPendingStable retries parked checkpoint evidence after execution
-// progressed.
+// progressed. Ready sequence numbers are drained in ascending order —
+// stabilization may send messages, and map-iteration order would make
+// the send schedule vary between otherwise identical runs.
 func (r *Replica) drainPendingStable() {
-	for seq, ev := range r.pendingStable {
+	var ready []uint64
+	for seq := range r.pendingStable {
 		if seq <= r.exec.LastExecuted() {
-			delete(r.pendingStable, seq)
-			r.stabilizeOrPend(seq, ev.digest, ev.proof)
+			ready = append(ready, seq)
 		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+	for _, seq := range ready {
+		ev := r.pendingStable[seq]
+		delete(r.pendingStable, seq)
+		r.stabilizeOrPend(seq, ev.digest, ev.proof)
 	}
 }
 
@@ -151,7 +158,7 @@ func (r *Replica) maybeRequestState() {
 	if behindBy == 0 {
 		return
 	}
-	now := time.Now()
+	now := r.clk.Now()
 	if behindBy < r.exec.Period() {
 		// A sub-period gap normally closes by itself as in-flight commits
 		// execute. But an executor that sits still a whole view-change

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/config"
 	"repro/internal/crypto"
 	"repro/internal/ids"
@@ -50,6 +51,18 @@ type Options struct {
 	// Stop flushes and closes it. Nil keeps the legacy fully-in-memory
 	// replica.
 	Storage storage.Store
+	// Clock is the time source for every protocol timer — batch flush
+	// deadlines, per-slot liveness timers, view-change deadlines, lease
+	// validity, state-request throttles. Nil uses the real clock; the
+	// deterministic simulation injects a virtual (optionally skewed)
+	// clock.
+	Clock clock.Clock
+	// LeaseSlackForTesting deliberately weakens lease safety by serving
+	// leased reads up to this long past the lease's true expiry. It
+	// exists ONLY to validate the simulation harness: the linearizability
+	// checker must catch the stale reads this bug produces. Production
+	// code must leave it zero.
+	LeaseSlackForTesting time.Duration
 }
 
 // Replica is one SeeMoRe node. All protocol state is confined to the
@@ -58,6 +71,7 @@ type Replica struct {
 	eng    *replica.Engine
 	mb     ids.Membership
 	timing config.Timing
+	clk    clock.Clock
 
 	mode   ids.Mode
 	view   ids.View
@@ -126,10 +140,12 @@ type Replica struct {
 
 	// leases is the leader-lease knob; lease holds the primary-side
 	// bookkeeping and parked buffers leased reads awaiting the executor
-	// watermark (see read.go).
-	leases config.Leases
-	lease  leaseState
-	parked []parkedRead
+	// watermark (see read.go). leaseSlack is the deliberate safety bug
+	// of Options.LeaseSlackForTesting.
+	leases     config.Leases
+	lease      leaseState
+	parked     []parkedRead
+	leaseSlack time.Duration
 
 	// probe observes protocol events (tests and the bench harness use it
 	// to watch commits and view changes). Atomic so SetProbe may be
@@ -177,12 +193,15 @@ func NewReplica(opts Options) (*Replica, error) {
 	if err := opts.Cluster.Leases.Validate(opts.Cluster.Timing); err != nil {
 		return nil, err
 	}
+	clk := clock.OrReal(opts.Clock)
 	r := &Replica{
 		mb:            mb,
 		timing:        opts.Cluster.Timing,
-		batcher:       replica.NewBatcher(opts.Cluster.Batching),
+		clk:           clk,
+		batcher:       replica.NewBatcher(opts.Cluster.Batching, clk),
 		pipe:          opts.Cluster.Pipelining,
 		leanCommits:   opts.LeanCommits,
+		leaseSlack:    opts.LeaseSlackForTesting,
 		mode:          opts.Cluster.InitialMode,
 		log:           mlog.New(opts.Cluster.Timing.HighWaterMarkLag),
 		exec:          replica.NewExecutor(opts.StateMachine, opts.Cluster.Timing.CheckpointPeriod),
@@ -204,6 +223,7 @@ func NewReplica(opts Options) (*Replica, error) {
 		// BatchTimeout or the flush deadline silently degrades to the
 		// tick interval.
 		TickInterval: r.batcher.TickInterval(opts.TickInterval),
+		Clock:        clk,
 	})
 	if opts.Storage != nil {
 		// Crash-restart recovery: replay the journal into the message
@@ -229,6 +249,16 @@ func (r *Replica) loadProbe() *Probe {
 
 // Start launches the replica.
 func (r *Replica) Start() { r.eng.Start(r) }
+
+// StepEnvelope synchronously feeds one inbound frame through the
+// engine's validation path on the caller's goroutine — the
+// deterministic simulation's delivery entry point. Never mix with
+// Start (see replica.Engine.StepEnvelope for the threading contract).
+func (r *Replica) StepEnvelope(env transport.Envelope) { r.eng.StepEnvelope(r, env) }
+
+// StepTick synchronously fires one tick at the given time; the
+// simulation drives every protocol timer through it.
+func (r *Replica) StepTick(now time.Time) { r.eng.StepTick(r, now) }
 
 // Stop terminates the replica, then flushes and closes the attached
 // durable store (if any).
@@ -399,7 +429,7 @@ func (r *Replica) HandleTick(now time.Time) {
 
 // markPending starts the per-slot liveness timer for a slot with an
 // accepted proposal.
-func (r *Replica) markPending(seq uint64) { r.pending.Mark(seq, time.Now()) }
+func (r *Replica) markPending(seq uint64) { r.pending.Mark(seq, r.clk.Now()) }
 
 // clearPending stops the timer for a committed slot. Other slots keep
 // their own timers — per-slot arming supersedes the old single restart-
@@ -433,7 +463,7 @@ func (r *Replica) executeReady() {
 	// Commits (including out-of-order ones that could not execute yet)
 	// free pipeline window room: refill it from the backlog.
 	r.drainBlocked()
-	r.pump(time.Now())
+	r.pump(r.clk.Now())
 }
 
 // relaySentinel is the pseudo-slot used to arm the suspicion timer when
@@ -526,7 +556,7 @@ func (r *Replica) admitRequest(req *message.Request) {
 			return // already ordered; the commit is in flight
 		}
 		r.batcher.Add(req)
-		r.pump(time.Now())
+		r.pump(r.clk.Now())
 		return
 	}
 	if !r.batcher.Enabled() {
@@ -674,7 +704,7 @@ func (r *Replica) drainQueue() {
 	if r.pipe.Enabled() {
 		// The re-admitted backlog refills the whole in-flight window;
 		// the rest stays buffered and follows as slots commit.
-		r.pump(time.Now())
+		r.pump(r.clk.Now())
 		return
 	}
 	r.proposeBatch(r.batcher.Take())

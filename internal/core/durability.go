@@ -2,8 +2,6 @@ package core
 
 import (
 	"fmt"
-	"time"
-
 	"repro/internal/ids"
 	"repro/internal/message"
 	"repro/internal/replica"
@@ -54,7 +52,7 @@ func (r *Replica) recoverFromStorage() error {
 // maybeRequestState. The throttle timestamp still advances so the
 // heuristic does not immediately fire again.
 func (r *Replica) requestStateNow() {
-	r.stateRequested = time.Now()
+	r.stateRequested = r.clk.Now()
 	req := &message.Message{Kind: message.KindStateRequest, Seq: r.exec.LastExecuted()}
 	r.eng.Sign(req)
 	switch r.mode {

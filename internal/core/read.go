@@ -65,7 +65,7 @@ func (r *Replica) leaseRecordPropose(seq uint64) {
 	if !r.leaseEnabled() || !r.isPrimary() {
 		return
 	}
-	r.lease.propose[seq] = time.Now()
+	r.lease.propose[seq] = r.clk.Now()
 }
 
 // leaseRenew extends the lease when a slot this primary proposed
@@ -88,10 +88,12 @@ func (r *Replica) leaseRenew(seq uint64) {
 }
 
 // leaseValid reports whether this replica may serve a linearizable read
-// locally right now.
+// locally right now. leaseSlack is zero in production; the simulation
+// harness sets it to deliberately serve past expiry and prove the
+// linearizability checker catches the resulting stale reads.
 func (r *Replica) leaseValid(now time.Time) bool {
 	return r.leaseEnabled() && r.status == statusNormal && r.isPrimary() &&
-		now.Before(r.lease.expiry)
+		now.Before(r.lease.expiry.Add(r.leaseSlack))
 }
 
 // leaseInvalidate drops the lease and every propose record (view or
@@ -124,8 +126,17 @@ func (r *Replica) onRead(m *message.Message) {
 	case message.ConsistencyStale:
 		r.serveRead(req, message.ConsistencyStale)
 	case message.ConsistencyLeased:
-		if !r.leaseValid(time.Now()) {
+		if !r.leaseValid(r.clk.Now()) {
 			r.onRequest(req)
+			return
+		}
+		if r.leaseSlack > 0 {
+			// Injected-bug mode (simulation only): a primary with this
+			// bug answers from whatever state it has right now, past the
+			// true expiry and without the write fence below. The
+			// linearizability checker must catch the stale reads this
+			// produces.
+			r.serveRead(req, message.ConsistencyLeased)
 			return
 		}
 		// The linearization fence: every write this primary admitted
@@ -175,7 +186,7 @@ func (r *Replica) drainParkedReads() {
 		return
 	}
 	watermark := r.exec.LastExecuted()
-	now := time.Now()
+	now := r.clk.Now()
 	keep := r.parked[:0]
 	for _, p := range r.parked {
 		switch {

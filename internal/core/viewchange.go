@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+	"sort"
 	"time"
 
 	"repro/internal/crypto"
@@ -59,7 +61,7 @@ func (r *Replica) startViewChange(target ids.View, targetMode ids.Mode) {
 	r.status = statusViewChange
 	r.vc.target = target
 	r.vc.targetMode = targetMode
-	r.vc.deadline = time.Now().Add(2 * r.timing.ViewChange)
+	r.vc.deadline = r.clk.Now().Add(2 * r.timing.ViewChange)
 	r.resetPending()
 	r.leaseInvalidate()
 
@@ -188,6 +190,7 @@ func (r *Replica) viewChangeQuorumVotes(target ids.View) []*message.Message {
 			if own, ok := votes[r.eng.ID()]; ok {
 				out = append(out, own)
 			}
+			sortVotes(out)
 			return out
 		}
 		return nil
@@ -208,12 +211,21 @@ func (r *Replica) viewChangeQuorumVotes(target ids.View) []*message.Message {
 			}
 		}
 		if len(out) >= r.mb.ViewChangeQuorum(r.mode) {
+			sortVotes(out)
 			return out
 		}
 		return nil
 	default:
 		return nil
 	}
+}
+
+// sortVotes orders a view-change quorum by sender. Harvesting the
+// quorum is order-sensitive (a prepare vote only attaches to an
+// already-seen proposal), so map-iteration order here would leak into
+// the NEW-VIEW's bytes and break reproducible simulation runs.
+func sortVotes(out []*message.Message) {
+	sort.Slice(out, func(i, j int) bool { return out[i].From < out[j].From })
 }
 
 // tryAssembleNewView builds and multicasts the NEW-VIEW once the quorum
@@ -457,13 +469,29 @@ func (r *Replica) selectDigest(oldMode ids.Mode, ev *slotEvidence) (crypto.Diges
 			return ev.committedD, c.requests, true
 		}
 	}
+	// Ties between candidates (same view, different digests — possible
+	// only under Byzantine double-voting) break on digest bytes so the
+	// selection never depends on map-iteration order.
+	better := func(cv ids.View, cd crypto.Digest, bv ids.View, bd crypto.Digest) bool {
+		if cv != bv {
+			return cv > bv
+		}
+		return bytes.Compare(cd[:], bd[:]) < 0
+	}
 	// Step 2: enough matching prepares to prove a quorum accepted.
 	switch oldMode {
 	case ids.Lion:
+		var bestD crypto.Digest
+		var best *candidate
 		for d, c := range ev.candidates {
 			if len(c.reporters) >= r.mb.AgreementQuorum(ids.Lion) && len(c.requests) > 0 {
-				return d, c.requests, true
+				if best == nil || better(c.view, d, best.view, bestD) {
+					best, bestD = c, d
+				}
 			}
+		}
+		if best != nil {
+			return bestD, best.requests, true
 		}
 	case ids.Peacock:
 		// A prepared certificate: pre-prepare + 2m prepare votes. Among
@@ -472,7 +500,7 @@ func (r *Replica) selectDigest(oldMode ids.Mode, ev *slotEvidence) (crypto.Diges
 		var best *candidate
 		for d, c := range ev.candidates {
 			if len(c.prepareVoters) >= 2*r.mb.M() && len(c.requests) > 0 {
-				if best == nil || c.view > best.view {
+				if best == nil || better(c.view, d, best.view, bestD) {
 					best, bestD = c, d
 				}
 			}
@@ -488,7 +516,7 @@ func (r *Replica) selectDigest(oldMode ids.Mode, ev *slotEvidence) (crypto.Diges
 		if len(c.requests) == 0 {
 			continue
 		}
-		if best == nil || c.view > best.view {
+		if best == nil || better(c.view, d, best.view, bestD) {
 			best, bestD = c, d
 		}
 	}
@@ -507,7 +535,7 @@ func (r *Replica) maybeResendNewView(peer ids.ReplicaID, staleView ids.View) {
 	if r.lastNewView == nil || staleView >= r.lastNewView.View {
 		return
 	}
-	now := time.Now()
+	now := r.clk.Now()
 	if now.Sub(r.nvResent[peer]) < r.timing.ViewChange {
 		return
 	}

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/config"
 	"repro/internal/crypto"
 	"repro/internal/ids"
@@ -63,6 +64,9 @@ type Options struct {
 	// replica journals its state, recovers from the store during
 	// construction, and takes ownership (Stop closes it).
 	Storage storage.Store
+	// Clock is the time source for every protocol timer; nil uses the
+	// real clock (the deterministic simulation injects a virtual one).
+	Clock clock.Clock
 }
 
 // Replica is one Paxos node.
@@ -70,6 +74,7 @@ type Replica struct {
 	eng    *replica.Engine
 	n      int
 	timing config.Timing
+	clk    clock.Clock
 
 	view   ids.View
 	status status
@@ -140,10 +145,12 @@ func NewReplica(opts Options) (*Replica, error) {
 	if err := opts.Pipelining.Validate(); err != nil {
 		return nil, err
 	}
+	clk := clock.OrReal(opts.Clock)
 	r := &Replica{
 		n:             opts.N,
 		timing:        opts.Timing,
-		batcher:       replica.NewBatcher(opts.Batching),
+		clk:           clk,
+		batcher:       replica.NewBatcher(opts.Batching, clk),
 		pipe:          opts.Pipelining,
 		log:           mlog.New(opts.Timing.HighWaterMarkLag),
 		exec:          replica.NewExecutor(opts.StateMachine, opts.Timing.CheckpointPeriod),
@@ -159,6 +166,7 @@ func NewReplica(opts Options) (*Replica, error) {
 		Suite:        opts.Suite,
 		Endpoint:     opts.Network.Endpoint(transport.ReplicaAddr(opts.ID)),
 		TickInterval: r.batcher.TickInterval(opts.TickInterval),
+		Clock:        clk,
 	})
 	if opts.Storage != nil {
 		if err := r.recoverFromStorage(); err != nil {
@@ -198,6 +206,16 @@ func (r *Replica) loadProbe() *Probe {
 
 // Start launches the replica.
 func (r *Replica) Start() { r.eng.Start(r) }
+
+// StepEnvelope synchronously feeds one inbound frame through the
+// engine's validation path on the caller's goroutine — the
+// deterministic simulation's delivery entry point. Never mix with
+// Start (see replica.Engine.StepEnvelope for the threading contract).
+func (r *Replica) StepEnvelope(env transport.Envelope) { r.eng.StepEnvelope(r, env) }
+
+// StepTick synchronously fires one tick at the given time; the
+// simulation drives every protocol timer through it.
+func (r *Replica) StepTick(now time.Time) { r.eng.StepTick(r, now) }
 
 // Stop terminates the replica, then flushes and closes the attached
 // durable store (if any).
@@ -274,7 +292,7 @@ func (r *Replica) HandleTick(now time.Time) {
 	}
 }
 
-func (r *Replica) markPending(seq uint64) { r.pending.Mark(seq, time.Now()) }
+func (r *Replica) markPending(seq uint64) { r.pending.Mark(seq, r.clk.Now()) }
 
 func (r *Replica) clearPending(seq uint64) { r.pending.Clear(seq) }
 
@@ -299,7 +317,7 @@ func (r *Replica) executeReady() {
 	}
 	// Commits free pipeline window room: refill it from the backlog.
 	r.drainBlocked()
-	r.pump(time.Now())
+	r.pump(r.clk.Now())
 }
 
 func (r *Replica) sendReply(view ids.View, req *message.Request, result []byte) {
@@ -349,7 +367,7 @@ func (r *Replica) admitRequest(req *message.Request) {
 			return
 		}
 		r.batcher.Add(req)
-		r.pump(time.Now())
+		r.pump(r.clk.Now())
 		return
 	}
 	if !r.batcher.Enabled() {
@@ -564,7 +582,7 @@ func (r *Replica) drainQueue() {
 		}
 	}
 	if r.pipe.Enabled() {
-		r.pump(time.Now())
+		r.pump(r.clk.Now())
 		return
 	}
 	r.proposeBatch(r.batcher.Take())

@@ -1,6 +1,7 @@
 package paxos
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/crypto"
@@ -64,12 +65,21 @@ func (r *Replica) stabilizeOrPend(seq uint64, d crypto.Digest, proof []message.S
 	}
 }
 
+// drainPendingStable retries parked checkpoint evidence after execution
+// progressed, in ascending sequence order so the send schedule does not
+// depend on map-iteration order (determinism under simulation).
 func (r *Replica) drainPendingStable() {
-	for seq, ev := range r.pendingStable {
+	var ready []uint64
+	for seq := range r.pendingStable {
 		if seq <= r.exec.LastExecuted() {
-			delete(r.pendingStable, seq)
-			r.stabilizeOrPend(seq, ev.digest, ev.proof)
+			ready = append(ready, seq)
 		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+	for _, seq := range ready {
+		ev := r.pendingStable[seq]
+		delete(r.pendingStable, seq)
+		r.stabilizeOrPend(seq, ev.digest, ev.proof)
 	}
 }
 
@@ -83,7 +93,7 @@ func (r *Replica) maybeRequestState() {
 	if behind < r.exec.Period() {
 		return
 	}
-	now := time.Now()
+	now := r.clk.Now()
 	if now.Sub(r.stateRequested) < r.timing.ViewChange {
 		return
 	}
@@ -153,7 +163,7 @@ func (r *Replica) startViewChange(target ids.View) {
 	}
 	r.status = statusViewChange
 	r.vcTarget = target
-	r.vcDeadline = time.Now().Add(2 * r.timing.ViewChange)
+	r.vcDeadline = r.clk.Now().Add(2 * r.timing.ViewChange)
 	r.resetPending()
 
 	vcm := &message.Message{

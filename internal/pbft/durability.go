@@ -2,7 +2,6 @@ package pbft
 
 import (
 	"fmt"
-	"time"
 
 	"repro/internal/message"
 	"repro/internal/replica"
@@ -36,7 +35,7 @@ func (r *Replica) recoverFromStorage() error {
 // requestStateNow broadcasts a STATE-REQUEST immediately (restart
 // catch-up), bypassing the lag heuristic of maybeRequestState.
 func (r *Replica) requestStateNow() {
-	r.stateRequested = time.Now()
+	r.stateRequested = r.clk.Now()
 	req := &message.Message{Kind: message.KindStateRequest, Seq: r.exec.LastExecuted()}
 	r.eng.Sign(req)
 	r.eng.Multicast(r.all(), req)

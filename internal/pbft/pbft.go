@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/config"
 	"repro/internal/crypto"
 	"repro/internal/ids"
@@ -67,6 +68,9 @@ type Options struct {
 	// replica journals its state, recovers from the store during
 	// construction, and takes ownership (Stop closes it).
 	Storage storage.Store
+	// Clock is the time source for every protocol timer; nil uses the
+	// real clock (the deterministic simulation injects a virtual one).
+	Clock clock.Clock
 }
 
 // Replica is one PBFT (or S-UpRight) node.
@@ -76,6 +80,7 @@ type Replica struct {
 	byz    int
 	crash  int
 	timing config.Timing
+	clk    clock.Clock
 
 	view   ids.View
 	status status
@@ -155,12 +160,14 @@ func NewReplica(opts Options) (*Replica, error) {
 	if err := opts.Pipelining.Validate(); err != nil {
 		return nil, err
 	}
+	clk := clock.OrReal(opts.Clock)
 	r := &Replica{
 		n:             opts.N,
 		byz:           opts.Byz,
 		crash:         opts.Crash,
 		timing:        opts.Timing,
-		batcher:       replica.NewBatcher(opts.Batching),
+		clk:           clk,
+		batcher:       replica.NewBatcher(opts.Batching, clk),
 		pipe:          opts.Pipelining,
 		log:           mlog.New(opts.Timing.HighWaterMarkLag),
 		exec:          replica.NewExecutor(opts.StateMachine, opts.Timing.CheckpointPeriod),
@@ -176,6 +183,7 @@ func NewReplica(opts Options) (*Replica, error) {
 		Suite:        opts.Suite,
 		Endpoint:     opts.Network.Endpoint(transport.ReplicaAddr(opts.ID)),
 		TickInterval: r.batcher.TickInterval(opts.TickInterval),
+		Clock:        clk,
 	})
 	if opts.Storage != nil {
 		if err := r.recoverFromStorage(); err != nil {
@@ -219,6 +227,16 @@ func (r *Replica) loadProbe() *Probe {
 
 // Start launches the replica.
 func (r *Replica) Start() { r.eng.Start(r) }
+
+// StepEnvelope synchronously feeds one inbound frame through the
+// engine's validation path on the caller's goroutine — the
+// deterministic simulation's delivery entry point. Never mix with
+// Start (see replica.Engine.StepEnvelope for the threading contract).
+func (r *Replica) StepEnvelope(env transport.Envelope) { r.eng.StepEnvelope(r, env) }
+
+// StepTick synchronously fires one tick at the given time; the
+// simulation drives every protocol timer through it.
+func (r *Replica) StepTick(now time.Time) { r.eng.StepTick(r, now) }
 
 // Stop terminates the replica, then flushes and closes the attached
 // durable store (if any).
@@ -308,7 +326,7 @@ func (r *Replica) HandleTick(now time.Time) {
 	}
 }
 
-func (r *Replica) markPending(seq uint64) { r.pending.Mark(seq, time.Now()) }
+func (r *Replica) markPending(seq uint64) { r.pending.Mark(seq, r.clk.Now()) }
 
 func (r *Replica) clearPending(seq uint64) { r.pending.Clear(seq) }
 
@@ -334,7 +352,7 @@ func (r *Replica) executeReady() {
 	}
 	// Commits free pipeline window room: refill it from the backlog.
 	r.drainBlocked()
-	r.pump(time.Now())
+	r.pump(r.clk.Now())
 }
 
 func (r *Replica) sendReply(view ids.View, req *message.Request, result []byte) {
@@ -383,7 +401,7 @@ func (r *Replica) admitRequest(req *message.Request) {
 			return
 		}
 		r.batcher.Add(req)
-		r.pump(time.Now())
+		r.pump(r.clk.Now())
 		return
 	}
 	if !r.batcher.Enabled() {

@@ -1,6 +1,8 @@
 package pbft
 
 import (
+	"bytes"
+	"sort"
 	"time"
 
 	"repro/internal/crypto"
@@ -72,12 +74,21 @@ func (r *Replica) stabilizeOrPend(seq uint64, d crypto.Digest, proof []message.S
 	}
 }
 
+// drainPendingStable retries parked checkpoint evidence after execution
+// progressed, in ascending sequence order so the send schedule does not
+// depend on map-iteration order (determinism under simulation).
 func (r *Replica) drainPendingStable() {
-	for seq, ev := range r.pendingStable {
+	var ready []uint64
+	for seq := range r.pendingStable {
 		if seq <= r.exec.LastExecuted() {
-			delete(r.pendingStable, seq)
-			r.stabilizeOrPend(seq, ev.digest, ev.proof)
+			ready = append(ready, seq)
 		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+	for _, seq := range ready {
+		ev := r.pendingStable[seq]
+		delete(r.pendingStable, seq)
+		r.stabilizeOrPend(seq, ev.digest, ev.proof)
 	}
 }
 
@@ -91,7 +102,7 @@ func (r *Replica) maybeRequestState() {
 	if behind < r.exec.Period() {
 		return
 	}
-	now := time.Now()
+	now := r.clk.Now()
 	if now.Sub(r.stateRequested) < r.timing.ViewChange {
 		return
 	}
@@ -184,7 +195,7 @@ func (r *Replica) startViewChange(target ids.View) {
 	}
 	r.status = statusViewChange
 	r.vcTarget = target
-	r.vcDeadline = time.Now().Add(2 * r.timing.ViewChange)
+	r.vcDeadline = r.clk.Now().Add(2 * r.timing.ViewChange)
 	r.resetPending()
 
 	vcm := &message.Message{
@@ -356,9 +367,12 @@ func (r *Replica) tryAssembleNewView(target ids.View) {
 		var chosenD crypto.Digest
 		for d, c := range slots[seq] {
 			// Prepared: pre-prepare plus Quorum-1 prepare votes (the
-			// pre-prepare stands in for the primary's vote).
+			// pre-prepare stands in for the primary's vote). View ties
+			// (Byzantine double-votes) break on digest bytes so the
+			// choice never depends on map-iteration order.
 			if len(c.voters) >= r.Quorum()-1 {
-				if chosen == nil || c.view > chosen.view {
+				if chosen == nil || c.view > chosen.view ||
+					(c.view == chosen.view && bytes.Compare(d[:], chosenD[:]) < 0) {
 					chosen, chosenD = c, d
 				}
 			}
@@ -479,7 +493,7 @@ func (r *Replica) applyNewView(m *message.Message) {
 			}
 		}
 		if r.pipe.Enabled() {
-			r.pump(time.Now())
+			r.pump(r.clk.Now())
 		} else {
 			r.proposeBatch(r.batcher.Take())
 		}

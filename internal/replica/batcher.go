@@ -3,6 +3,7 @@ package replica
 import (
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/config"
 	"repro/internal/ids"
 	"repro/internal/message"
@@ -15,6 +16,7 @@ import (
 // Engine-goroutine confined; no locking.
 type Batcher struct {
 	cfg   config.Batching
+	clk   clock.Clock
 	buf   []*message.Request
 	seen  map[batchKey]struct{}
 	since time.Time
@@ -25,9 +27,10 @@ type batchKey struct {
 	ts     uint64
 }
 
-// NewBatcher builds a batcher from normalized knobs.
-func NewBatcher(cfg config.Batching) *Batcher {
-	return &Batcher{cfg: cfg.Normalized()}
+// NewBatcher builds a batcher from normalized knobs. The clock stamps
+// each batch's flush deadline; nil uses the real clock.
+func NewBatcher(cfg config.Batching, clk clock.Clock) *Batcher {
+	return &Batcher{cfg: cfg.Normalized(), clk: clock.OrReal(clk)}
 }
 
 // Enabled reports whether batching is on (BatchSize > 1). When false,
@@ -47,7 +50,7 @@ func (b *Batcher) Add(req *message.Request) (full bool) {
 		b.seen = make(map[batchKey]struct{}, b.cfg.BatchSize)
 	}
 	if len(b.buf) == 0 {
-		b.since = time.Now()
+		b.since = b.clk.Now()
 	}
 	b.seen[k] = struct{}{}
 	b.buf = append(b.buf, req)
@@ -90,7 +93,7 @@ func (b *Batcher) TakeUpTo(n int) []*message.Request {
 	}
 	out := b.buf[:n:n]
 	b.buf = b.buf[n:]
-	b.since = time.Now()
+	b.since = b.clk.Now()
 	for _, req := range out {
 		delete(b.seen, batchKey{client: req.Client, ts: req.Timestamp})
 	}

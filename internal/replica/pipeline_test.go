@@ -59,7 +59,7 @@ func TestPendingPerSlotTimers(t *testing.T) {
 }
 
 func TestBatcherTakeUpTo(t *testing.T) {
-	b := NewBatcher(config.Batching{BatchSize: 4})
+	b := NewBatcher(config.Batching{BatchSize: 4}, nil)
 	for ts := uint64(1); ts <= 6; ts++ {
 		b.Add(req(0, ts))
 	}
@@ -87,7 +87,7 @@ func TestBatcherTakeUpTo(t *testing.T) {
 }
 
 func TestPumpRespectsWindowAndDeadline(t *testing.T) {
-	b := NewBatcher(config.Batching{BatchSize: 2, BatchTimeout: 50 * time.Millisecond})
+	b := NewBatcher(config.Batching{BatchSize: 2, BatchTimeout: 50 * time.Millisecond}, nil)
 	p := NewPending()
 	now := time.Now()
 	var proposed [][]*message.Request

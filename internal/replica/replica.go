@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/crypto"
 	"repro/internal/ids"
 	"repro/internal/message"
@@ -32,6 +33,10 @@ type Config struct {
 	Endpoint transport.Endpoint
 	// TickInterval drives HandleTick (default 5ms).
 	TickInterval time.Duration
+	// Clock is the time source for HandleTick; nil uses the real clock.
+	// The deterministic simulation injects a virtual clock here so tick
+	// timestamps come from the simulated schedule.
+	Clock clock.Clock
 }
 
 // Engine runs a Handler over an endpoint.
@@ -40,6 +45,7 @@ type Engine struct {
 	suite crypto.Suite
 	ep    transport.Endpoint
 	tick  time.Duration
+	clk   clock.Clock
 
 	mu      sync.Mutex
 	crashed bool
@@ -61,10 +67,15 @@ func NewEngine(cfg Config) *Engine {
 		suite:  cfg.Suite,
 		ep:     cfg.Endpoint,
 		tick:   tick,
+		clk:    clock.OrReal(cfg.Clock),
 		stopCh: make(chan struct{}),
 		done:   make(chan struct{}),
 	}
 }
+
+// Clock returns the engine's time source (the real clock unless one
+// was injected).
+func (e *Engine) Clock() clock.Clock { return e.clk }
 
 // ID returns the replica identity the engine runs as.
 func (e *Engine) ID() ids.ReplicaID { return e.id }
@@ -90,35 +101,63 @@ func (e *Engine) loop(h Handler) {
 			if !ok {
 				return
 			}
-			if e.isCrashed() {
-				continue // a crashed node neither processes nor responds
-			}
-			m, err := message.Unmarshal(env.Frame)
-			if err != nil {
-				continue // hostile or corrupt frame: drop silently
-			}
-			if err := m.Validate(); err != nil {
-				continue
-			}
-			// The link layer authenticates the sender (Section 3.1):
-			// reject frames whose claimed protocol sender does not match
-			// the link-level sender. Client requests arrive from client
-			// addresses with From = -1.
-			if env.From.IsClient() {
-				if m.Kind != message.KindRequest && m.Kind != message.KindRead {
-					continue
-				}
-			} else if m.From != env.From.Replica() {
-				continue
-			}
-			h.HandleMessage(m)
-		case now := <-ticker.C:
+			e.processEnvelope(h, env)
+		case <-ticker.C:
+			// Ticks stamp the engine's clock, not the host ticker's
+			// delivery time, so an injected clock governs every timer.
 			if e.isCrashed() {
 				continue
 			}
-			h.HandleTick(now)
+			h.HandleTick(e.clk.Now())
 		}
 	}
+}
+
+// processEnvelope validates one inbound frame and dispatches it — the
+// single admission path shared by the goroutine loop and the manual
+// stepping entry points below.
+func (e *Engine) processEnvelope(h Handler, env transport.Envelope) {
+	if e.isCrashed() {
+		return // a crashed node neither processes nor responds
+	}
+	m, err := message.Unmarshal(env.Frame)
+	if err != nil {
+		return // hostile or corrupt frame: drop silently
+	}
+	if err := m.Validate(); err != nil {
+		return
+	}
+	// The link layer authenticates the sender (Section 3.1):
+	// reject frames whose claimed protocol sender does not match
+	// the link-level sender. Client requests arrive from client
+	// addresses with From = -1.
+	if env.From.IsClient() {
+		if m.Kind != message.KindRequest && m.Kind != message.KindRead {
+			return
+		}
+	} else if m.From != env.From.Replica() {
+		return
+	}
+	h.HandleMessage(m)
+}
+
+// StepEnvelope feeds one inbound frame through the same validation
+// path as the goroutine loop, synchronously, on the caller's
+// goroutine. It is the deterministic simulation's delivery entry
+// point: the harness owns the one thread that ever steps a replica,
+// so the engine-confinement invariant the Handler contract promises
+// still holds. Never mix Step* with Start on the same engine.
+func (e *Engine) StepEnvelope(h Handler, env transport.Envelope) {
+	e.processEnvelope(h, env)
+}
+
+// StepTick fires one tick at the given (usually virtual) time,
+// synchronously. See StepEnvelope for the threading contract.
+func (e *Engine) StepTick(h Handler, now time.Time) {
+	if e.isCrashed() {
+		return
+	}
+	h.HandleTick(now)
 }
 
 // Stop terminates the event loop and waits for it to exit. Stopping an

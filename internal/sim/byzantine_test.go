@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/ids"
+)
+
+// TestSimByzantineGreen runs each actively-Byzantine behavior at its
+// worst placement with f=1 and requires the honest cluster to stay both
+// live (every client finishes) and safe (no divergence, clean checker).
+func TestSimByzantineGreen(t *testing.T) {
+	cases := []struct {
+		name  string
+		proto cluster.Protocol
+		mode  ids.Mode
+		byz   map[ids.ReplicaID]cluster.Behavior
+		tweak func(*Config)
+	}{
+		{
+			// The untrusted Peacock primary (replica S+0 = 2) equivocates:
+			// two validly-signed proposals for the same slot. Honest
+			// quorum intersection must prevent both from committing and
+			// the view change must route around it.
+			name:  "equivocate-primary/peacock",
+			proto: cluster.SeeMoRe, mode: ids.Peacock,
+			byz: map[ids.ReplicaID]cluster.Behavior{2: cluster.BehaviorEquivocatePrimary},
+		},
+		{
+			// The PBFT view-0 primary equivocates.
+			name:  "equivocate-primary/pbft",
+			proto: cluster.PBFT,
+			byz:   map[ids.ReplicaID]cluster.Behavior{0: cluster.BehaviorEquivocatePrimary},
+		},
+		{
+			// A public replica replays its dead-view votes after every
+			// view change; the crash faults in the base config force view
+			// changes for it to exploit.
+			name:  "replay-stale/lion",
+			proto: cluster.SeeMoRe, mode: ids.Lion,
+			byz: map[ids.ReplicaID]cluster.Behavior{3: cluster.BehaviorReplayStale},
+			tweak: func(c *Config) {
+				c.Faults.Crashes = 2
+			},
+		},
+		{
+			name:  "replay-stale/pbft",
+			proto: cluster.PBFT,
+			byz:   map[ids.ReplicaID]cluster.Behavior{1: cluster.BehaviorReplayStale},
+			tweak: func(c *Config) {
+				c.Faults.Crashes = 2
+			},
+		},
+		{
+			// A public replica serves corrupted STATE-REPLY payloads; a
+			// lagging replica recovering from a partition must reject
+			// them on the checkpoint-certificate digest and take the
+			// state from an honest peer instead.
+			name:  "corrupt-state/lion",
+			proto: cluster.SeeMoRe, mode: ids.Lion,
+			byz: map[ids.ReplicaID]cluster.Behavior{2: cluster.BehaviorCorruptState},
+			tweak: func(c *Config) {
+				c.Timing.CheckpointPeriod = 8
+				c.OpsPerClient = 25
+				c.Faults.Partitions = 2
+			},
+		},
+		{
+			name:  "corrupt-state/pbft",
+			proto: cluster.PBFT,
+			byz:   map[ids.ReplicaID]cluster.Behavior{2: cluster.BehaviorCorruptState},
+			tweak: func(c *Config) {
+				c.Timing.CheckpointPeriod = 8
+				c.OpsPerClient = 25
+				c.Faults.Partitions = 2
+			},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := baseConfig(11, tc.proto, tc.mode)
+			cfg.Byzantine = tc.byz
+			if tc.tweak != nil {
+				tc.tweak(&cfg)
+			}
+			res := mustRun(t, cfg)
+			if res.Incomplete > 0 {
+				t.Fatalf("liveness lost under %v: %d clients unfinished (end %v)",
+					tc.byz, res.Incomplete, res.End)
+			}
+			for _, v := range Check(res) {
+				t.Errorf("safety lost under %v: %s", tc.byz, v)
+			}
+		})
+	}
+}

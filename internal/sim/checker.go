@@ -1,0 +1,320 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/message"
+	"repro/internal/statemachine"
+)
+
+// The linearizability checker. The recorded commit traces give a total
+// order over every consensus-ordered operation together with the state
+// machine's actual results, so checking does not require history
+// search: the trace IS the candidate linearization, and the checker
+// verifies it is consistent (all honest replicas agree on it), matches
+// what clients accepted, and respects real time. Fast-path reads never
+// enter the trace; they are judged against the version timeline the
+// trace induces, per their contracts:
+//
+//   - Linearizable ops: trace position must respect real-time order,
+//     and the accepted result must equal the executed result.
+//   - Leased reads: the returned version's write must not begin after
+//     the read ended, and no later completed write to the key may have
+//     finished before the read began.
+//   - Stale reads: the result must equal the key's value at the exact
+//     executed prefix the reply's watermark advertises, the watermark
+//     must clear the client's acceptance floor, and per-client floors
+//     must be monotonic.
+type checker struct {
+	res *Result
+	// order is the merged commit trace: the candidate linearization.
+	order []Commit
+	// pos maps (client, timestamp) to trace position.
+	pos map[opKey]int
+	// byKey is each key's version timeline in trace order.
+	byKey map[string][]version
+	// opByTS finds the client op that issued a timestamp.
+	opByTS map[opKey]*Op
+	// writeByValue finds the (unique-valued) write op for a read value.
+	writeByValue map[string]*Op
+	violations   []string
+}
+
+type opKey struct {
+	client ids.ClientID
+	ts     uint64
+}
+
+// version is one write in a key's timeline.
+type version struct {
+	pos   int
+	seq   uint64
+	value string
+	op    *Op
+}
+
+// Check verifies one run's recorded histories and returns the list of
+// violations (empty means the run linearizes).
+func Check(res *Result) []string {
+	c := &checker{
+		res:          res,
+		pos:          make(map[opKey]int),
+		byKey:        make(map[string][]version),
+		opByTS:       make(map[opKey]*Op),
+		writeByValue: make(map[string]*Op),
+	}
+	for _, op := range res.Ops {
+		for _, ts := range op.Timestamps {
+			c.opByTS[opKey{op.Client, ts}] = op
+		}
+		if op.Put {
+			c.writeByValue[op.Value] = op
+		}
+	}
+	if !c.mergeTraces() {
+		return c.violations
+	}
+	c.buildTimelines()
+	c.checkLinearizable()
+	c.checkFastReads()
+	c.checkFloors()
+	return c.violations
+}
+
+func (c *checker) failf(format string, args ...interface{}) {
+	c.violations = append(c.violations, fmt.Sprintf(format, args...))
+}
+
+// mergeTraces folds every honest replica's commit trace into one total
+// order, verifying agreement: any two replicas that executed a slot
+// must have executed the identical request batch with identical
+// results. State transfer legitimately skips slots at a lagging
+// replica, so traces are compared per slot, not as flat prefixes.
+func (c *checker) mergeTraces() bool {
+	type run struct {
+		entries []Commit
+		from    ids.ReplicaID
+	}
+	bySeq := make(map[uint64]run)
+	var seqs []uint64
+	for id, trace := range c.res.Traces {
+		i := 0
+		for i < len(trace) {
+			j := i
+			for j < len(trace) && trace[j].Seq == trace[i].Seq {
+				j++
+			}
+			cur := trace[i:j]
+			prev, ok := bySeq[cur[0].Seq]
+			if !ok {
+				bySeq[cur[0].Seq] = run{entries: cur, from: id}
+				seqs = append(seqs, cur[0].Seq)
+			} else if !sameRun(prev.entries, cur) {
+				c.failf("commit divergence at seq %d: replica %d and replica %d executed different batches",
+					cur[0].Seq, prev.from, id)
+				return false
+			}
+			i = j
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		for _, e := range bySeq[seq].entries {
+			if e.Client >= 0 {
+				k := opKey{e.Client, e.Timestamp}
+				if _, dup := c.pos[k]; dup {
+					c.failf("request (client %d, ts %d) executed twice (exactly-once violated)",
+						int64(e.Client), e.Timestamp)
+				}
+				c.pos[k] = len(c.order)
+			}
+			c.order = append(c.order, e)
+		}
+	}
+	return true
+}
+
+func sameRun(a, b []Commit) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Client != b[i].Client || a[i].Timestamp != b[i].Timestamp ||
+			!bytes.Equal(a[i].Result, b[i].Result) {
+			return false
+		}
+	}
+	return true
+}
+
+// buildTimelines derives each key's version history from the trace,
+// using the issuing client op to interpret the write (values are
+// unique, so this is exact).
+func (c *checker) buildTimelines() {
+	for p, e := range c.order {
+		if e.Client < 0 {
+			continue
+		}
+		op := c.opByTS[opKey{e.Client, e.Timestamp}]
+		if op == nil || !op.Put {
+			continue
+		}
+		c.byKey[op.Key] = append(c.byKey[op.Key],
+			version{pos: p, seq: e.Seq, value: op.Value, op: op})
+	}
+}
+
+// checkLinearizable walks the trace order and verifies real time and
+// result agreement for every accepted consensus-ordered op.
+func (c *checker) checkLinearizable() {
+	type placed struct {
+		op  *Op
+		pos int
+	}
+	var ops []placed
+	for _, op := range c.res.Ops {
+		if !op.Done || op.Served != message.ConsistencyLinearizable {
+			continue
+		}
+		p, ok := c.pos[opKey{op.Client, op.AcceptedTS}]
+		if !ok {
+			c.failf("client %d op %d accepted a result never committed (ts %d)",
+				int64(op.Client), op.Index, op.AcceptedTS)
+			continue
+		}
+		if !bytes.Equal(c.order[p].Result, op.Result) {
+			c.failf("client %d op %d accepted result differs from executed result at seq %d",
+				int64(op.Client), op.Index, c.order[p].Seq)
+		}
+		ops = append(ops, placed{op: op, pos: p})
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].pos < ops[j].pos })
+	var maxInvoke time.Time
+	var maxOp *Op
+	for _, pl := range ops {
+		if pl.op.Resp.Before(maxInvoke) {
+			c.failf("real-time violation: client %d op %d finished at %v but is serialized after client %d op %d invoked at %v",
+				int64(pl.op.Client), pl.op.Index, pl.op.Resp,
+				int64(maxOp.Client), maxOp.Index, maxInvoke)
+		}
+		if pl.op.Invoke.After(maxInvoke) {
+			maxInvoke = pl.op.Invoke
+			maxOp = pl.op
+		}
+	}
+}
+
+// checkFastReads judges the leased and stale reads against the version
+// timelines.
+func (c *checker) checkFastReads() {
+	for _, op := range c.res.Ops {
+		if !op.Done || op.Put {
+			continue
+		}
+		switch op.Served {
+		case message.ConsistencyLeased:
+			c.checkLeased(op)
+		case message.ConsistencyStale:
+			c.checkStale(op)
+		}
+	}
+}
+
+// checkLeased verifies a leased read is linearizable: the value it
+// returned must have been current at some instant inside the read's
+// real-time window.
+func (c *checker) checkLeased(op *Op) {
+	status, val := statemachine.DecodeResult(op.Result)
+	versions := c.byKey[op.Key]
+	switch status {
+	case statemachine.KVOK:
+		w := c.writeByValue[string(val)]
+		if w == nil {
+			c.failf("leased read (client %d op %d) returned value %q never written to %q",
+				int64(op.Client), op.Index, val, op.Key)
+			return
+		}
+		if w.Invoke.After(op.Resp) {
+			c.failf("leased read (client %d op %d) returned a value whose write (client %d op %d) began only after the read ended",
+				int64(op.Client), op.Index, int64(w.Client), w.Index)
+			return
+		}
+		wpos := -1
+		for _, v := range versions {
+			if v.op == w {
+				wpos = v.pos
+				break
+			}
+		}
+		if wpos < 0 {
+			// The write never committed on the honest trace yet a
+			// trusted replica served its value: lease served
+			// speculative state.
+			c.failf("leased read (client %d op %d) returned an uncommitted value %q",
+				int64(op.Client), op.Index, val)
+			return
+		}
+		for _, v := range versions {
+			if v.pos > wpos && v.op.Done && v.op.Resp.Before(op.Invoke) {
+				c.failf("stale leased read: client %d op %d on %q returned %q, but the newer write by client %d op %d had completed before the read began",
+					int64(op.Client), op.Index, op.Key, val, int64(v.op.Client), v.op.Index)
+				return
+			}
+		}
+	case statemachine.KVNotFound:
+		for _, v := range versions {
+			if v.op.Done && v.op.Resp.Before(op.Invoke) {
+				c.failf("stale leased read: client %d op %d saw %q missing, but client %d op %d had written it before the read began",
+					int64(op.Client), op.Index, op.Key, int64(v.op.Client), v.op.Index)
+				return
+			}
+		}
+	}
+}
+
+// checkStale verifies a stale read matches the exact executed prefix
+// its watermark advertises and clears the client's acceptance floor.
+func (c *checker) checkStale(op *Op) {
+	if op.Watermark < op.Floor {
+		c.failf("stale read (client %d op %d) accepted watermark %d below its floor %d",
+			int64(op.Client), op.Index, op.Watermark, op.Floor)
+	}
+	var want string
+	found := false
+	for _, v := range c.byKey[op.Key] {
+		if v.seq <= op.Watermark {
+			want, found = v.value, true
+		}
+	}
+	status, val := statemachine.DecodeResult(op.Result)
+	switch {
+	case status == statemachine.KVOK && (!found || want != string(val)):
+		c.failf("stale read (client %d op %d) on %q returned %q, but the prefix at watermark %d holds %q",
+			int64(op.Client), op.Index, op.Key, val, op.Watermark, want)
+	case status == statemachine.KVNotFound && found:
+		c.failf("stale read (client %d op %d) on %q returned not-found, but the prefix at watermark %d holds %q",
+			int64(op.Client), op.Index, op.Key, op.Watermark, want)
+	}
+}
+
+// checkFloors verifies each client's stale-read acceptance floor never
+// moves backwards (monotonic reads / read-your-writes).
+func (c *checker) checkFloors() {
+	floors := make(map[ids.ClientID]uint64)
+	for _, op := range c.res.Ops {
+		if op.Put || op.Served != message.ConsistencyStale || !op.Done {
+			continue
+		}
+		if f, ok := floors[op.Client]; ok && op.Floor < f {
+			c.failf("client %d floor moved backwards: op %d floor %d after floor %d",
+				int64(op.Client), op.Index, op.Floor, f)
+		}
+		if op.Floor > floors[op.Client] {
+			floors[op.Client] = op.Floor
+		}
+	}
+}

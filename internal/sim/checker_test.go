@@ -1,0 +1,292 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/ids"
+	"repro/internal/message"
+	"repro/internal/statemachine"
+)
+
+// histBuilder constructs synthetic sequential histories: one op at a
+// time in virtual time, one honest commit trace, results computed from
+// a model KV. Sequential histories are trivially linearizable, so a
+// clean build must always pass Check — and any mutation that breaks a
+// contract must fail it.
+type histBuilder struct {
+	res   *Result
+	now   time.Time
+	seq   uint64
+	ts    map[ids.ClientID]uint64
+	index map[ids.ClientID]int
+	kv    map[string]string
+}
+
+func newHist() *histBuilder {
+	return &histBuilder{
+		res:   &Result{Traces: map[ids.ReplicaID][]Commit{0: nil}},
+		now:   clock.Epoch,
+		ts:    make(map[ids.ClientID]uint64),
+		index: make(map[ids.ClientID]int),
+		kv:    make(map[string]string),
+	}
+}
+
+func (h *histBuilder) step() time.Time {
+	h.now = h.now.Add(time.Millisecond)
+	return h.now
+}
+
+func (h *histBuilder) newOp(c ids.ClientID, key string) *Op {
+	h.ts[c]++
+	op := &Op{
+		Client:      c,
+		Index:       h.index[c],
+		Key:         key,
+		Consistency: message.ConsistencyLinearizable,
+		Served:      message.ConsistencyLinearizable,
+		Timestamps:  []uint64{h.ts[c]},
+		AcceptedTS:  h.ts[c],
+		Invoke:      h.step(),
+		Done:        true,
+	}
+	h.index[c]++
+	h.res.Ops = append(h.res.Ops, op)
+	return op
+}
+
+func (h *histBuilder) commit(op *Op) {
+	h.seq++
+	h.res.Traces[0] = append(h.res.Traces[0], Commit{
+		Seq: h.seq, Client: op.Client, Timestamp: op.AcceptedTS, Result: op.Result,
+	})
+}
+
+// put appends a consensus-ordered write.
+func (h *histBuilder) put(c ids.ClientID, key, value string) *Op {
+	op := h.newOp(c, key)
+	op.Put = true
+	op.Value = value
+	op.Result = []byte{statemachine.KVOK}
+	h.commit(op)
+	h.kv[key] = value
+	op.Resp = h.step()
+	return op
+}
+
+func (h *histBuilder) readResult(key string) []byte {
+	if v, ok := h.kv[key]; ok {
+		return append([]byte{statemachine.KVOK}, v...)
+	}
+	return []byte{statemachine.KVNotFound}
+}
+
+// get appends a consensus-ordered read.
+func (h *histBuilder) get(c ids.ClientID, key string) *Op {
+	op := h.newOp(c, key)
+	op.Result = h.readResult(key)
+	h.commit(op)
+	op.Resp = h.step()
+	return op
+}
+
+// leased appends a fast-path leased read (no trace entry).
+func (h *histBuilder) leased(c ids.ClientID, key string) *Op {
+	op := h.newOp(c, key)
+	op.Consistency = message.ConsistencyLeased
+	op.Served = message.ConsistencyLeased
+	op.Result = h.readResult(key)
+	op.Resp = h.step()
+	return op
+}
+
+// stale appends a fast-path stale read served at the current prefix.
+func (h *histBuilder) stale(c ids.ClientID, key string) *Op {
+	op := h.newOp(c, key)
+	op.Consistency = message.ConsistencyStale
+	op.Served = message.ConsistencyStale
+	op.Result = h.readResult(key)
+	op.Watermark = h.seq
+	op.Resp = h.step()
+	return op
+}
+
+// randomHist generates a pseudo-random sequential history. The first
+// op is always a write, so every mutation target exists.
+func randomHist(seed int64, n int) *histBuilder {
+	rng := rand.New(rand.NewSource(seed))
+	h := newHist()
+	keys := []string{"a", "b", "c"}
+	h.put(0, keys[rng.Intn(len(keys))], "v0")
+	for i := 1; i < n; i++ {
+		c := ids.ClientID(rng.Intn(3))
+		key := keys[rng.Intn(len(keys))]
+		switch rng.Intn(4) {
+		case 0:
+			// Values are globally unique — the checker's contract.
+			h.put(c, key, fmt.Sprintf("v%d", i))
+		case 1:
+			h.get(c, key)
+		case 2:
+			h.leased(c, key)
+		default:
+			h.stale(c, key)
+		}
+	}
+	return h
+}
+
+func wantViolation(t *testing.T, res *Result, substr string) {
+	t.Helper()
+	for _, v := range Check(res) {
+		if strings.Contains(v, substr) {
+			return
+		}
+	}
+	t.Fatalf("expected a violation containing %q, got %v", substr, Check(res))
+}
+
+func TestCheckerCleanSequentialHistory(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		h := randomHist(seed, 40)
+		if v := Check(h.res); len(v) != 0 {
+			t.Fatalf("seed %d: sequential history must linearize, got %v", seed, v)
+		}
+	}
+}
+
+func TestCheckerCatchesDivergence(t *testing.T) {
+	h := newHist()
+	h.put(0, "a", "x")
+	h.put(1, "a", "y")
+	// A second replica executed a different batch at seq 2.
+	fork := append([]Commit(nil), h.res.Traces[0]...)
+	fork[1].Timestamp = 99
+	h.res.Traces[1] = fork
+	wantViolation(t, h.res, "commit divergence")
+}
+
+func TestCheckerCatchesDroppedWrite(t *testing.T) {
+	h := newHist()
+	h.put(0, "a", "x")
+	w := h.put(1, "a", "y")
+	h.get(0, "a")
+	// The write the client accepted never appears on the trace.
+	trace := h.res.Traces[0]
+	var kept []Commit
+	for _, e := range trace {
+		if !(e.Client == w.Client && e.Timestamp == w.AcceptedTS) {
+			kept = append(kept, e)
+		}
+	}
+	h.res.Traces[0] = kept
+	wantViolation(t, h.res, "never committed")
+}
+
+func TestCheckerCatchesDoubleExecution(t *testing.T) {
+	h := newHist()
+	w := h.put(0, "a", "x")
+	trace := h.res.Traces[0]
+	dup := trace[0]
+	dup.Seq = h.seq + 1
+	h.res.Traces[0] = append(trace, dup)
+	_ = w
+	wantViolation(t, h.res, "executed twice")
+}
+
+func TestCheckerCatchesResultMismatch(t *testing.T) {
+	h := newHist()
+	h.put(0, "a", "x")
+	h.get(1, "a")
+	h.res.Traces[0][1].Result = []byte{statemachine.KVNotFound}
+	wantViolation(t, h.res, "differs from executed result")
+}
+
+func TestCheckerCatchesRealTimeViolation(t *testing.T) {
+	h := newHist()
+	// Op A occupies trace position 0 but its real-time window starts
+	// after op B (position 1) completed.
+	a := h.put(0, "a", "x")
+	b := h.put(1, "a", "y")
+	a.Invoke = b.Resp.Add(5 * time.Millisecond)
+	a.Resp = a.Invoke.Add(time.Millisecond)
+	wantViolation(t, h.res, "real-time violation")
+}
+
+func TestCheckerCatchesStaleLeasedRead(t *testing.T) {
+	h := newHist()
+	h.put(0, "a", "x")
+	old := h.readResult("a")
+	h.put(1, "a", "y")
+	r := h.leased(2, "a")
+	r.Result = old // served from pre-write state after the write completed
+	wantViolation(t, h.res, "stale leased read")
+}
+
+func TestCheckerCatchesStaleWatermarkMismatch(t *testing.T) {
+	h := newHist()
+	h.put(0, "a", "x")
+	r := h.stale(1, "a")
+	r.Result = append([]byte{statemachine.KVOK}, "zzz"...)
+	wantViolation(t, h.res, "stale read")
+}
+
+// FuzzLinearizable generates random sequential histories — which must
+// always linearize — and applies one of three safety-breaking
+// mutations — which the checker must always catch: dropping an
+// accepted write from the trace, executing a request twice, and
+// corrupting an executed result.
+func FuzzLinearizable(f *testing.F) {
+	f.Add(int64(1), uint8(0))
+	f.Add(int64(2), uint8(1))
+	f.Add(int64(3), uint8(2))
+	f.Add(int64(4), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, mutation uint8) {
+		h := randomHist(seed, 30)
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		trace := h.res.Traces[0]
+		// Pick a committed write as the mutation target (the first op
+		// guarantees one exists).
+		var writes []int
+		for i, e := range trace {
+			if op := findOp(h.res, e); op != nil && op.Put {
+				writes = append(writes, i)
+			}
+		}
+		target := writes[rng.Intn(len(writes))]
+		switch mutation % 4 {
+		case 0:
+			if v := Check(h.res); len(v) != 0 {
+				t.Fatalf("sequential history must linearize, got %v", v)
+			}
+			return
+		case 1: // dropped write
+			h.res.Traces[0] = append(append([]Commit(nil), trace[:target]...), trace[target+1:]...)
+			wantViolation(t, h.res, "never committed")
+		case 2: // double execution
+			dup := trace[target]
+			dup.Seq = h.seq + 1
+			h.res.Traces[0] = append(append([]Commit(nil), trace...), dup)
+			wantViolation(t, h.res, "executed twice")
+		case 3: // corrupted execution result
+			forged := append([]Commit(nil), trace...)
+			forged[target].Result = []byte{statemachine.KVNotFound, 'x'}
+			h.res.Traces[0] = forged
+			wantViolation(t, h.res, "differs from executed result")
+		}
+	})
+}
+
+func findOp(res *Result, e Commit) *Op {
+	for _, op := range res.Ops {
+		if op.Client == e.Client && op.AcceptedTS == e.Timestamp {
+			return op
+		}
+	}
+	return nil
+}

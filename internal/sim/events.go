@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"container/heap"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// eventKind discriminates scheduler events.
+type eventKind int
+
+const (
+	// evDeliver hands a frame to its destination endpoint.
+	evDeliver eventKind = iota
+	// evTick fires one protocol tick at a replica.
+	evTick
+	// evClient wakes a simulated client (retransmission timer or the
+	// start of a scheduled operation).
+	evClient
+	// evFault applies one fault-schedule action.
+	evFault
+)
+
+// event is one entry of the virtual-time schedule. Ordering is total:
+// by virtual time, then by insertion sequence — two events at the same
+// instant run in the order they were scheduled, never in map or
+// goroutine order.
+type event struct {
+	at   time.Time
+	seq  uint64
+	kind eventKind
+
+	// evDeliver
+	to  transport.Addr
+	env transport.Envelope
+
+	// evTick: replica index. evClient: client index.
+	node int
+
+	// evClient: the client timer epoch this wakeup belongs to; stale
+	// epochs (the client moved on) are ignored on delivery.
+	epoch uint64
+
+	// evFault
+	fault FaultAction
+}
+
+// eventHeap is a min-heap over (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at.Equal(h[j].at) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].at.Before(h[j].at)
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// schedule inserts an event at the given virtual time.
+func (s *Sim) schedule(at time.Time, ev *event) {
+	ev.at = at
+	ev.seq = s.nextEventSeq
+	s.nextEventSeq++
+	heap.Push(&s.events, ev)
+}
+
+// scheduleIn inserts an event d after the current virtual time.
+func (s *Sim) scheduleIn(d time.Duration, ev *event) {
+	s.schedule(s.vclock.Now().Add(d), ev)
+}

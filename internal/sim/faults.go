@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/ids"
+	"repro/internal/transport"
+)
+
+// FaultPlan generates a seed-driven fault schedule: crash/recover
+// cycles and replica-link partitions at random times with random
+// durations, all drawn from the master seed. Generated faults never
+// overlap, so the plan always respects the cluster's failure bounds
+// (at most one injected fault is live at a time).
+type FaultPlan struct {
+	// Crashes is the number of crash→recover cycles to inject.
+	Crashes int
+	// Partitions is the number of replica-pair link cuts to inject
+	// (both directions, healed after the window).
+	Partitions int
+	// Start is the earliest fault onset (default 5ms of calm).
+	Start time.Duration
+	// MeanGap separates consecutive faults (default 2×ViewChange).
+	MeanGap time.Duration
+	// MeanDowntime is a fault's mean active window (default
+	// 3×ViewChange).
+	MeanDowntime time.Duration
+}
+
+// faultKind discriminates fault actions.
+type faultKind int
+
+const (
+	faultCrash faultKind = iota
+	faultRecover
+	faultBlock
+	faultUnblock
+	faultPartitionPeers
+	faultHealPeers
+	faultBlockClient
+	faultUnblockClient
+)
+
+// FaultAction is one applied fault. Construct with the helpers below.
+type FaultAction struct {
+	kind       faultKind
+	node, peer ids.ReplicaID
+	client     ids.ClientID
+}
+
+// CrashNode fail-stops a replica (messages dropped, ticks skipped).
+func CrashNode(id ids.ReplicaID) FaultAction {
+	return FaultAction{kind: faultCrash, node: id}
+}
+
+// RecoverNode resumes a crashed replica with its state intact.
+func RecoverNode(id ids.ReplicaID) FaultAction {
+	return FaultAction{kind: faultRecover, node: id}
+}
+
+// BlockLink severs the link between two replicas, both directions;
+// frames already in flight die too.
+func BlockLink(a, b ids.ReplicaID) FaultAction {
+	return FaultAction{kind: faultBlock, node: a, peer: b}
+}
+
+// UnblockLink heals a BlockLink cut.
+func UnblockLink(a, b ids.ReplicaID) FaultAction {
+	return FaultAction{kind: faultUnblock, node: a, peer: b}
+}
+
+// PartitionPeers cuts a replica off from every other replica while
+// leaving its client links up — the asymmetric partition the
+// lease-safety experiments need.
+func PartitionPeers(id ids.ReplicaID) FaultAction {
+	return FaultAction{kind: faultPartitionPeers, node: id}
+}
+
+// HealPeers undoes PartitionPeers.
+func HealPeers(id ids.ReplicaID) FaultAction {
+	return FaultAction{kind: faultHealPeers, node: id}
+}
+
+// BlockClient severs the link between one client and one replica, both
+// directions. The lease-safety experiments use it as an asymmetric
+// routing failure: the writing clients lose their path to the deposed
+// primary while the reading clients keep theirs.
+func BlockClient(c ids.ClientID, r ids.ReplicaID) FaultAction {
+	return FaultAction{kind: faultBlockClient, client: c, node: r}
+}
+
+// UnblockClient heals a BlockClient cut.
+func UnblockClient(c ids.ClientID, r ids.ReplicaID) FaultAction {
+	return FaultAction{kind: faultUnblockClient, client: c, node: r}
+}
+
+// ScriptedFault schedules one action at a virtual time from the start
+// of the run.
+type ScriptedFault struct {
+	At     time.Duration
+	Action FaultAction
+}
+
+// applyFault executes one fault action now.
+func (s *Sim) applyFault(f FaultAction) {
+	addrPair := func(x, y transport.Addr) [2]transport.Addr {
+		if x > y {
+			x, y = y, x
+		}
+		return [2]transport.Addr{x, y}
+	}
+	pair := func(a, b ids.ReplicaID) [2]transport.Addr {
+		return addrPair(transport.ReplicaAddr(a), transport.ReplicaAddr(b))
+	}
+	switch f.kind {
+	case faultCrash:
+		s.nodes[f.node].Crash()
+	case faultRecover:
+		s.nodes[f.node].Recover()
+	case faultBlock:
+		s.blocked[pair(f.node, f.peer)] = true
+	case faultUnblock:
+		delete(s.blocked, pair(f.node, f.peer))
+	case faultPartitionPeers:
+		for p := 0; p < s.n; p++ {
+			if ids.ReplicaID(p) != f.node {
+				s.blocked[pair(f.node, ids.ReplicaID(p))] = true
+			}
+		}
+	case faultHealPeers:
+		for p := 0; p < s.n; p++ {
+			if ids.ReplicaID(p) != f.node {
+				delete(s.blocked, pair(f.node, ids.ReplicaID(p)))
+			}
+		}
+	case faultBlockClient:
+		s.blocked[addrPair(transport.ClientAddr(f.client), transport.ReplicaAddr(f.node))] = true
+	case faultUnblockClient:
+		delete(s.blocked, addrPair(transport.ClientAddr(f.client), transport.ReplicaAddr(f.node)))
+	}
+}
+
+// crashEligible lists the replicas the model allows to crash: the
+// trusted (private-cloud, crash-only) nodes for SeeMoRe, any
+// non-Byzantine node for the baselines.
+func (s *Sim) crashEligible() []ids.ReplicaID {
+	var out []ids.ReplicaID
+	if s.cfg.Protocol == cluster.SeeMoRe {
+		if s.cfg.Crash > 0 {
+			out = s.mb.Trusted()
+		}
+		return out
+	}
+	for i := 0; i < s.n; i++ {
+		if s.cfg.Byzantine[ids.ReplicaID(i)] == cluster.BehaviorNone {
+			out = append(out, ids.ReplicaID(i))
+		}
+	}
+	return out
+}
+
+// expandFaults turns the generated plan plus the explicit script into
+// one list of timed actions. Everything random comes from a dedicated
+// stream, so the schedule is a pure function of the seed.
+func (s *Sim) expandFaults() []ScriptedFault {
+	plan := s.cfg.Faults
+	if plan.Start <= 0 {
+		plan.Start = 5 * time.Millisecond
+	}
+	if plan.MeanGap <= 0 {
+		plan.MeanGap = 2 * s.cfg.Timing.ViewChange
+	}
+	if plan.MeanDowntime <= 0 {
+		plan.MeanDowntime = 3 * s.cfg.Timing.ViewChange
+	}
+	st := newStream(s.cfg.Seed, 0xFA017_5EED)
+	eligible := s.crashEligible()
+
+	jittered := func(mean time.Duration) time.Duration {
+		return time.Duration(float64(mean) * (0.5 + st.float64()))
+	}
+	var out []ScriptedFault
+	t := plan.Start
+	crashes, partitions := plan.Crashes, plan.Partitions
+	if len(eligible) == 0 {
+		crashes = 0
+	}
+	if s.n < 2 {
+		partitions = 0
+	}
+	for crashes > 0 || partitions > 0 {
+		// Interleave the two fault classes by drawing which goes next.
+		doCrash := crashes > 0 && (partitions == 0 || st.float64() < 0.5)
+		t += jittered(plan.MeanGap)
+		down := jittered(plan.MeanDowntime)
+		if doCrash {
+			crashes--
+			// Bias toward the initial primary: deposing the leader is
+			// the interesting case.
+			target := eligible[st.intn(len(eligible))]
+			if st.float64() < 0.5 {
+				target = eligible[0]
+			}
+			out = append(out, ScriptedFault{At: t, Action: CrashNode(target)})
+			out = append(out, ScriptedFault{At: t + down, Action: RecoverNode(target)})
+		} else {
+			partitions--
+			a := ids.ReplicaID(st.intn(s.n))
+			b := ids.ReplicaID(st.intn(s.n - 1))
+			if b >= a {
+				b++
+			}
+			out = append(out, ScriptedFault{At: t, Action: BlockLink(a, b)})
+			out = append(out, ScriptedFault{At: t + down, Action: UnblockLink(a, b)})
+		}
+		t += down
+	}
+	out = append(out, s.cfg.Script...)
+	return out
+}

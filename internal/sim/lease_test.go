@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/config"
+	"repro/internal/ids"
+)
+
+// leaseScenario is the lease-safety experiment: Lion with leases, two
+// write-only clients and two leased-read-only clients. The writers
+// lose their routes to the initial primary slightly before it loses
+// its peer links, so every in-flight write drains and commits first:
+// the deposed primary is left a clean, happy primary — no pending
+// slot ever arms its own suspicion timer — while the writers fail
+// over to the new view and keep committing and the readers keep
+// presenting leased reads to it. A correct primary stops serving
+// within Duration + MaxClockSkew of its last renewal — before the new
+// view can have activated — so the readers stall over to the new view
+// too and every read stays linearizable. A primary whose lease
+// outlives the view change (clock drift past the budget, or the
+// injected LeaseSlack bug) hands the readers stale values the checker
+// must flag.
+func leaseScenario(seed int64) Config {
+	const (
+		cut  = 80 * time.Millisecond
+		heal = 600 * time.Millisecond
+	)
+	return Config{
+		Seed:           seed,
+		Protocol:       cluster.SeeMoRe,
+		Mode:           ids.Lion,
+		Crash:          1,
+		Byz:            1,
+		Clients:        4,
+		WriteClients:   2,
+		OpsPerClient:   2500,
+		Keys:           2,
+		ReadFraction:   1,
+		LeasedFraction: 1,
+		Leases: config.Leases{
+			Duration:     25 * time.Millisecond,
+			MaxClockSkew: 5 * time.Millisecond,
+		},
+		Script: []ScriptedFault{
+			{At: cut - 5*time.Millisecond, Action: BlockClient(0, 0)},
+			{At: cut - 5*time.Millisecond, Action: BlockClient(1, 0)},
+			{At: cut, Action: PartitionPeers(0)},
+			{At: heal, Action: HealPeers(0)},
+			{At: heal, Action: UnblockClient(0, 0)},
+			{At: heal, Action: UnblockClient(1, 0)},
+		},
+	}
+}
+
+// TestSimLeaseSkewWithinBound drifts the primary's clock slow enough
+// to overrun the lease by 3ms of real time — inside the 5ms
+// MaxClockSkew budget the view-change timer accounts for. Safety must
+// hold on every seed: the lease still expires before any new view can
+// activate.
+func TestSimLeaseSkewWithinBound(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		cfg := leaseScenario(seed)
+		// Rate 25/28: the 25ms lease measures 28ms real, a 3ms overrun.
+		cfg.ClockDrift = map[ids.ReplicaID]float64{0: 25.0 / 28.0}
+		res := mustRun(t, cfg)
+		if res.Incomplete > 0 {
+			t.Fatalf("seed %d: %d clients never finished", seed, res.Incomplete)
+		}
+		for _, v := range Check(res) {
+			t.Errorf("seed %d: skew within MaxClockSkew must stay safe: %s", seed, v)
+		}
+	}
+}
+
+// TestSimLeaseSkewBeyondBound drifts the primary's clock 10x slow: its
+// 25ms lease lasts 250ms of real time, far past the view-change timer,
+// so the deposed primary keeps serving leased reads while the new view
+// commits writes behind its back. The checker must catch the stale
+// reads on every seed.
+func TestSimLeaseSkewBeyondBound(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		cfg := leaseScenario(seed)
+		cfg.ClockDrift = map[ids.ReplicaID]float64{0: 0.1}
+		res := mustRun(t, cfg)
+		caught := ""
+		for _, v := range Check(res) {
+			if strings.Contains(v, "stale leased read") {
+				caught = v
+				break
+			}
+		}
+		if caught == "" {
+			t.Fatalf("seed %d: no stale leased read caught under 10x clock drift; the checker or the scenario lost its teeth", seed)
+		}
+		t.Logf("seed %d: caught as expected: %s", seed, caught)
+	}
+}
+
+// TestSimLeaseBugCaught turns on the deliberately injected safety bug
+// — LeaseSlackForTesting makes the primary serve leased reads past the
+// lease's true expiry — and requires the checker to catch it on every
+// seed. Seeds run 5 and 11 (lease-family explorer seeds), so a failing
+// execution replays through the seed explorer:
+//
+//	go test ./internal/sim -run 'TestSimSeed/seed5$' -sim.seeds 6 -sim.leaseslack 250ms
+func TestSimLeaseBugCaught(t *testing.T) {
+	for _, seed := range []int64{5, 11} {
+		cfg := leaseScenario(seed)
+		cfg.LeaseSlack = 250 * time.Millisecond
+		res := mustRun(t, cfg)
+		caught := ""
+		for _, v := range Check(res) {
+			if strings.Contains(v, "stale leased read") {
+				caught = v
+				break
+			}
+		}
+		if caught == "" {
+			t.Fatalf("seed %d: the injected lease bug (reads served past expiry) escaped the checker", seed)
+		}
+		t.Logf("injected lease bug caught at seed %d: %s", seed, caught)
+		t.Logf("replay: go test ./internal/sim -run 'TestSimSeed/seed%d$' -sim.seeds %d -sim.leaseslack 250ms",
+			seed, seed+1)
+	}
+}

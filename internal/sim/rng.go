@@ -1,0 +1,51 @@
+package sim
+
+// Counter-based randomness. Every random decision in a simulation draws
+// from a stream identified by what the decision is about (a network
+// link, the fault plan, a client's workload), and each stream is a pure
+// function of (master seed, stream key, draw counter). Two runs with
+// the same seed therefore make identical decisions even if the order of
+// draws *across* streams differs — which is exactly what protects
+// determinism from Go map-iteration order inside a message handler:
+// however a handler permutes its sends to different links, each link's
+// own delay/drop/duplication sequence is unchanged.
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed 64-bit
+// permutation.
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// stream is one independent random sequence.
+type stream struct {
+	key uint64
+	ctr uint64
+}
+
+// newStream derives a stream from the master seed and a stream
+// identifier.
+func newStream(seed int64, id uint64) *stream {
+	return &stream{key: mix64(uint64(seed)) ^ mix64(id^0xA5A5A5A5A5A5A5A5)}
+}
+
+// next returns the stream's next 64 random bits.
+func (s *stream) next() uint64 {
+	s.ctr++
+	return mix64(s.key ^ mix64(s.ctr))
+}
+
+// float64 returns a uniform draw in [0, 1).
+func (s *stream) float64() float64 {
+	return float64(s.next()>>11) / (1 << 53)
+}
+
+// intn returns a uniform draw in [0, n).
+func (s *stream) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(s.next() % uint64(n))
+}

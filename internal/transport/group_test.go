@@ -143,10 +143,10 @@ func TestGroupLatencyClassesPerGroup(t *testing.T) {
 	n := NewSimNetwork(LAN(2, 5))
 	defer n.Close()
 	for _, g := range []ids.GroupID{0, 1, 3} {
-		if got := n.place(GroupReplicaAddr(g, 0)); got != placePrivate {
+		if got := n.cfg.place(GroupReplicaAddr(g, 0)); got != placePrivate {
 			t.Fatalf("group %v replica 0 classified %v, want private", g, got)
 		}
-		if got := n.place(GroupReplicaAddr(g, 4)); got != placePublic {
+		if got := n.cfg.place(GroupReplicaAddr(g, 4)); got != placePublic {
 			t.Fatalf("group %v replica 4 classified %v, want public", g, got)
 		}
 	}

@@ -211,8 +211,17 @@ func (n *SimNetwork) latency(from, to Addr) time.Duration {
 }
 
 func (n *SimNetwork) baseLatency(from, to Addr) time.Duration {
-	fp := n.place(from)
-	tp := n.place(to)
+	return n.cfg.BaseLatency(from, to)
+}
+
+// BaseLatency returns the configured one-way latency class for a frame
+// from → to, before jitter and per-node processing delays. It is a pure
+// function of the config, exported so the deterministic simulation
+// (internal/sim) reuses the exact hybrid-cloud link model while owning
+// its own delivery schedule and randomness.
+func (c SimConfig) BaseLatency(from, to Addr) time.Duration {
+	fp := c.place(from)
+	tp := c.place(to)
 	switch {
 	case fp == placeClient || tp == placeClient:
 		// Client link class depends on the replica side of the hop.
@@ -221,15 +230,15 @@ func (n *SimNetwork) baseLatency(from, to Addr) time.Duration {
 			other = tp
 		}
 		if other == placePrivate {
-			return n.cfg.ClientToPrivate
+			return c.ClientToPrivate
 		}
-		return n.cfg.ClientToPublic
+		return c.ClientToPublic
 	case fp == placePrivate && tp == placePrivate:
-		return n.cfg.IntraPrivate
+		return c.IntraPrivate
 	case fp == placePublic && tp == placePublic:
-		return n.cfg.IntraPublic
+		return c.IntraPublic
 	default:
-		return n.cfg.CrossCloud
+		return c.CrossCloud
 	}
 }
 
@@ -241,14 +250,14 @@ const (
 	placeClient
 )
 
-func (n *SimNetwork) place(a Addr) place {
+func (c SimConfig) place(a Addr) place {
 	switch {
 	case a.IsClient():
 		return placeClient
 	// Classify by the group-local replica ID: every consensus group of a
 	// sharded deployment has the same private/public layout, and for
 	// group 0 (all unsharded deployments) Local is the identity.
-	case int64(a.Local()) < int64(n.cfg.PrivateSize):
+	case int64(a.Local()) < int64(c.PrivateSize):
 		return placePrivate
 	default:
 		return placePublic
