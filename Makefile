@@ -26,7 +26,7 @@ race-client: ## race-detect the client/coordination layers (fast iteration gate)
 bench: ## regenerate the paper's figures/tables via the root benchmarks
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
-bench-json: ## machine-readable sweeps → BENCH_pipeline/shard/txn/readmix.json (CI artifacts)
+bench-json: ## machine-readable sweeps → BENCH_pipeline/shard/txn/readmix/reshard.json (CI artifacts)
 	$(GO) run ./cmd/seemore-bench -exp ablation-pipeline \
 		-measure 200ms -warmup 50ms -clients 1,8 -json BENCH_pipeline.json
 	$(GO) run ./cmd/seemore-bench -exp ablation-shard \
@@ -35,11 +35,14 @@ bench-json: ## machine-readable sweeps → BENCH_pipeline/shard/txn/readmix.json
 		-measure 300ms -warmup 80ms -shards 1,2,4 -shard-clients 32 -json BENCH_txn.json
 	$(GO) run ./cmd/seemore-bench -exp ablation-readmix \
 		-measure 300ms -warmup 80ms -shard-clients 48 -json BENCH_readmix.json
+	$(GO) run ./cmd/seemore-bench -exp ablation-reshard \
+		-measure 300ms -warmup 80ms -shard-clients 24 -json BENCH_reshard.json
 
-fuzz: ## fuzz the untrusted-input decoders briefly (wire codec + KV state machine + linearizability checker)
+fuzz: ## fuzz the untrusted-input decoders briefly (wire codec + KV state machine + placement map + linearizability checker)
 	$(GO) test -run='^$$' -fuzz=FuzzDecode$$ -fuzztime=15s ./internal/message
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeRequest -fuzztime=5s ./internal/message
 	$(GO) test -run='^$$' -fuzz=FuzzKVApply -fuzztime=10s ./internal/statemachine
+	$(GO) test -run='^$$' -fuzz=FuzzPlacement -fuzztime=10s ./internal/placement
 	$(GO) test -run='^$$' -fuzz=FuzzLinearizable -fuzztime=15s ./internal/sim
 
 sim-explore: ## sweep SIM_SEEDS deterministic-simulation seeds (failures print a one-line reproduction)

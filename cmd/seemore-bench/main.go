@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, table1, fig2a, fig2b, fig2c, fig2d, fig3a, fig3b, fig4, ablation-signer, ablation-proxies, ablation-commit, ablation-checkpoint, ablation-crosscloud, ablation-batch, ablation-pipeline, ablation-shard, ablation-txn, ablation-readmix")
+		exp      = flag.String("exp", "all", "experiment: all, table1, fig2a, fig2b, fig2c, fig2d, fig3a, fig3b, fig4, ablation-signer, ablation-proxies, ablation-commit, ablation-checkpoint, ablation-crosscloud, ablation-batch, ablation-pipeline, ablation-shard, ablation-txn, ablation-readmix, ablation-reshard")
 		measure  = flag.Duration("measure", 500*time.Millisecond, "measurement window per load point")
 		warmup   = flag.Duration("warmup", 150*time.Millisecond, "warmup before each measurement")
 		clients  = flag.String("clients", "1,2,4,8,16,32,64", "comma-separated closed-loop client counts")
@@ -167,6 +167,13 @@ func main() {
 			}
 			record(name, series)
 			bench.PrintAblation(os.Stdout, "read consistency × read fraction (Lion, leases on)", "clients", series)
+		case "ablation-reshard":
+			series, err := bench.AblationReshard(*shardCl, opts, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			record(name, series)
+			bench.PrintAblation(os.Stdout, "throughput before/during/after a live 2→4 shard split (Lion, elastic)", "clients", series)
 		case "ablation-crosscloud":
 			lat := []time.Duration{50 * time.Microsecond, 250 * time.Microsecond, time.Millisecond, 4 * time.Millisecond}
 			series, err := bench.AblationCrossCloudLatency(lat, 16, opts, *seed)
@@ -189,7 +196,7 @@ func main() {
 			"ablation-signer", "ablation-proxies", "ablation-commit",
 			"ablation-checkpoint", "ablation-crosscloud", "ablation-batch",
 			"ablation-pipeline", "ablation-shard", "ablation-txn",
-			"ablation-readmix",
+			"ablation-readmix", "ablation-reshard",
 		} {
 			fmt.Printf("=== %s ===\n", name)
 			run(name)

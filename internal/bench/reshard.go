@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/ids"
+	"repro/internal/placement"
+	"repro/internal/statemachine"
+)
+
+// Resharding ablation: what a live 2→4 split costs the workload. The
+// deployment starts with two owner shards and two provisioned spares,
+// closed-loop clients write continuously, and both owner groups split
+// onto the spares mid-run. Three windows are reported — before the
+// migration, during it (epoch-fence rejections, reroutes, and the
+// sealed ranges' brief unavailability all land here), and after — so
+// the artifact shows both the steady-state win of doubling the shard
+// count and the transient price of getting there.
+
+// AblationReshard measures aggregate committed-write throughput
+// before/during/after a live 2→4 shard split under `clients`
+// closed-loop writers.
+func AblationReshard(clients int, opts Options, seed int64) ([]Series, error) {
+	opts.defaults()
+	net := ShardNet(seed)
+	spec := cluster.Spec{
+		Protocol: cluster.SeeMoRe, Mode: ids.Lion,
+		Crash: 1, Byz: 1, Seed: seed, Net: &net,
+		Timing:     opts.Timing,
+		Pipelining: opts.Pipeline,
+		Client:     opts.Client,
+		Shards:     2, SpareGroups: 2, Elastic: true,
+	}
+	if spec.MaxClients < int64(clients)+8 {
+		spec.MaxClients = int64(clients) + 8
+	}
+	c, err := cluster.New(spec)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Stop()
+
+	var (
+		count atomic.Int64
+		errs  atomic.Int64
+		stop  atomic.Bool
+		wg    sync.WaitGroup
+	)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(cid int64) {
+			defer wg.Done()
+			r, err := c.NewRouter(ids.ClientID(cid))
+			if err != nil {
+				errs.Add(1)
+				return
+			}
+			defer r.Close()
+			for seq := 0; !stop.Load(); seq++ {
+				if _, err := r.Invoke(statemachine.EncodePut(ShardKey(cid, seq%128), []byte("v"))); err != nil {
+					errs.Add(1)
+					return
+				}
+				count.Add(1)
+			}
+		}(int64(i))
+	}
+	window := func(ops int64, d time.Duration) Point {
+		return Point{
+			Clients:    clients,
+			Throughput: float64(ops) / d.Seconds(),
+			Errors:     int(errs.Load()),
+		}
+	}
+
+	time.Sleep(opts.Warmup)
+	s0 := count.Load()
+	time.Sleep(opts.Measure)
+	before := window(count.Load()-s0, opts.Measure)
+
+	// The migration window is as long as the two splits take, not a
+	// fixed sample: seal → copy → install → purge for each owner group,
+	// all while the writers above keep hammering both moving ranges.
+	rc, err := c.NewRouter(ids.ClientID(int64(clients) + 1))
+	if err != nil {
+		stop.Store(true)
+		wg.Wait()
+		return nil, err
+	}
+	ctl := placement.NewController(rc.PlacementOps())
+	migStart := time.Now()
+	s1 := count.Load()
+	for _, cmd := range []placement.Cmd{
+		{Kind: placement.CmdSplit, Group: 0, To: 2},
+		{Kind: placement.CmdSplit, Group: 1, To: 3},
+	} {
+		if _, err := ctl.Run(cmd); err != nil {
+			rc.Close()
+			stop.Store(true)
+			wg.Wait()
+			return nil, fmt.Errorf("reshard %v of %v: %w", cmd.Kind, cmd.Group, err)
+		}
+	}
+	during := window(count.Load()-s1, time.Since(migStart))
+	rc.Close()
+
+	s2 := count.Load()
+	time.Sleep(opts.Measure)
+	after := window(count.Load()-s2, opts.Measure)
+
+	stop.Store(true)
+	wg.Wait()
+	return []Series{
+		{Label: "before(2 shards)", Points: []Point{before}},
+		{Label: "during(2→4 split)", Points: []Point{during}},
+		{Label: "after(4 shards)", Points: []Point{after}},
+	}, nil
+}

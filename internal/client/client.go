@@ -83,6 +83,11 @@ type Client struct {
 	readFloor uint64
 	wmLog     []wmObs
 	staleRR   int
+
+	// seenEpoch is the highest placement epoch stamped on any validated
+	// reply — the passive signal that the cluster's placement moved and
+	// the router's cache may be stale.
+	seenEpoch uint64
 }
 
 // New assembles a client from a policy with the default retry behavior
@@ -228,8 +233,16 @@ func (c *Client) validReply(env transport.Envelope, ts uint64) *message.Message 
 	if !c.suite.Verify(crypto.ReplicaPrincipal(int(m.From)), m.SignedBytes(), m.Sig) {
 		return nil
 	}
+	if m.Epoch > c.seenEpoch {
+		c.seenEpoch = m.Epoch
+	}
 	return m
 }
+
+// LastSeenEpoch returns the highest placement epoch any validated reply
+// carried. The router compares it against its placement cache and
+// refreshes from the meta group when the cluster has moved ahead.
+func (c *Client) LastSeenEpoch() uint64 { return c.seenEpoch }
 
 // ---------------------------------------------------------------------------
 // SeeMoRe policy

@@ -3,8 +3,10 @@ package client
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/ids"
+	"repro/internal/placement"
 	"repro/internal/statemachine"
 	"repro/internal/txn"
 )
@@ -27,6 +29,35 @@ type RangePartitioner interface {
 	RangeGroups(lo, hi string) []ids.GroupID
 }
 
+// Placement is the router's single routing entry point: both the static
+// Partitioner (wrapped by staticPlacement) and the elastic
+// placement.Cache satisfy it, so every routing decision — point ops,
+// fan-outs, scans, transaction partitioning — flows through one
+// interface regardless of whether the deployment can reshard.
+type Placement interface {
+	Shards() int
+	Owner(key string) ids.GroupID
+	RangeGroups(lo, hi string) []ids.GroupID
+}
+
+// staticPlacement adapts a fixed Partitioner to the Placement contract,
+// preserving the pre-elastic behavior bit for bit: same owners, and
+// scans visit every group unless the partitioner itself can prune.
+type staticPlacement struct {
+	Partitioner
+}
+
+func (s staticPlacement) RangeGroups(lo, hi string) []ids.GroupID {
+	if rp, ok := s.Partitioner.(RangePartitioner); ok {
+		return rp.RangeGroups(lo, hi)
+	}
+	out := make([]ids.GroupID, s.Shards())
+	for g := range out {
+		out[g] = ids.GroupID(g)
+	}
+	return out
+}
+
 // ErrUnroutable reports an operation the router cannot map to an owner
 // group: no routing key is extractable from it. Malformed frames used
 // to fall through to group 0 silently, which hid client-side encoding
@@ -41,10 +72,27 @@ var ErrUnroutable = errors.New("client: operation has no routing key")
 // goroutine.
 type Router struct {
 	clients []*Client // indexed by GroupID
-	part    Partitioner
+	place   Placement
 	keyOf   func(op []byte) (string, bool)
 	coord   *txn.Coordinator // lazily built by Txn/MultiPut/ResolveTx
+	// cache is non-nil on elastic deployments: the newest placement map
+	// observed, refreshed from KVWrongEpoch rejections. Static routers
+	// leave it nil and never retry on epoch grounds.
+	cache *placement.Cache
+	// OnWrongEpoch, when set, observes every epoch rejection the router
+	// absorbs (the CLI's -v wiring; tests count reroutes through it).
+	OnWrongEpoch func(g ids.GroupID, m *placement.Map)
 }
+
+// Epoch-rejection retry budget. A rejection normally resolves in one
+// hop (the attached map points at the new owner); the longer tail is a
+// key inside a range that is mid-handoff, where the new owner keeps
+// fencing until the final install page commits — that is the moving
+// range's bounded unavailability, and the budget must ride it out.
+const (
+	maxEpochRetries = 400
+	epochRetryWait  = 25 * time.Millisecond
+)
 
 // NewRouter assembles a router from per-group clients (index g serves
 // group g; every group must be covered). keyOf extracts the routing key
@@ -54,8 +102,24 @@ func NewRouter(clients []*Client, part Partitioner, keyOf func(op []byte) (strin
 	if part == nil {
 		return nil, fmt.Errorf("client: router needs a partitioner")
 	}
-	if len(clients) != part.Shards() {
-		return nil, fmt.Errorf("client: router has %d clients for %d shards", len(clients), part.Shards())
+	return newRouter(clients, staticPlacement{part}, nil, keyOf)
+}
+
+// NewElasticRouter assembles a router over a placement cache instead of
+// a static partitioner: routing follows the newest placement map the
+// cache holds, and stale-epoch rejections refresh it and reroute. The
+// client set covers every provisioned group — spares included, since a
+// split can make any of them an owner while this router is running.
+func NewElasticRouter(clients []*Client, cache *placement.Cache, keyOf func(op []byte) (string, bool)) (*Router, error) {
+	if cache == nil {
+		return nil, fmt.Errorf("client: elastic router needs a placement cache")
+	}
+	return newRouter(clients, cache, cache, keyOf)
+}
+
+func newRouter(clients []*Client, place Placement, cache *placement.Cache, keyOf func(op []byte) (string, bool)) (*Router, error) {
+	if len(clients) != place.Shards() {
+		return nil, fmt.Errorf("client: router has %d clients for %d shards", len(clients), place.Shards())
 	}
 	for g, cl := range clients {
 		if cl == nil {
@@ -65,7 +129,7 @@ func NewRouter(clients []*Client, part Partitioner, keyOf func(op []byte) (strin
 	if keyOf == nil {
 		keyOf = statemachine.KVOpKey
 	}
-	return &Router{clients: clients, part: part, keyOf: keyOf}, nil
+	return &Router{clients: clients, place: place, keyOf: keyOf, cache: cache}, nil
 }
 
 // Shards returns the number of groups the router spans.
@@ -79,52 +143,117 @@ func (r *Router) OwnerOf(op []byte) (ids.GroupID, error) {
 	if !ok {
 		return 0, fmt.Errorf("%w (op of %d bytes)", ErrUnroutable, len(op))
 	}
-	return r.part.Owner(key), nil
+	return r.place.Owner(key), nil
+}
+
+// noteWrongEpoch absorbs one KVWrongEpoch rejection from group g:
+// adopt the attached (authoritative, consensus-ordered) map when it is
+// newer, tell the observer, and report whether the caller should retry
+// and whether the routing actually changed (when it did not, the key is
+// mid-handoff and the retry should back off instead of spinning).
+func (r *Router) noteWrongEpoch(g ids.GroupID, payload []byte) (updated bool, err error) {
+	if r.cache == nil {
+		// A static deployment never legitimately sees the fence; treat
+		// it as the protocol error it is.
+		return false, fmt.Errorf("client: group %v rejected a request for epoch reasons on a static deployment", g)
+	}
+	m, err := placement.DecodeMap(payload)
+	if err != nil {
+		return false, fmt.Errorf("client: malformed placement map in epoch rejection from %v: %w", g, err)
+	}
+	updated = r.cache.Update(m)
+	if r.OnWrongEpoch != nil {
+		r.OnWrongEpoch(g, m)
+	}
+	return updated, nil
+}
+
+// invokeRouted runs op against its owner group, absorbing stale-epoch
+// rejections: each one refreshes the placement cache from the attached
+// map and reroutes. Every attempt is a fresh request (new timestamp) to
+// the then-current owner; the rejected attempt executed as a pure
+// rejection on the old owner, so rerouting never duplicates an effect.
+func (r *Router) invokeRouted(key string, op []byte, cancel <-chan struct{}, do func(g ids.GroupID) ([]byte, error)) ([]byte, error) {
+	for attempt := 0; ; attempt++ {
+		g := r.place.Owner(key)
+		res, err := do(g)
+		if err != nil {
+			return nil, err
+		}
+		status, payload := statemachine.DecodeResult(res)
+		if status != statemachine.KVWrongEpoch {
+			return res, nil
+		}
+		updated, err := r.noteWrongEpoch(g, payload)
+		if err != nil {
+			return nil, err
+		}
+		if attempt >= maxEpochRetries {
+			return nil, fmt.Errorf("client: key %q still fenced after %d epoch retries", key, attempt)
+		}
+		if !updated && r.place.Owner(key) == g {
+			// Same owner, same map: the range is mid-handoff (sealed at
+			// the source or still installing at the target). Wait out a
+			// slice of the handoff window.
+			select {
+			case <-cancel:
+				return nil, ErrCanceled
+			case <-time.After(epochRetryWait):
+			}
+		}
+	}
 }
 
 // Invoke routes one operation to its owner group and blocks for that
 // group's reply quorum, exactly as Client.Invoke does against an
-// unsharded cluster.
+// unsharded cluster. On an elastic deployment stale-epoch rejections
+// are absorbed: the router refreshes its placement cache from the
+// rejection and reroutes, so callers never see a misrouted result.
 func (r *Router) Invoke(op []byte) ([]byte, error) {
-	g, err := r.OwnerOf(op)
-	if err != nil {
-		return nil, err
-	}
-	return r.clients[g].Invoke(op)
+	return r.InvokeCancel(op, nil)
 }
 
 // InvokeCancel is Invoke with an early-exit signal, completing the
 // Invoker surface (the 2PC coordinator cancels sibling legs through
 // it).
 func (r *Router) InvokeCancel(op []byte, cancel <-chan struct{}) ([]byte, error) {
-	g, err := r.OwnerOf(op)
-	if err != nil {
-		return nil, err
+	key, ok := r.keyOf(op)
+	if !ok {
+		return nil, fmt.Errorf("%w (op of %d bytes)", ErrUnroutable, len(op))
 	}
-	return r.clients[g].InvokeCancel(op, cancel)
+	return r.invokeRouted(key, op, cancel, func(g ids.GroupID) ([]byte, error) {
+		return r.clients[g].InvokeCancel(op, cancel)
+	})
 }
 
 // Read routes a single-key read to its owner group at the requested
-// consistency level (see Client.Read). Range scans have no single
-// owner; use Scan.
+// consistency level (see Client.Read), rerouting on stale-epoch
+// rejections like Invoke. Range scans have no single owner; use Scan.
 func (r *Router) Read(op []byte, opts ReadOptions) ([]byte, error) {
-	g, err := r.OwnerOf(op)
-	if err != nil {
-		return nil, err
+	key, ok := r.keyOf(op)
+	if !ok {
+		return nil, fmt.Errorf("%w (op of %d bytes)", ErrUnroutable, len(op))
 	}
-	return r.clients[g].Read(op, opts)
+	return r.invokeRouted(key, op, nil, func(g ids.GroupID) ([]byte, error) {
+		return r.clients[g].Read(op, opts)
+	})
 }
 
-// scanGroups returns the groups a scan of [lo, hi) must visit.
+// scanGroups returns the groups a scan of [lo, hi) must visit. Elastic
+// deployments visit every provisioned group rather than the cached
+// map's owners: scans are served from committed local state and are
+// not epoch-fenced, so a stale cache must not cause a freshly installed
+// range to be skipped — an empty spare answers an empty page, which is
+// cheap.
 func (r *Router) scanGroups(lo, hi string) []ids.GroupID {
-	if rp, ok := r.part.(RangePartitioner); ok {
-		return rp.RangeGroups(lo, hi)
+	if r.cache != nil {
+		out := make([]ids.GroupID, len(r.clients))
+		for g := range out {
+			out[g] = ids.GroupID(g)
+		}
+		return out
 	}
-	out := make([]ids.GroupID, r.part.Shards())
-	for g := range out {
-		out[g] = ids.GroupID(g)
-	}
-	return out
+	return r.place.RangeGroups(lo, hi)
 }
 
 // Scan merge-streams the key range [lo, hi) across every involved
@@ -170,7 +299,7 @@ func (r *Router) Scan(lo, hi string, limit int, opts ReadOptions) (pairs []state
 		}
 		return nil
 	}
-	streams := make([]*shardStream, 0, r.part.Shards())
+	streams := make([]*shardStream, 0, r.place.Shards())
 	for _, g := range r.scanGroups(lo, hi) {
 		s := &shardStream{g: g, next: lo}
 		if err := fill(s); err != nil {
@@ -216,13 +345,38 @@ func (r *Router) Scan(lo, hi string, limit int, opts ReadOptions) (pairs []state
 // goroutines are canceled, so the call returns as soon as the error is
 // observed instead of waiting out every other group's retry budget.
 func (r *Router) MultiGet(keys []string) ([][]byte, error) {
+	// The whole fan-out retries when any leg hits the epoch fence: the
+	// rejection refreshed the cache, so the next pass partitions the
+	// keys under the newer map. Bounded like every epoch retry.
+	for attempt := 0; ; attempt++ {
+		out, err := r.multiGetOnce(keys)
+		var stale *epochStaleError
+		if !errors.As(err, &stale) {
+			return out, err
+		}
+		if attempt >= maxEpochRetries {
+			return nil, fmt.Errorf("client: multi-get still fenced after %d epoch retries", attempt)
+		}
+		if !stale.updated {
+			time.Sleep(epochRetryWait) // mid-handoff; see invokeRouted
+		}
+	}
+}
+
+// epochStaleError aborts one multiGetOnce pass; updated mirrors
+// noteWrongEpoch's report so the retry knows whether to back off.
+type epochStaleError struct{ updated bool }
+
+func (e *epochStaleError) Error() string { return "client: multi-get leg hit a stale placement epoch" }
+
+func (r *Router) multiGetOnce(keys []string) ([][]byte, error) {
 	type slot struct {
 		idx int
 		key string
 	}
 	byGroup := make(map[ids.GroupID][]slot)
 	for i, k := range keys {
-		g := r.part.Owner(k)
+		g := r.place.Owner(k)
 		byGroup[g] = append(byGroup[g], slot{idx: i, key: k})
 	}
 
@@ -248,6 +402,13 @@ func (r *Router) MultiGet(keys []string) ([][]byte, error) {
 				return fmt.Errorf("client: multi-get %q from %v: %w", s.key, g, err)
 			}
 			status, value := statemachine.DecodeResult(res)
+			if status == statemachine.KVWrongEpoch {
+				updated, err := r.noteWrongEpoch(g, value)
+				if err != nil {
+					return err
+				}
+				return &epochStaleError{updated: updated}
+			}
 			if status == statemachine.KVOK {
 				out[s.idx] = append([]byte(nil), value...)
 			}
@@ -274,7 +435,7 @@ func (r *Router) coordinator() (*txn.Coordinator, error) {
 	for g, cl := range r.clients {
 		groups[g] = cl
 	}
-	co, err := txn.New(r.clients[0].ID(), groups, r.part, r.clients[0].AllocateTimestamp)
+	co, err := txn.New(r.clients[0].ID(), groups, r.place, r.clients[0].AllocateTimestamp)
 	if err != nil {
 		return nil, err
 	}
@@ -294,7 +455,28 @@ func (r *Router) Txn(writes [][]byte) error {
 	if err != nil {
 		return err
 	}
-	return co.Exec(writes)
+	// The coordinator partitions by r.place, so after an epoch-fence
+	// rejection refreshes the cache the retry re-partitions the writes
+	// under the new map. The fence guarantees the rejected attempt
+	// acquired nothing on the rejecting shard and the abort legs
+	// released the rest, so the fresh-id retry is effect-free.
+	for attempt := 0; ; attempt++ {
+		err := co.Exec(writes)
+		var stale *txn.EpochError
+		if !errors.As(err, &stale) {
+			return err
+		}
+		updated, nerr := r.noteWrongEpoch(stale.Group, stale.Placement)
+		if nerr != nil {
+			return nerr
+		}
+		if attempt >= maxEpochRetries {
+			return fmt.Errorf("client: transaction still fenced after %d epoch retries: %w", attempt, err)
+		}
+		if !updated {
+			time.Sleep(epochRetryWait) // mid-handoff; see invokeRouted
+		}
+	}
 }
 
 // MultiPut atomically writes several key/value pairs across their owner

@@ -19,6 +19,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/paxos"
 	"repro/internal/pbft"
+	"repro/internal/placement"
 	"repro/internal/shard"
 	"repro/internal/statemachine"
 	"repro/internal/storage"
@@ -125,6 +126,23 @@ type Spec struct {
 	// the primary serves Leased reads locally (see config.Leases). The
 	// zero value disables leases; baselines ignore the field.
 	Leases config.Leases
+	// Elastic provisions the deployment for live resharding: every group
+	// is seeded with the epoch-1 bootstrap placement map, group 0
+	// additionally holds the authoritative copy as the meta group, and
+	// NewRouter returns an elastic router that reroutes on wrong-epoch
+	// rejections. Requires the default KV state machine (the placement
+	// opcodes live there).
+	Elastic bool
+	// SpareGroups provisions this many consensus groups beyond Shards.
+	// Spares are full clusters on the shared network that own no key
+	// ranges at bootstrap; split and move commands migrate ranges onto
+	// them at runtime. Requires Elastic.
+	SpareGroups int
+	// ResizeHeadroom reserves signing-key material for this many replica
+	// IDs per group beyond the bootstrap size, so ResizeGroupPublic can
+	// grow a group without re-keying the deployment. Key derivation is
+	// per-principal, so headroom changes no existing key.
+	ResizeHeadroom int
 }
 
 // Node is the uniform replica handle.
@@ -164,8 +182,13 @@ type Cluster struct {
 	// Partitioner is the key→group mapping routers use; nil when the
 	// deployment is a single group.
 	Partitioner *shard.HashPartitioner
+	// Placement is the epoch-1 bootstrap placement map every group was
+	// seeded with; nil unless Spec.Elastic.
+	Placement *placement.Map
 
 	groupNets []transport.Network // per-group namespaced (and Byzantine-wrapped) views of Net
+	groupMB   []ids.Membership    // per-group membership (SeeMoRe; diverges after resize)
+	groupN    []int               // per-group replica count (diverges after resize)
 	timing    config.Timing
 	stopped   bool
 }
@@ -213,6 +236,18 @@ func New(spec Spec) (*Cluster, error) {
 	if err := spec.Client.Validate(); err != nil {
 		return nil, err
 	}
+	if spec.SpareGroups < 0 {
+		return nil, fmt.Errorf("cluster: negative spare group count %d", spec.SpareGroups)
+	}
+	if spec.ResizeHeadroom < 0 {
+		return nil, fmt.Errorf("cluster: negative resize headroom %d", spec.ResizeHeadroom)
+	}
+	if spec.SpareGroups > 0 && !spec.Elastic {
+		return nil, fmt.Errorf("cluster: spare groups need Spec.Elastic (they own no ranges without a placement map)")
+	}
+	if spec.Elastic && spec.NewStateMachine != nil {
+		return nil, fmt.Errorf("cluster: elastic deployments need the default KV state machine (placement ops live there)")
+	}
 	if spec.Timing == (config.Timing{}) {
 		spec.Timing = config.Timing{
 			ViewChange:       100 * time.Millisecond,
@@ -247,11 +282,12 @@ func New(spec Spec) (*Cluster, error) {
 	}
 
 	var suite crypto.Suite
+	keyed := n + spec.ResizeHeadroom // per-principal derivation: headroom adds keys, changes none
 	switch spec.Suite {
 	case "", "hmac":
-		suite = crypto.NewHMACSuite(spec.Seed, n, spec.MaxClients)
+		suite = crypto.NewHMACSuite(spec.Seed, keyed, spec.MaxClients)
 	case "ed25519":
-		suite = crypto.NewEd25519Suite(spec.Seed, n, spec.MaxClients)
+		suite = crypto.NewEd25519Suite(spec.Seed, keyed, spec.MaxClients)
 	case "none":
 		suite = crypto.NoopSuite{}
 	default:
@@ -266,14 +302,26 @@ func New(spec Spec) (*Cluster, error) {
 		SuiteImpl:  suite,
 		timing:     spec.Timing,
 	}
-	groups := sharding.Shards
-	if groups > 1 {
-		c.Partitioner = shard.MustHashPartitioner(groups)
+	owners := sharding.Shards
+	groups := owners + spec.SpareGroups
+	if owners > 1 {
+		c.Partitioner = shard.MustHashPartitioner(owners)
+	}
+	if spec.Elastic {
+		boot, err := placement.Bootstrap(owners, groups, n)
+		if err != nil {
+			return nil, err
+		}
+		c.Placement = boot
 	}
 	c.Groups = make([][]Node, groups)
 	c.GroupSMs = make([][]statemachine.StateMachine, groups)
 	c.groupNets = make([]transport.Network, groups)
+	c.groupMB = make([]ids.Membership, groups)
+	c.groupN = make([]int, groups)
 	for g := 0; g < groups; g++ {
+		c.groupMB[g] = mb
+		c.groupN[g] = n
 		// Each group gets its own namespaced view of the one shared
 		// network (identity for group 0); Byzantine behaviors install at
 		// the same group-local IDs everywhere.
@@ -296,7 +344,45 @@ func New(spec Spec) (*Cluster, error) {
 			node.Start()
 		}
 	}
+	if spec.Elastic {
+		if err := c.seedPlacement(); err != nil {
+			c.Stop()
+			return nil, err
+		}
+	}
 	return c, nil
+}
+
+// seedPlacement installs the bootstrap map through consensus: every
+// group commits a PlaceInit (its fence map) and the meta group commits a
+// MetaInit (the authoritative copy). Seeding is itself ordered — it
+// rides the same client path as every other command — so replicas that
+// recover from their WAL replay it like any write. The seeding client
+// takes the top client ID; tests should stay below MaxClients-1.
+func (c *Cluster) seedPlacement() error {
+	id := ids.ClientID(c.Spec.MaxClients - 1)
+	for g := range c.Groups {
+		cl := c.NewClientIn(ids.GroupID(g), id)
+		res, err := cl.Invoke(statemachine.EncodePlaceInit(ids.GroupID(g), c.Placement))
+		if err == nil {
+			if status, _ := statemachine.DecodeResult(res); status != statemachine.KVOK {
+				err = fmt.Errorf("status %d", status)
+			}
+		}
+		if err == nil && g == int(client.MetaGroup) {
+			res, err = cl.Invoke(statemachine.EncodeMetaInit(c.Placement))
+			if err == nil {
+				if status, _ := statemachine.DecodeResult(res); status != statemachine.KVOK {
+					err = fmt.Errorf("status %d", status)
+				}
+			}
+		}
+		cl.Close()
+		if err != nil {
+			return fmt.Errorf("cluster: seed placement on group %d: %w", g, err)
+		}
+	}
+	return nil
 }
 
 func (c *Cluster) buildNode(g ids.GroupID, id ids.ReplicaID) (Node, error) {
@@ -308,7 +394,7 @@ func (c *Cluster) buildNode(g ids.GroupID, id ids.ReplicaID) (Node, error) {
 	}
 	switch c.Spec.Protocol {
 	case SeeMoRe:
-		cl, err := config.NewCluster(c.Membership, c.Spec.Mode, c.timing)
+		cl, err := config.NewCluster(c.groupMB[g], c.Spec.Mode, c.timing)
 		if err != nil {
 			return nil, err
 		}
@@ -323,7 +409,7 @@ func (c *Cluster) buildNode(g ids.GroupID, id ids.ReplicaID) (Node, error) {
 		})
 	case Paxos:
 		return paxos.NewReplica(paxos.Options{
-			ID: id, N: c.N, Suite: c.SuiteImpl, Network: c.groupNets[g],
+			ID: id, N: c.groupN[g], Suite: c.SuiteImpl, Network: c.groupNets[g],
 			StateMachine: sm, Timing: c.timing, Batching: c.Spec.Batching,
 			Pipelining: c.Spec.Pipelining, TickInterval: c.Spec.TickInterval,
 			Storage: st,
@@ -331,7 +417,7 @@ func (c *Cluster) buildNode(g ids.GroupID, id ids.ReplicaID) (Node, error) {
 	case PBFT:
 		f := c.Spec.Crash + c.Spec.Byz
 		return pbft.NewReplica(pbft.Options{
-			ID: id, N: c.N, Byz: f, Crash: 0,
+			ID: id, N: c.groupN[g], Byz: f, Crash: 0,
 			Suite: c.SuiteImpl, Network: c.groupNets[g],
 			StateMachine: sm, Timing: c.timing, Batching: c.Spec.Batching,
 			Pipelining: c.Spec.Pipelining, TickInterval: c.Spec.TickInterval,
@@ -339,7 +425,7 @@ func (c *Cluster) buildNode(g ids.GroupID, id ids.ReplicaID) (Node, error) {
 		})
 	case UpRight:
 		return pbft.NewReplica(pbft.Options{
-			ID: id, N: c.N, Byz: c.Spec.Byz, Crash: c.Spec.Crash,
+			ID: id, N: c.groupN[g], Byz: c.Spec.Byz, Crash: c.Spec.Crash,
 			Suite: c.SuiteImpl, Network: c.groupNets[g],
 			StateMachine: sm, Timing: c.timing, Batching: c.Spec.Batching,
 			Pipelining: c.Spec.Pipelining, TickInterval: c.Spec.TickInterval,
@@ -397,6 +483,72 @@ func (c *Cluster) RestartNode(id ids.ReplicaID) error {
 	return c.RestartNodeIn(0, id)
 }
 
+// MembershipIn reports the current membership of one group (SeeMoRe
+// only; the zero value otherwise). It starts equal to Cluster.Membership
+// and diverges after ResizeGroupPublic.
+func (c *Cluster) MembershipIn(g ids.GroupID) ids.Membership { return c.groupMB[g] }
+
+// SizeIn reports the current replica count of one group.
+func (c *Cluster) SizeIn(g ids.GroupID) int { return c.groupN[g] }
+
+// ResizeGroupPublic grows (extra > 0) or shrinks (extra < 0) the public
+// cloud of one SeeMoRe group by |extra| replicas, stop-and-copy: every
+// replica in the group stops, the group is rebuilt under the new
+// membership, and all replicas restart together — so there is never a
+// mixed-membership quorum. Surviving replicas recover their log from
+// disk and any new replica catches up by state transfer, which means
+// the group's state survives only with Spec.Durability on; without it
+// the whole group restarts amnesiac (fine for throwaway groups, wrong
+// for one holding data). Growing needs Spec.ResizeHeadroom key slots.
+// Clients and routers built before the resize keep the old membership's
+// reply policy for this group; build fresh ones after.
+//
+// The logical half of a membership change — recording the new replica
+// count in the placement map — is placement.CmdSetReplicas through the
+// meta group; this is the physical half the harness performs once that
+// command commits.
+func (c *Cluster) ResizeGroupPublic(g ids.GroupID, extra int) error {
+	if c.Spec.Protocol != SeeMoRe {
+		return fmt.Errorf("cluster: public-cloud resize is SeeMoRe-only (protocol %v)", c.Spec.Protocol)
+	}
+	old := c.groupMB[g]
+	mb, err := ids.NewMembership(old.S(), old.P()+extra, old.C(), old.M())
+	if err != nil {
+		return fmt.Errorf("cluster: resize group %v by %+d: %w", g, extra, err)
+	}
+	// Dry-run the per-node config build so a membership the mode cannot
+	// run on (e.g. Dog with P < 3m+1) is rejected before any node stops.
+	if _, err := config.NewCluster(mb, c.Spec.Mode, c.timing); err != nil {
+		return fmt.Errorf("cluster: resize group %v by %+d: %w", g, extra, err)
+	}
+	n := mb.N()
+	if n > c.N+c.Spec.ResizeHeadroom {
+		return fmt.Errorf("cluster: group %v cannot grow to %d replicas: only %d keyed (raise Spec.ResizeHeadroom)", g, n, c.N+c.Spec.ResizeHeadroom)
+	}
+	for _, node := range c.Groups[g] {
+		node.Stop()
+	}
+	c.groupMB[g] = mb
+	c.groupN[g] = n
+	c.Groups[g] = make([]Node, n)
+	c.GroupSMs[g] = make([]statemachine.StateMachine, n)
+	if g == 0 {
+		c.Nodes = c.Groups[0]
+		c.SMs = c.GroupSMs[0]
+	}
+	for i := 0; i < n; i++ {
+		node, err := c.buildNode(g, ids.ReplicaID(i))
+		if err != nil {
+			return fmt.Errorf("cluster: rebuild replica %d of %v: %w", i, g, err)
+		}
+		c.Groups[g][i] = node
+	}
+	for _, node := range c.Groups[g] {
+		node.Start()
+	}
+	return nil
+}
+
 // RestartNodeIn is RestartNode targeted at one shard: replica id of
 // group g restarts while every other group keeps committing untouched.
 func (c *Cluster) RestartNodeIn(g ids.GroupID, id ids.ReplicaID) error {
@@ -410,25 +562,26 @@ func (c *Cluster) RestartNodeIn(g ids.GroupID, id ids.ReplicaID) error {
 	return nil
 }
 
-// newPolicy builds the protocol-appropriate reply policy (one per
-// group: policies are stateful — they track the group's mode and view).
-func (c *Cluster) newPolicy() client.Policy {
+// newPolicyIn builds the protocol-appropriate reply policy for one
+// group (one per client: policies are stateful — they track the group's
+// mode and view — and groups can diverge in size after a resize).
+func (c *Cluster) newPolicyIn(g ids.GroupID) client.Policy {
 	switch c.Spec.Protocol {
 	case SeeMoRe:
-		return client.NewSeeMoRePolicy(c.Membership, c.Spec.Mode)
+		return client.NewSeeMoRePolicy(c.groupMB[g], c.Spec.Mode)
 	case Paxos:
-		n := c.N
+		n := c.groupN[g]
 		return client.NewGenericPolicy(n, func(v ids.View) ids.ReplicaID {
 			return ids.ReplicaID(int(v % ids.View(n)))
 		}, 1, 1)
 	case PBFT:
-		n := c.N
+		n := c.groupN[g]
 		q := c.Spec.Crash + c.Spec.Byz + 1
 		return client.NewGenericPolicy(n, func(v ids.View) ids.ReplicaID {
 			return ids.ReplicaID(int(v % ids.View(n)))
 		}, q, q)
 	case UpRight:
-		n := c.N
+		n := c.groupN[g]
 		q := c.Spec.Byz + 1
 		return client.NewGenericPolicy(n, func(v ids.View) ids.ReplicaID {
 			return ids.ReplicaID(int(v % ids.View(n)))
@@ -455,7 +608,7 @@ func (c *Cluster) NewClientIn(g ids.GroupID, id ids.ClientID) *client.Client {
 // process coming back with a reseeded initial timestamp.
 func (c *Cluster) NewClientInWithConfig(g ids.GroupID, id ids.ClientID, cc config.Client) *client.Client {
 	return client.NewWithConfig(id, c.SuiteImpl, transport.Grouped(c.Net, g),
-		c.newPolicy(), c.timing, cc)
+		c.newPolicyIn(g), c.timing, cc)
 }
 
 // NewRouter builds the shard-aware client of a sharded deployment: one
@@ -463,13 +616,19 @@ func (c *Cluster) NewClientInWithConfig(g ids.GroupID, id ids.ClientID, cc confi
 // single-group deployment (everything routes to group 0), so callers
 // can be written against Router unconditionally.
 func (c *Cluster) NewRouter(id ids.ClientID) (*client.Router, error) {
-	part := c.Partitioner
-	if part == nil {
-		part = shard.MustHashPartitioner(1)
-	}
 	clients := make([]*client.Client, len(c.Groups))
 	for g := range clients {
 		clients[g] = c.NewClientIn(ids.GroupID(g), id)
+	}
+	if c.Spec.Elastic {
+		// Seed each router with its own snapshot of the bootstrap map;
+		// wrong-epoch rejections and meta reads move it forward from
+		// there independently of other routers.
+		return client.NewElasticRouter(clients, placement.NewCache(c.Placement.Clone()), nil)
+	}
+	part := c.Partitioner
+	if part == nil {
+		part = shard.MustHashPartitioner(1)
 	}
 	return client.NewRouter(clients, part, nil)
 }
@@ -552,7 +711,7 @@ func (c *Cluster) PartitionReplicaLinks(id ids.ReplicaID) {
 // PartitionReplicaLinksIn is PartitionReplicaLinks on one shard.
 func (c *Cluster) PartitionReplicaLinksIn(g ids.GroupID, id ids.ReplicaID) {
 	a := transport.GroupReplicaAddr(g, id)
-	for peer := ids.ReplicaID(0); int(peer) < c.N; peer++ {
+	for peer := ids.ReplicaID(0); int(peer) < c.groupN[g]; peer++ {
 		if peer != id {
 			c.Net.Block(a, transport.GroupReplicaAddr(g, peer))
 		}
@@ -567,7 +726,7 @@ func (c *Cluster) HealReplicaLinks(id ids.ReplicaID) {
 // HealReplicaLinksIn undoes PartitionReplicaLinksIn.
 func (c *Cluster) HealReplicaLinksIn(g ids.GroupID, id ids.ReplicaID) {
 	a := transport.GroupReplicaAddr(g, id)
-	for peer := ids.ReplicaID(0); int(peer) < c.N; peer++ {
+	for peer := ids.ReplicaID(0); int(peer) < c.groupN[g]; peer++ {
 		if peer != id {
 			c.Net.Unblock(a, transport.GroupReplicaAddr(g, peer))
 		}

@@ -502,6 +502,7 @@ func (r *Replica) sendReply(mode ids.Mode, view ids.View, req *message.Request, 
 		// anchor the staleness bound and monotonicity of later
 		// coordination-free reads (read.go).
 		Watermark: r.exec.LastExecuted(),
+		Epoch:     r.exec.PlacementEpoch(),
 	}
 	r.eng.Sign(rep)
 	r.eng.SendClient(req.Client, rep)

@@ -172,6 +172,7 @@ func (r *Replica) serveRead(req *message.Request, c message.Consistency) {
 		Result:      result,
 		Consistency: c,
 		Watermark:   r.exec.LastExecuted(),
+		Epoch:       r.exec.PlacementEpoch(),
 	}
 	r.eng.Sign(rep)
 	r.eng.SendClient(req.Client, rep)

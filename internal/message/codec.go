@@ -301,6 +301,7 @@ func Marshal(m *Message) []byte {
 	e.u64(uint64(m.ActiveView))
 	e.u8(uint8(m.Consistency))
 	e.u64(m.Watermark)
+	e.u64(m.Epoch)
 	e.signedSet(m.CheckpointProof)
 	e.signedSet(m.Prepares)
 	e.signedSet(m.Commits)
@@ -330,6 +331,7 @@ func Unmarshal(frame []byte) (*Message, error) {
 	m.ActiveView = ids.View(d.u64())
 	m.Consistency = Consistency(d.u8())
 	m.Watermark = d.u64()
+	m.Epoch = d.u64()
 	m.CheckpointProof = d.signedSet()
 	m.Prepares = d.signedSet()
 	m.Commits = d.signedSet()

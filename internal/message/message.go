@@ -314,6 +314,12 @@ type Message struct {
 	// stamped on read replies. Clients use it to bound staleness and to
 	// keep their own reads monotonic.
 	Watermark uint64
+	// Epoch is the replying replica's placement epoch, stamped on every
+	// reply of an elastic deployment (0 otherwise). Clients compare it
+	// against their cached placement map and refresh when the cluster
+	// has moved on — the cheap complement to the KVWrongEpoch rejection
+	// that carries the full map.
+	Epoch uint64
 	// CheckpointProof is ξ, the checkpoint certificate carried by a
 	// VIEW-CHANGE: the signed CHECKPOINT message(s) proving stability.
 	CheckpointProof []Signed
@@ -351,6 +357,7 @@ func (m *Message) SignedBytes() []byte {
 	e.digest(crypto.Sum(m.Result))
 	e.u8(uint8(m.Consistency))
 	e.u64(m.Watermark)
+	e.u64(m.Epoch)
 	e.digest(digestSigned(m.CheckpointProof))
 	e.digest(digestSigned(m.Prepares))
 	e.digest(digestSigned(m.Commits))
@@ -473,6 +480,7 @@ func (m *Message) Equal(o *Message) bool {
 		m.Timestamp != o.Timestamp || m.Client != o.Client ||
 		m.StateDigest != o.StateDigest || m.ActiveView != o.ActiveView ||
 		m.Consistency != o.Consistency || m.Watermark != o.Watermark ||
+		m.Epoch != o.Epoch ||
 		string(m.Result) != string(o.Result) ||
 		string(m.Sig) != string(o.Sig) ||
 		!m.Request.Equal(o.Request) ||

@@ -328,6 +328,7 @@ func (r *Replica) sendReply(view ids.View, req *message.Request, result []byte) 
 		Timestamp: req.Timestamp,
 		Client:    req.Client,
 		Result:    result,
+		Epoch:     r.exec.PlacementEpoch(),
 	}
 	r.eng.Sign(rep)
 	r.eng.SendClient(req.Client, rep)

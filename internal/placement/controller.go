@@ -1,0 +1,250 @@
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/ids"
+)
+
+// Pair is one exported key/value during a range handoff.
+type Pair struct {
+	Key   string
+	Value []byte
+}
+
+// SealResult is the old owner's answer to a seal command: either the
+// frozen range's manifest (count and digest of the canonical listing,
+// which the installer verifies) or Done, meaning this epoch's handoff
+// already finished on the source and the range was purged.
+type SealResult struct {
+	Done   bool
+	Count  uint64
+	Digest [32]byte
+}
+
+// ErrSealBusy is returned by Ops.Seal while an in-range transaction
+// lock prevents freezing the range; the controller resolves and
+// retries. Sealing defers to two-phase commit on purpose: a prepared
+// write inside the range must land or abort on the old owner before the
+// bytes ship, which is half of the "old owner or new, never both"
+// fence.
+var ErrSealBusy = errors.New("placement: range has in-flight transaction locks")
+
+// ErrPending is returned by Ops.MetaApply when the meta map already
+// carries an in-flight migration; the returned map names it so the
+// caller can resume it.
+var ErrPending = errors.New("placement: a migration is already pending")
+
+// Ops is everything the Controller needs from a deployment, abstracted
+// so this package never imports the client or state-machine layers.
+// client.Router provides the concrete implementation; tests provide
+// fakes. Every call routes through consensus on the addressed group,
+// so each step is replicated, durable, and — by construction of the
+// state-machine handlers — idempotent.
+type Ops interface {
+	// MetaGet reads the authoritative map from the meta group.
+	MetaGet() (*Map, error)
+	// MetaApply submits a reconfiguration command to the meta group and
+	// returns the successor map, or ErrPending plus the current map
+	// when a migration is already in flight.
+	MetaApply(c Cmd) (*Map, *Map, error)
+	// MetaDone retires migration epoch on the meta group.
+	MetaDone(epoch uint64) (*Map, error)
+	// Seal freezes the pending range on the old owner under map m,
+	// returning its manifest, ErrSealBusy, or Done.
+	Seal(g ids.GroupID, m *Map) (SealResult, error)
+	// Export reads one page of the frozen range from the old owner:
+	// keys >= start, at most limit pairs, plus a more flag.
+	Export(g ids.GroupID, epoch uint64, start string, limit int) ([]Pair, bool, error)
+	// Install stages pairs on the new owner; the final page sets done
+	// and carries the seal digest, which the owner verifies before
+	// merging the staged range and serving it.
+	Install(g ids.GroupID, m *Map, pairs []Pair, done bool, digest [32]byte) error
+	// Complete purges the sealed range on the old owner.
+	Complete(g ids.GroupID, epoch uint64) error
+}
+
+// Controller drives placement reconfigurations end to end. It holds no
+// state of its own — everything it needs to resume after a crash (its
+// or an owner's) lives in the replicated maps and the owners' seal and
+// import records — so a fresh Controller pointed at the same deployment
+// picks up wherever the last one died.
+type Controller struct {
+	ops Ops
+	// OnPhase, when set, observes phase transitions ("applied",
+	// "sealed", "exported", "installed", "completed", "done") with the
+	// migration epoch. Tests use it to inject crashes mid-handoff.
+	OnPhase func(phase string, epoch uint64)
+	// PageSize caps pairs per export page (default 256, the scan page
+	// cap, so one page fits comfortably in a consensus batch).
+	PageSize int
+	// SealRetries bounds waiting for in-range transaction locks to
+	// drain before sealing fails (default 200 × SealBackoff).
+	SealRetries int
+	// SealBackoff is the wait between seal attempts (default 10ms).
+	SealBackoff time.Duration
+}
+
+// NewController builds a controller over ops.
+func NewController(ops Ops) *Controller { return &Controller{ops: ops} }
+
+func (c *Controller) phase(p string, epoch uint64) {
+	if c.OnPhase != nil {
+		c.OnPhase(p, epoch)
+	}
+}
+
+func (c *Controller) pageSize() int {
+	if c.PageSize > 0 {
+		return c.PageSize
+	}
+	return 256
+}
+
+// Run submits cmd to the meta group and, when it starts a migration,
+// executes the handoff to completion. If a previous migration is still
+// pending (a crashed controller left it mid-flight), Run finishes that
+// one first, then retries cmd once.
+func (c *Controller) Run(cmd Cmd) (*Map, error) {
+	for attempt := 0; ; attempt++ {
+		next, cur, err := c.ops.MetaApply(cmd)
+		if errors.Is(err, ErrPending) {
+			if attempt > 0 || cur == nil || cur.Pending == nil {
+				return nil, err
+			}
+			if _, err := c.resume(cur); err != nil {
+				return nil, fmt.Errorf("finishing stale migration: %w", err)
+			}
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		c.phase("applied", next.Epoch)
+		if next.Pending == nil {
+			return next, nil // e.g. set-replicas: no data moves
+		}
+		return c.resume(next)
+	}
+}
+
+// Resume finishes whatever migration the meta group says is pending;
+// it is a no-op returning the current map when nothing is.
+func (c *Controller) Resume() (*Map, error) {
+	m, err := c.ops.MetaGet()
+	if err != nil {
+		return nil, err
+	}
+	if m.Pending == nil {
+		return m, nil
+	}
+	return c.resume(m)
+}
+
+// resume executes m's pending migration: seal → export/install pages →
+// complete → meta-done. Every step is idempotent on the owners, so
+// re-running any prefix after a crash converges.
+func (c *Controller) resume(m *Map) (*Map, error) {
+	pend := m.Pending
+	sr, err := c.seal(pend.From, m)
+	if err != nil {
+		return nil, err
+	}
+	c.phase("sealed", pend.Epoch)
+	if !sr.Done {
+		// Done means a previous controller finished the copy and purge
+		// but died before telling the meta group; skip straight there.
+		if err := c.copyRange(m, sr); err != nil {
+			return nil, err
+		}
+		c.phase("installed", pend.Epoch)
+		if err := c.ops.Complete(pend.From, pend.Epoch); err != nil {
+			return nil, fmt.Errorf("completing on %v: %w", pend.From, err)
+		}
+		c.phase("completed", pend.Epoch)
+	}
+	out, err := c.ops.MetaDone(pend.Epoch)
+	if err != nil {
+		return nil, fmt.Errorf("retiring epoch %d: %w", pend.Epoch, err)
+	}
+	c.phase("done", pend.Epoch)
+	return out, nil
+}
+
+// seal retries around in-flight transaction locks until the range
+// freezes or the retry budget runs out.
+func (c *Controller) seal(from ids.GroupID, m *Map) (SealResult, error) {
+	retries := c.SealRetries
+	if retries <= 0 {
+		retries = 200
+	}
+	backoff := c.SealBackoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
+	var lastErr error
+	for i := 0; i < retries; i++ {
+		sr, err := c.ops.Seal(from, m)
+		if err == nil {
+			return sr, nil
+		}
+		if !errors.Is(err, ErrSealBusy) {
+			return SealResult{}, fmt.Errorf("sealing on %v: %w", from, err)
+		}
+		lastErr = err
+		time.Sleep(backoff)
+	}
+	return SealResult{}, fmt.Errorf("sealing on %v: %w", from, lastErr)
+}
+
+// copyRange pages the frozen range from the old owner into the new
+// one. The final (possibly empty) page carries done plus the seal
+// digest; Install merges only after verifying it.
+func (c *Controller) copyRange(m *Map, sr SealResult) error {
+	pend := m.Pending
+	start := ""
+	for {
+		pairs, more, err := c.ops.Export(pend.From, pend.Epoch, start, c.pageSize())
+		if err != nil {
+			return fmt.Errorf("exporting from %v: %w", pend.From, err)
+		}
+		if err := c.ops.Install(pend.To, m, pairs, !more, sr.Digest); err != nil {
+			return fmt.Errorf("installing on %v: %w", pend.To, err)
+		}
+		if !more {
+			c.phase("exported", pend.Epoch)
+			return nil
+		}
+		start = pairs[len(pairs)-1].Key + "\x00"
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Dry-run planning (cmd/seemore-plan)
+
+// Plan applies cmd to m without touching any deployment and returns the
+// successor map — the seemore-plan dry run.
+func Plan(m *Map, cmd Cmd) (*Map, error) { return cmd.Apply(m) }
+
+// Describe renders a map for humans, one line per range plus the group
+// table and any pending migration.
+func Describe(m *Map) string {
+	out := fmt.Sprintf("epoch %d: %d ranges over %d groups\n", m.Epoch, len(m.Ranges), len(m.Groups))
+	for _, e := range m.Ranges {
+		out += fmt.Sprintf("  %s -> group %d\n", e.Range, int(e.Group))
+	}
+	for _, g := range m.Groups {
+		spare := ""
+		if len(m.OwnedRanges(g.Group)) == 0 {
+			spare = " (spare)"
+		}
+		out += fmt.Sprintf("  group %d: %d replicas%s\n", int(g.Group), g.Replicas, spare)
+	}
+	if p := m.Pending; p != nil {
+		out += fmt.Sprintf("  pending: %s moves group %d -> group %d at epoch %d\n",
+			p.Range, int(p.From), int(p.To), p.Epoch)
+	}
+	return out
+}

@@ -48,6 +48,16 @@ func (x *Executor) LastExecuted() uint64 { return x.lastExecuted.Load() }
 // Period returns the checkpoint period.
 func (x *Executor) Period() uint64 { return x.period }
 
+// PlacementEpoch reports the state machine's placement epoch, 0 when
+// the machine is not placement-aware (every non-elastic deployment).
+// Replies stamp it so clients track the cluster's epoch passively.
+func (x *Executor) PlacementEpoch() uint64 {
+	if pe, ok := x.sm.(interface{ PlacementEpoch() uint64 }); ok {
+		return pe.PlacementEpoch()
+	}
+	return 0
+}
+
 // Fresh reports whether a client request is newer than the client's last
 // executed one.
 func (x *Executor) Fresh(req *message.Request) bool {

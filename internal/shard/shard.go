@@ -14,11 +14,11 @@ package shard
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 
 	"repro/internal/config"
 	"repro/internal/ids"
+	"repro/internal/placement"
 )
 
 // Partitioner deterministically maps keys to their owner consensus
@@ -108,20 +108,10 @@ func (p *HashPartitioner) String() string {
 	return fmt.Sprintf("hash-range/%d", p.shards)
 }
 
-func hash64(key string) uint64 {
-	f := fnv.New64a()
-	f.Write([]byte(key))
-	h := f.Sum64()
-	// FNV-1a diffuses short keys poorly into the high bits, and
-	// hash-range ownership is decided by exactly those bits; run the
-	// 64-bit murmur3 finalizer so similar keys spread uniformly.
-	h ^= h >> 33
-	h *= 0xff51afd7ed558ccd
-	h ^= h >> 33
-	h *= 0xc4ceb9fe1a85ec53
-	h ^= h >> 33
-	return h
-}
+// hash64 is placement.Hash: the static partitioner and the elastic
+// placement map must agree on every key, so there is exactly one key
+// hash in the tree and it lives with the placement types.
+func hash64(key string) uint64 { return placement.Hash(key) }
 
 // Placement describes where one group of a sharded deployment lives:
 // its contiguous global replica-index range and its keyspace share.

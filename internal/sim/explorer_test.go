@@ -10,18 +10,20 @@ import (
 )
 
 var (
-	simSeeds = flag.Int("sim.seeds", 12,
-		"number of seeds TestSimSeed explores (seed i runs scenario family i%6)")
+	simSeeds = flag.Int("sim.seeds", 14,
+		"number of seeds TestSimSeed explores (seed i runs scenario family i%7)")
 	simLeaseSlack = flag.Duration("sim.leaseslack", 0,
 		"inject the serve-past-lease-expiry bug into lease-family seeds (validates the checker; any non-zero value should make TestSimSeed fail)")
 )
 
 // seedConfig maps one explorer seed to its scenario. Seeds rotate
-// through six families — the five protocol/mode smoke shapes plus the
-// lease-safety shape — so a seed sweep exercises every engine and the
-// fast-read machinery.
+// through seven families — the five protocol/mode smoke shapes, the
+// lease-safety shape, and the resharding shape (family 6, which is
+// cluster-driven and dispatched directly by TestSimSeed) — so a seed
+// sweep exercises every engine, the fast-read machinery, and live
+// migration under seeded faults.
 func seedConfig(seed int64) Config {
-	switch seed % 6 {
+	switch seed % 7 {
 	case 0:
 		return baseConfig(seed, cluster.SeeMoRe, ids.Lion)
 	case 1:
@@ -37,7 +39,7 @@ func seedConfig(seed int64) Config {
 	}
 }
 
-// TestSimSeed is the seed explorer. The default -sim.seeds=12 is the
+// TestSimSeed is the seed explorer. The default -sim.seeds=14 is the
 // pinned smoke set every test run pays for; `make sim-explore` sweeps
 // a much larger range. Each seed is an independent subtest, so one
 // failing execution reproduces alone:
@@ -49,6 +51,13 @@ func TestSimSeed(t *testing.T) {
 	for i := 0; i < *simSeeds; i++ {
 		seed := int64(i)
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			if seed%7 == 6 {
+				// The resharding family drives a real elastic cluster
+				// (seeded crash or partition mid-handoff) instead of a
+				// Config run; its invariants live in the scenario.
+				runReshardScenario(t, seed)
+				return
+			}
 			cfg := seedConfig(seed)
 			if *simLeaseSlack > 0 && cfg.Leases.Enabled() {
 				cfg.LeaseSlack = *simLeaseSlack

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/crypto"
 	"repro/internal/ids"
+	"repro/internal/placement"
 )
 
 // StateMachine is the deterministic service replicated by the protocols.
@@ -262,6 +263,12 @@ type KVStore struct {
 	// transaction. Bounded by the number of distinct clients, like the
 	// client table itself.
 	abortHorizon map[ids.ClientID]uint64
+	// place is this group's elastic-placement fence, meta the
+	// authoritative placement map (meta group only); both nil on
+	// non-elastic deployments, whose behavior and snapshot bytes are
+	// unchanged. See placement.go.
+	place *placeState
+	meta  *placement.Map
 }
 
 // txAbortLedgerCap bounds the abort ledger: an abort record only
@@ -560,6 +567,10 @@ func (kv *KVStore) Apply(op []byte) []byte {
 		return kv.txStatus(op[1:])
 	case kvOpScan:
 		return kv.scan(op)
+	case kvOpPlaceInit, kvOpPlaceStatus, kvOpPlaceSeal, kvOpPlaceExport,
+		kvOpPlaceInstall, kvOpPlaceComplete,
+		kvOpMetaInit, kvOpMetaApply, kvOpMetaDone, kvOpMetaGet:
+		return kv.applyPlacement(op)
 	}
 	return kv.applyKV(op, false)
 }
@@ -612,7 +623,10 @@ func (kv *KVStore) scan(op []byte) []byte {
 	}
 	keys := make([]string, 0, len(kv.data))
 	for k := range kv.data {
-		if k >= lo && (hi == "" || k < hi) {
+		// Keys in a sealed outgoing range are omitted: the new owner
+		// will serve them once installed, and a scan overlapping the
+		// handoff must never see a pair from both sides.
+		if k >= lo && (hi == "" || k < hi) && !kv.sealedOut(k) {
 			keys = append(keys, k)
 		}
 	}
@@ -655,6 +669,16 @@ func (kv *KVStore) applyKV(op []byte, inTx bool) []byte {
 	}
 	key := string(op[5 : 5+keyLen])
 	rest := op[5+keyLen:]
+	// Placement fence: a key this group no longer (or does not yet) own
+	// is rejected with the current map attached. Commit-time replay of
+	// buffered transaction writes is exempt — a seal cannot commit while
+	// a prepared transaction holds an in-range lock, so the replay's
+	// keys are always still owned here.
+	if !inTx {
+		if rej := kv.fenceReject(key); rej != nil {
+			return rej
+		}
+	}
 	if !inTx && code != kvOpGet {
 		if holder, held := kv.locks[key]; held {
 			return append([]byte{KVLocked}, appendTxID(nil, holder)...)
@@ -753,6 +777,21 @@ func (kv *KVStore) txPrepare(b []byte) []byte {
 	}
 	if off != len(b) {
 		return []byte{KVBadOp}
+	}
+
+	// Epoch fence, checked before anything is acquired: a prepare
+	// touching a key this group does not currently own (it sealed away,
+	// or is still importing) is rejected with the current placement, so
+	// a cross-shard transaction straddling a migration sees the old
+	// owner or the new one, never both. Checked ahead of the
+	// idempotency cases below on purpose — a still-pending transaction
+	// holding in-range locks blocks the seal itself, so a fenced
+	// re-prepare can only be for a transaction this group never
+	// prepared.
+	for _, key := range keys {
+		if rej := kv.fenceReject(key); rej != nil {
+			return rej
+		}
 	}
 
 	// Idempotent re-prepare of a still-pending transaction.
@@ -1023,7 +1062,9 @@ func (kv *KVStore) Snapshot() []byte {
 		out = binary.BigEndian.AppendUint64(out, uint64(c))
 		out = binary.BigEndian.AppendUint64(out, kv.abortHorizon[c])
 	}
-	return out
+	// Placement section, appended only on elastic deployments so every
+	// pre-placement snapshot stays byte-identical.
+	return kv.appendPlacementSnapshot(out)
 }
 
 // Restore implements StateMachine.
@@ -1070,6 +1111,8 @@ func (kv *KVStore) Restore(snapshot []byte) error {
 		kv.decided = make(map[TxID]byte)
 		kv.abortOrder = nil
 		kv.abortHorizon = make(map[ids.ClientID]uint64)
+		kv.place = nil
+		kv.meta = nil
 		return nil
 	}
 
@@ -1180,8 +1223,11 @@ func (kv *KVStore) Restore(snapshot []byte) error {
 		off += 16
 	}
 
-	if off != len(snapshot) {
-		return fmt.Errorf("statemachine: %d trailing snapshot bytes", len(snapshot)-off)
+	// A snapshot ending here predates (or never had) placement state;
+	// anything further is the optional placement section.
+	place, meta, err := kv.restorePlacement(snapshot, off)
+	if err != nil {
+		return err
 	}
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
@@ -1191,6 +1237,8 @@ func (kv *KVStore) Restore(snapshot []byte) error {
 	kv.decided = decided
 	kv.abortOrder = abortOrder
 	kv.abortHorizon = abortHorizon
+	kv.place = place
+	kv.meta = meta
 	return nil
 }
 

@@ -104,6 +104,23 @@ func (e *ConflictError) Error() string {
 	return fmt.Sprintf("txn: prepare refused by %v, blocked on %v", e.Group, e.Blocker)
 }
 
+// EpochError is Prepare's placement-fence outcome: Group rejected a leg
+// because the placement epoch moved and it no longer owns one of the
+// leg's keys. Placement carries the rejecting shard's encoded current
+// placement map (this package does not interpret it; the router layer
+// refreshes its cache from it and re-partitions the transaction). The
+// fence guarantees the rejected leg acquired nothing, so retrying with
+// a fresh transaction id under the new placement is always safe.
+type EpochError struct {
+	Group     ids.GroupID
+	Placement []byte
+}
+
+// Error implements error.
+func (e *EpochError) Error() string {
+	return fmt.Sprintf("txn: prepare refused by %v, placement epoch moved", e.Group)
+}
+
 // maxConflictRetries bounds how many times Exec retries after a lock
 // conflict before giving up with ErrAborted.
 const maxConflictRetries = 3
@@ -283,6 +300,13 @@ func (t *Tx) Prepare() error {
 				return fmt.Errorf("txn: malformed vote-no payload from %v", g)
 			}
 			return &ConflictError{Group: g, Blocker: blocker}
+		case statemachine.KVWrongEpoch:
+			// The shard no longer owns one of the leg's keys: the
+			// placement moved under the transaction. No lock was
+			// acquired there; the caller refreshes its placement view
+			// and re-partitions. The attached map travels up raw so
+			// this package stays placement-agnostic.
+			return &EpochError{Group: g, Placement: append([]byte(nil), payload...)}
 		default:
 			return fmt.Errorf("txn: prepare on %v rejected with status %d", g, status)
 		}
@@ -393,6 +417,13 @@ func (c *Coordinator) Exec(writes [][]byte) error {
 		}
 		cleanupTimer.Stop()
 		lastErr = perr
+		// A placement-fence rejection surfaces immediately: retrying
+		// under the same stale partitioner view would hit the same
+		// fence, so the caller (the router) must refresh first.
+		var stale *EpochError
+		if errors.As(perr, &stale) {
+			return stale
+		}
 		var conflict *ConflictError
 		if !errors.As(perr, &conflict) || conflict.Blocker == t.ID {
 			break
