@@ -5,7 +5,7 @@ GO      ?= go
 PKGS    ?= ./...
 COVER   ?= coverage.out
 
-.PHONY: all build test race race-client bench bench-json fuzz sim-explore fmt fmt-check vet doclint cover clean help
+.PHONY: all build test race race-client bench bench-json bench-hotpath profile fuzz sim-explore fmt fmt-check vet doclint cover clean help
 
 SIM_SEEDS ?= 200
 
@@ -37,6 +37,14 @@ bench-json: ## machine-readable sweeps → BENCH_pipeline/shard/txn/readmix/resh
 		-measure 300ms -warmup 80ms -shard-clients 48 -json BENCH_readmix.json
 	$(GO) run ./cmd/seemore-bench -exp ablation-reshard \
 		-measure 300ms -warmup 80ms -shard-clients 24 -json BENCH_reshard.json
+
+bench-hotpath: ## hot-path microbenchmarks (pooled codec / batch verify / WAL group commit) → BENCH_hotpath.json
+	$(GO) run ./cmd/seemore-bench -exp hotpath -json BENCH_hotpath.json
+
+profile: ## CPU+heap profile one pipeline sweep → cpu.pprof / mem.pprof (inspect with `go tool pprof`)
+	$(GO) run ./cmd/seemore-bench -exp ablation-pipeline \
+		-measure 200ms -warmup 50ms -clients 8 \
+		-cpuprofile cpu.pprof -memprofile mem.pprof
 
 fuzz: ## fuzz the untrusted-input decoders briefly (wire codec + KV state machine + placement map + linearizability checker)
 	$(GO) test -run='^$$' -fuzz=FuzzDecode$$ -fuzztime=15s ./internal/message
@@ -73,7 +81,7 @@ cover: ## run tests with coverage and print the summary
 	$(GO) tool cover -func=$(COVER) | tail -1
 
 clean: ## remove build artifacts
-	rm -f $(COVER)
+	rm -f $(COVER) cpu.pprof mem.pprof
 	$(GO) clean
 
 help: ## show this help

@@ -9,6 +9,8 @@
 //	seemore-bench -exp ablation-pipeline
 //	seemore-bench -exp fig2a -measure 1s -clients 1,4,16,64,128
 //	seemore-bench -exp fig2a -pipeline 16      # pipelined primaries everywhere
+//	seemore-bench -exp hotpath -json BENCH_hotpath.json
+//	seemore-bench -exp fig2a -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -16,6 +18,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -27,7 +31,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, table1, fig2a, fig2b, fig2c, fig2d, fig3a, fig3b, fig4, ablation-signer, ablation-proxies, ablation-commit, ablation-checkpoint, ablation-crosscloud, ablation-batch, ablation-pipeline, ablation-shard, ablation-txn, ablation-readmix, ablation-reshard")
+		exp      = flag.String("exp", "all", "experiment: all, table1, fig2a, fig2b, fig2c, fig2d, fig3a, fig3b, fig4, ablation-signer, ablation-proxies, ablation-commit, ablation-checkpoint, ablation-crosscloud, ablation-batch, ablation-pipeline, ablation-shard, ablation-txn, ablation-readmix, ablation-reshard, hotpath (microbenchmarks; not part of all)")
 		measure  = flag.Duration("measure", 500*time.Millisecond, "measurement window per load point")
 		warmup   = flag.Duration("warmup", 150*time.Millisecond, "warmup before each measurement")
 		clients  = flag.String("clients", "1,2,4,8,16,32,64", "comma-separated closed-loop client counts")
@@ -40,8 +44,41 @@ func main() {
 		retryTmo = flag.Duration("retry-timeout", 0, "client wait before the first retransmission (0: the protocol timer)")
 		backoff  = flag.Float64("retry-backoff", 0, "client timeout multiplier per retry (≤1: fixed)")
 		jsonOut  = flag.String("json", "", "also write every measured sweep to this JSON file (machine-readable; CI uploads it as an artifact)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (inspect with `go tool pprof`)")
+		memProf  = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			log.Printf("wrote CPU profile to %s", *cpuProf)
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Print(err)
+				return
+			}
+			log.Printf("wrote heap profile to %s", *memProf)
+		}()
+	}
 
 	counts, err := parseCounts(*clients)
 	if err != nil {
@@ -61,6 +98,7 @@ func main() {
 	}
 
 	var collected []bench.JSONExperiment
+	directJSON := false // set when an experiment wrote -json itself
 	record := func(name string, series []bench.Series) {
 		if *jsonOut == "" {
 			return
@@ -174,6 +212,22 @@ func main() {
 			}
 			record(name, series)
 			bench.PrintAblation(os.Stdout, "throughput before/during/after a live 2→4 shard split (Lion, elastic)", "clients", series)
+		case "hotpath":
+			// Microbenchmarks of the codec/crypto/WAL hot paths; excluded
+			// from "all" (they measure library layers, not the protocols)
+			// and written with their own JSON schema.
+			rep, err := bench.RunHotpath()
+			if err != nil {
+				log.Fatalf("hotpath: %v", err)
+			}
+			bench.PrintHotpath(os.Stdout, rep)
+			if *jsonOut != "" {
+				if err := bench.WriteHotpathJSON(*jsonOut, rep); err != nil {
+					log.Fatal(err)
+				}
+				log.Printf("wrote hot-path report to %s", *jsonOut)
+				directJSON = true
+			}
 		case "ablation-crosscloud":
 			lat := []time.Duration{50 * time.Microsecond, 250 * time.Microsecond, time.Millisecond, 4 * time.Millisecond}
 			series, err := bench.AblationCrossCloudLatency(lat, 16, opts, *seed)
@@ -205,7 +259,7 @@ func main() {
 		run(*exp)
 	}
 
-	if *jsonOut != "" {
+	if *jsonOut != "" && !directJSON {
 		if err := bench.WriteJSONReport(*jsonOut, opts, *seed, collected); err != nil {
 			log.Fatal(err)
 		}

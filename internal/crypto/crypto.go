@@ -11,6 +11,8 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+
+	"repro/internal/crypto/edwards25519"
 )
 
 // DigestSize is the size of a message digest in bytes (SHA-256).
@@ -64,6 +66,10 @@ type Suite interface {
 type Ed25519Suite struct {
 	pub  map[Principal]ed25519.PublicKey
 	priv map[Principal]ed25519.PrivateKey
+	// pts caches each public key decompressed onto the curve, paid once
+	// at keyring construction so BatchVerify never re-derives A from its
+	// 32-byte encoding on the hot path.
+	pts map[Principal]*edwards25519.Point
 }
 
 // NewEd25519Suite builds a keyring holding key pairs for replica
@@ -75,6 +81,7 @@ func NewEd25519Suite(seed int64, replicas int, clients int64) *Ed25519Suite {
 	s := &Ed25519Suite{
 		pub:  make(map[Principal]ed25519.PublicKey, replicas+int(clients)),
 		priv: make(map[Principal]ed25519.PrivateKey, replicas+int(clients)),
+		pts:  make(map[Principal]*edwards25519.Point, replicas+int(clients)),
 	}
 	for r := 0; r < replicas; r++ {
 		s.add(ReplicaPrincipal(r), seed)
@@ -92,7 +99,11 @@ func (s *Ed25519Suite) add(p Principal, seed int64) {
 	material[16] = 0xd5 // domain separation from any other seed derivation
 	priv := ed25519.NewKeyFromSeed(hashSeed(material[:]))
 	s.priv[p] = priv
-	s.pub[p] = priv.Public().(ed25519.PublicKey)
+	pub := priv.Public().(ed25519.PublicKey)
+	s.pub[p] = pub
+	if pt, err := new(edwards25519.Point).SetBytes(pub); err == nil {
+		s.pts[p] = pt
+	}
 }
 
 func hashSeed(b []byte) []byte {

@@ -1,0 +1,21 @@
+// Copyright (c) 2021 The Go Authors. All rights reserved.
+// Use of this source code is governed by a BSD-style
+// license that can be found in the LICENSE file.
+
+// Package edwards25519 implements group logic for the twisted Edwards curve
+//
+//	-x^2 + y^2 = 1 + -(121665/121666)*x^2*y^2
+//
+// This is better known as the Edwards curve equivalent to Curve25519, and is
+// the curve used by the Ed25519 signature scheme.
+//
+// This copy is vendored from the Go standard library's internal
+// edwards25519 package (BSD license retained in every file) because
+// true batch verification needs the group operations the public
+// crypto/ed25519 API does not expose. Two additions live in
+// multiscalar.go: VarTimeMultiScalarMult and MultByCofactor, the
+// primitives crypto.BatchVerify builds its one-pass verification
+// equation from. Everything else is unmodified apart from import paths
+// (the fips140 byteorder/subtle shims map onto encoding/binary and
+// crypto/subtle).
+package edwards25519

@@ -1,0 +1,67 @@
+package edwards25519
+
+import (
+	"crypto/rand"
+	"testing"
+)
+
+func randomScalarPoint(t *testing.T) (*Scalar, *Point) {
+	t.Helper()
+	var buf [64]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	s, err := new(Scalar).SetUniformBytes(buf[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rand.Read(buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	k, err := new(Scalar).SetUniformBytes(buf[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, new(Point).ScalarBaseMult(k)
+}
+
+// TestVarTimeMultiScalarMultMatchesNaive pins the batched Straus walk to
+// the reference meaning: the sum of individual variable-base products.
+func TestVarTimeMultiScalarMultMatchesNaive(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 8, 33} {
+		scalars := make([]*Scalar, n)
+		points := make([]*Point, n)
+		want := NewIdentityPoint()
+		for i := 0; i < n; i++ {
+			s, p := randomScalarPoint(t)
+			scalars[i] = s
+			points[i] = p
+			want.Add(want, new(Point).ScalarMult(s, p))
+		}
+		got := new(Point).VarTimeMultiScalarMult(scalars, points)
+		if got.Equal(want) != 1 {
+			t.Fatalf("n=%d: multiscalar product disagrees with naive sum", n)
+		}
+	}
+}
+
+// TestVarTimeMultiScalarMultZeroScalars covers the all-zero-coefficient
+// path, where the main loop never runs.
+func TestVarTimeMultiScalarMultZeroScalars(t *testing.T) {
+	_, p := randomScalarPoint(t)
+	got := new(Point).VarTimeMultiScalarMult([]*Scalar{NewScalar()}, []*Point{p})
+	if got.Equal(NewIdentityPoint()) != 1 {
+		t.Fatal("zero scalar did not produce the identity")
+	}
+}
+
+func TestMultByCofactorMatchesAdditionChain(t *testing.T) {
+	_, p := randomScalarPoint(t)
+	want := NewIdentityPoint()
+	for i := 0; i < 8; i++ {
+		want.Add(want, p)
+	}
+	if got := new(Point).MultByCofactor(p); got.Equal(want) != 1 {
+		t.Fatal("[8]P disagrees with eight additions")
+	}
+}

@@ -200,11 +200,15 @@ func (d *decoder) request() *Request {
 
 func (d *decoder) requestBody() *Request {
 	r := &Request{}
+	d.requestBodyInto(r)
+	return r
+}
+
+func (d *decoder) requestBodyInto(r *Request) {
 	r.Op = d.bytes()
 	r.Timestamp = d.u64()
 	r.Client = ids.ClientID(d.i64())
 	r.Sig = d.bytes()
-	return r
 }
 
 // payload decodes the request/batch slot written by encoder.payload.
@@ -231,17 +235,26 @@ func (d *decoder) payload() (*Request, []*Request) {
 			d.fail(errors.New("message: batch must carry at least two requests"))
 			return nil, nil
 		}
-		out := make([]*Request, 0, n)
+		// The count is already bounded by the frame size, so pre-size the
+		// whole batch: one backing array for the Request structs instead of
+		// one allocation per request.
+		backing := make([]Request, n)
+		out := make([]*Request, n)
 		for i := 0; i < n; i++ {
-			r := d.request()
+			switch d.u8() {
+			case 1:
+			case 0:
+				d.fail(errors.New("message: nil request inside batch"))
+				return nil, nil
+			default:
+				d.fail(errors.New("message: invalid request presence byte"))
+				return nil, nil
+			}
+			d.requestBodyInto(&backing[i])
 			if d.err != nil {
 				return nil, nil
 			}
-			if r == nil {
-				d.fail(errors.New("message: nil request inside batch"))
-				return nil, nil
-			}
-			out = append(out, r)
+			out[i] = &backing[i]
 		}
 		return nil, out
 	default:
@@ -283,9 +296,7 @@ func (d *decoder) signedSet() []Signed {
 	return out
 }
 
-// Marshal encodes m into a fresh byte slice.
-func Marshal(m *Message) []byte {
-	var e encoder
+func (e *encoder) message(m *Message) {
 	e.u8(wireVersion)
 	e.u8(uint8(m.Kind))
 	e.i64(int64(m.From))
@@ -306,6 +317,22 @@ func Marshal(m *Message) []byte {
 	e.signedSet(m.Prepares)
 	e.signedSet(m.Commits)
 	e.bytes(m.Sig)
+}
+
+// Marshal encodes m into a fresh byte slice sized exactly by EncodedSize,
+// so the encoder never regrows mid-message. Steady-state senders should
+// prefer Encode/Release (zero-allocation pooled frames) or AppendTo.
+func Marshal(m *Message) []byte {
+	return m.AppendTo(make([]byte, 0, m.EncodedSize()))
+}
+
+// AppendTo appends the wire encoding of m to dst and returns the extended
+// slice, growing dst only if its capacity is short of EncodedSize. It is
+// the allocation-free encode path for callers that own a reusable buffer
+// (the transport write loop, pooled frames).
+func (m *Message) AppendTo(dst []byte) []byte {
+	e := encoder{buf: dst}
+	e.message(m)
 	return e.buf
 }
 
@@ -349,7 +376,13 @@ func Unmarshal(frame []byte) (*Message, error) {
 // snapshot store persist proposals, votes and checkpoint proofs with the
 // same deterministic encoding the wire uses.
 func MarshalSigned(s *Signed) []byte {
-	var e encoder
+	return s.AppendTo(make([]byte, 0, s.EncodedSize()))
+}
+
+// AppendTo appends the standalone encoding of s (the MarshalSigned
+// format) to dst and returns the extended slice.
+func (s *Signed) AppendTo(dst []byte) []byte {
+	e := encoder{buf: dst}
 	e.signed(s)
 	return e.buf
 }
@@ -371,7 +404,7 @@ func UnmarshalSigned(b []byte) (*Signed, error) {
 // MarshalSignedSet encodes a set of Signed records (a checkpoint
 // certificate ξ persisted next to its snapshot).
 func MarshalSignedSet(set []Signed) []byte {
-	var e encoder
+	e := encoder{buf: make([]byte, 0, sizeSignedSet(set))}
 	e.signedSet(set)
 	return e.buf
 }
@@ -392,7 +425,7 @@ func UnmarshalSignedSet(b []byte) ([]Signed, error) {
 // MarshalRequest encodes a bare request (used by D(µ) and client signing
 // tests); the Message envelope embeds requests with the same encoding.
 func MarshalRequest(r *Request) []byte {
-	var e encoder
+	e := encoder{buf: make([]byte, 0, sizeRequest(r))}
 	e.request(r)
 	return e.buf
 }

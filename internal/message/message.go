@@ -140,7 +140,7 @@ type Request struct {
 
 // SignedBytes returns the bytes a client signature covers.
 func (r *Request) SignedBytes() []byte {
-	var e encoder
+	e := encoder{buf: make([]byte, 0, sizeBytes(r.Op)+8+8)}
 	e.bytes(r.Op)
 	e.u64(r.Timestamp)
 	e.i64(int64(r.Client))
@@ -152,7 +152,7 @@ func (r *Request) SignedBytes() []byte {
 // client remain distinguishable only by timestamp, as the paper requires
 // for exactly-once semantics.
 func (r *Request) Digest() crypto.Digest {
-	var e encoder
+	e := encoder{buf: make([]byte, 0, sizeRequest(r))}
 	e.request(r)
 	return crypto.Sum(e.buf)
 }
@@ -180,7 +180,7 @@ func BatchDigest(reqs []*Request) crypto.Digest {
 	if len(reqs) == 1 {
 		return reqs[0].Digest()
 	}
-	var e encoder
+	e := encoder{buf: make([]byte, 0, 1+4+crypto.DigestSize*len(reqs))}
 	e.u8('B') // domain separation from single-request digests
 	e.u32(uint32(len(reqs)))
 	for _, r := range reqs {
@@ -262,7 +262,7 @@ func (s *Signed) ClearRequests() { s.Request, s.Batch = nil, nil }
 // (Kind, From, View, Seq, Digest) — the request µ travels outside the
 // signature, bound by Digest, exactly as in the paper's 〈〈PREPARE,v,n,d〉σp, µ〉.
 func (s *Signed) SignedBytes() []byte {
-	var e encoder
+	e := encoder{buf: make([]byte, 0, 1+8+8+8+crypto.DigestSize)}
 	e.u8(uint8(s.Kind))
 	e.i64(int64(s.From))
 	e.u64(uint64(s.View))
@@ -343,7 +343,9 @@ func (m *Message) SetRequests(reqs []*Request) { m.Request, m.Batch = splitPaylo
 // payloads (result, evidence sets) are bound by digest so the signature
 // input stays small and unambiguous; the full payloads travel alongside.
 func (m *Message) SignedBytes() []byte {
-	var e encoder
+	// Fixed shape: every variable-size field enters as a 32-byte digest.
+	const size = 1 + 8 + 8 + 8 + 1 + 1 + 8 + 8 + 8 + 8 + 8 + 6*crypto.DigestSize
+	e := encoder{buf: make([]byte, 0, size)}
 	e.u8(uint8(m.Kind))
 	e.i64(int64(m.From))
 	e.u64(uint64(m.View))
@@ -368,7 +370,7 @@ func digestSigned(set []Signed) crypto.Digest {
 	if len(set) == 0 {
 		return crypto.Digest{}
 	}
-	var e encoder
+	e := encoder{buf: make([]byte, 0, sizeSignedSet(set))}
 	e.signedSet(set)
 	return crypto.Sum(e.buf)
 }

@@ -1,0 +1,143 @@
+package message
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/crypto"
+)
+
+// benchMessages are the three steady-state frame shapes the hot path
+// encodes: a client request, a vote (prepare/commit share one shape), and
+// a batched proposal.
+func benchMessages() map[string]*Message {
+	req := &Request{Op: bytes.Repeat([]byte{0x5e}, 64), Timestamp: 7, Client: 3, Sig: bytes.Repeat([]byte{1}, 64)}
+	batch := make([]*Request, 16)
+	for i := range batch {
+		batch[i] = &Request{Op: bytes.Repeat([]byte{byte(i)}, 64), Timestamp: uint64(i), Client: 3, Sig: bytes.Repeat([]byte{2}, 64)}
+	}
+	return map[string]*Message{
+		"request": {Kind: KindRequest, From: -1, Request: req},
+		"vote":    {Kind: KindCommit, From: 2, View: 1, Seq: 99, Digest: req.Digest(), Sig: bytes.Repeat([]byte{3}, 64)},
+		"commit-batch": {
+			Kind: KindPrepare, From: 0, View: 1, Seq: 100,
+			Digest: BatchDigest(batch), Batch: batch, Sig: bytes.Repeat([]byte{4}, 64),
+		},
+	}
+}
+
+// TestEncodeMatchesMarshal pins the pooled encoder to Marshal across the
+// hot-path shapes, including repeated reuse through the pool.
+func TestEncodeMatchesMarshal(t *testing.T) {
+	for name, m := range benchMessages() {
+		want := Marshal(m)
+		if got := m.EncodedSize(); got != len(want) {
+			t.Fatalf("%s: EncodedSize %d, Marshal length %d", name, got, len(want))
+		}
+		for i := 0; i < 4; i++ {
+			f := Encode(m)
+			if !bytes.Equal(f.Bytes(), want) {
+				t.Fatalf("%s: pooled encode diverges from Marshal on reuse %d", name, i)
+			}
+			f.Release()
+		}
+	}
+}
+
+// TestEncodeSignedMatchesMarshalSigned does the same for standalone
+// Signed records (the WAL payload format).
+func TestEncodeSignedMatchesMarshalSigned(t *testing.T) {
+	req := &Request{Op: []byte("op"), Timestamp: 1, Client: 2, Sig: []byte("sig")}
+	for name, s := range map[string]*Signed{
+		"vote":     {Kind: KindCommit, From: 1, View: 2, Seq: 3, Digest: crypto.Sum([]byte("d")), Sig: []byte("vs")},
+		"proposal": {Kind: KindPrepare, From: 0, View: 2, Seq: 3, Digest: req.Digest(), Request: req, Sig: []byte("ps")},
+		"batch": {
+			Kind: KindPrepare, From: 0, View: 2, Seq: 4,
+			Batch: []*Request{req, {Op: []byte("op2"), Timestamp: 2, Client: 3, Sig: []byte("s2")}},
+			Sig:   []byte("bs"),
+		},
+	} {
+		want := MarshalSigned(s)
+		if got := s.EncodedSize(); got != len(want) {
+			t.Fatalf("%s: EncodedSize %d, MarshalSigned length %d", name, got, len(want))
+		}
+		f := EncodeSigned(s)
+		if !bytes.Equal(f.Bytes(), want) {
+			t.Fatalf("%s: pooled encode diverges from MarshalSigned", name)
+		}
+		f.Release()
+		back, err := UnmarshalSigned(want)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(MarshalSigned(back), want) {
+			t.Fatalf("%s: round-trip changed the record", name)
+		}
+	}
+}
+
+// TestFrameForOversized checks that frames beyond the largest size class
+// still work and are simply not pooled.
+func TestFrameForOversized(t *testing.T) {
+	m := &Message{
+		Kind: KindStateReply, From: 1, Seq: 7,
+		Result: bytes.Repeat([]byte{9}, frameClasses[len(frameClasses)-1]+1),
+		Sig:    []byte("x"),
+	}
+	f := Encode(m)
+	if f.class != -1 {
+		t.Fatalf("oversized frame landed in pool class %d", f.class)
+	}
+	if !bytes.Equal(f.Bytes(), Marshal(m)) {
+		t.Fatal("oversized encode diverges from Marshal")
+	}
+	f.Release() // must be a safe no-op
+}
+
+// TestReleaseNil pins that Release on a nil frame is a no-op, so error
+// paths can release unconditionally.
+func TestReleaseNil(t *testing.T) {
+	var f *Frame
+	f.Release()
+}
+
+// BenchmarkEncode measures the pooled steady-state encode path; the
+// acceptance bar is 0 allocs/op for every shape.
+func BenchmarkEncode(b *testing.B) {
+	for name, m := range benchMessages() {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f := Encode(m)
+				f.Release()
+			}
+		})
+	}
+}
+
+// BenchmarkMarshal is the pre-pool baseline for the same shapes.
+func BenchmarkMarshal(b *testing.B) {
+	for name, m := range benchMessages() {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = Marshal(m)
+			}
+		})
+	}
+}
+
+// BenchmarkUnmarshal measures decode, including the pre-sized batch path.
+func BenchmarkUnmarshal(b *testing.B) {
+	for name, m := range benchMessages() {
+		frame := Marshal(m)
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Unmarshal(frame); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -66,13 +66,17 @@ func (j *Journal) Proposal(s *message.Signed) {
 	if !j.Enabled() {
 		return
 	}
+	// Store.Append does not retain the payload, so a pooled frame stages
+	// it without leaving a garbage buffer per journaled record.
+	f := message.EncodeSigned(s)
 	j.append(storage.Record{
 		Kind:    storage.KindProposal,
 		Seq:     s.Seq,
 		View:    uint64(s.View),
 		Digest:  s.Digest,
-		Payload: message.MarshalSigned(s),
+		Payload: f.Bytes(),
 	})
+	f.Release()
 }
 
 // Vote journals a signed vote this replica is about to send.
@@ -80,13 +84,15 @@ func (j *Journal) Vote(s *message.Signed) {
 	if !j.Enabled() {
 		return
 	}
+	f := message.EncodeSigned(s)
 	j.append(storage.Record{
 		Kind:    storage.KindVote,
 		Seq:     s.Seq,
 		View:    uint64(s.View),
 		Digest:  s.Digest,
-		Payload: message.MarshalSigned(s),
+		Payload: f.Bytes(),
 	})
+	f.Release()
 }
 
 // Commit journals that a slot committed; cert (optional) is the commit
@@ -102,10 +108,13 @@ func (j *Journal) Commit(seq uint64, view ids.View, d crypto.Digest, cert *messa
 		View:   uint64(view),
 		Digest: d,
 	}
+	var f *message.Frame
 	if cert != nil {
-		rec.Payload = message.MarshalSigned(cert)
+		f = message.EncodeSigned(cert)
+		rec.Payload = f.Bytes()
 	}
 	j.append(rec)
+	f.Release()
 }
 
 // View journals entry into a view (boot, or an applied NEW-VIEW).

@@ -227,29 +227,55 @@ func (e *Engine) VerifyRequest(r *message.Request) bool {
 	return e.suite.Verify(crypto.ClientPrincipal(int64(r.Client)), r.SignedBytes(), r.Sig)
 }
 
-// VerifyRequests checks every client signature in a slot payload,
-// fanning the independent verifications across a worker pool when the
-// batch is large enough to pay for it (see crypto.VerifyAll). With
-// pipelining the primary keeps several batched slots in flight, so this
-// is the verification hot path on every replica.
+// VerifyRequests checks every client signature in a slot payload with
+// one batched verification pass (see crypto.BatchVerify): all
+// signatures in the batch share a single multi-scalar equation instead
+// of one full verification each. With pipelining the primary keeps
+// several batched slots in flight, so this is the verification hot path
+// on every replica. No-op requests (Client < 0) carry no signature and
+// are excluded from the batch.
 func (e *Engine) VerifyRequests(reqs []*message.Request) bool {
-	return crypto.VerifyAll(len(reqs), func(i int) bool { return e.VerifyRequest(reqs[i]) })
+	items := make([]crypto.BatchItem, 0, len(reqs))
+	for _, r := range reqs {
+		if r.Client < 0 {
+			continue
+		}
+		items = append(items, crypto.BatchItem{
+			Signer: crypto.ClientPrincipal(int64(r.Client)),
+			Msg:    r.SignedBytes(),
+			Sig:    r.Sig,
+		})
+	}
+	ok, _ := crypto.BatchVerify(e.suite, items)
+	return ok
 }
 
 // VerifyRecords checks a set of Signed evidence records — independent
-// slots re-issued by a NEW-VIEW, or a checkpoint certificate — on the
-// same worker pool.
+// slots re-issued by a NEW-VIEW, or a checkpoint certificate — with the
+// same batched verification pass.
 func (e *Engine) VerifyRecords(set []message.Signed) bool {
-	return crypto.VerifyAll(len(set), func(i int) bool { return e.VerifyRecord(&set[i]) })
+	items := make([]crypto.BatchItem, len(set))
+	for i := range set {
+		items[i] = crypto.BatchItem{
+			Signer: crypto.ReplicaPrincipal(int(set[i].From)),
+			Msg:    set[i].SignedBytes(),
+			Sig:    set[i].Sig,
+		}
+	}
+	ok, _ := crypto.BatchVerify(e.suite, items)
+	return ok
 }
 
 // Send marshals and transmits m to a replica. A crashed replica sends
-// nothing.
+// nothing. Encoding goes through a pooled frame — Endpoint.Send must not
+// retain frames, so the buffer is reusable the moment Send returns.
 func (e *Engine) Send(to ids.ReplicaID, m *message.Message) {
 	if e.isCrashed() {
 		return
 	}
-	e.ep.Send(transport.ReplicaAddr(to), message.Marshal(m))
+	f := message.Encode(m)
+	e.ep.Send(transport.ReplicaAddr(to), f.Bytes())
+	f.Release()
 }
 
 // SendClient transmits m to a client.
@@ -257,20 +283,24 @@ func (e *Engine) SendClient(c ids.ClientID, m *message.Message) {
 	if e.isCrashed() {
 		return
 	}
-	e.ep.Send(transport.ClientAddr(c), message.Marshal(m))
+	f := message.Encode(m)
+	e.ep.Send(transport.ClientAddr(c), f.Bytes())
+	f.Release()
 }
 
 // Multicast transmits m to every listed replica except the sender
-// itself (protocols account for their own vote locally).
+// itself (protocols account for their own vote locally). The message is
+// encoded once into a pooled frame shared by every destination.
 func (e *Engine) Multicast(to []ids.ReplicaID, m *message.Message) {
 	if e.isCrashed() {
 		return
 	}
-	frame := message.Marshal(m)
+	f := message.Encode(m)
 	for _, r := range to {
 		if r == e.id {
 			continue
 		}
-		e.ep.Send(transport.ReplicaAddr(r), frame)
+		e.ep.Send(transport.ReplicaAddr(r), f.Bytes())
 	}
+	f.Release()
 }

@@ -311,7 +311,12 @@ func (n *SimNetwork) send(from, to Addr, frame []byte) {
 	}
 	n.mu.Unlock()
 
-	env := Envelope{From: from, Frame: frame}
+	// The frame sits in the scheduler heap until delivery, but Send must
+	// not retain the caller's buffer (it is pooled and reused as soon as
+	// we return) — copy once here, after the drop/partition checks, so
+	// discarded frames cost nothing. Duplicated copies share the clone:
+	// receivers own their envelope but never write through it.
+	env := Envelope{From: from, Frame: append([]byte(nil), frame...)}
 	for _, d := range delays {
 		n.sched.schedule(d, to, env)
 	}

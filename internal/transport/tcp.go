@@ -261,13 +261,22 @@ func (n *TCPNode) readLoop(c net.Conn, from Addr, needHello bool) {
 	}
 }
 
+// writeBufs pools header+frame staging buffers so each send issues one
+// Write (one syscall, and no header/body interleaving between frames
+// racing on the same connection) without allocating per frame.
+var writeBufs = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4<<10)
+	return &b
+}}
+
 func writeFrame(w io.Writer, frame []byte) error {
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(frame)
+	bp := writeBufs.Get().(*[]byte)
+	buf := append((*bp)[:0], 0, 0, 0, 0)
+	binary.BigEndian.PutUint32(buf, uint32(len(frame)))
+	buf = append(buf, frame...)
+	_, err := w.Write(buf)
+	*bp = buf[:0]
+	writeBufs.Put(bp)
 	return err
 }
 

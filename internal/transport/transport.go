@@ -80,6 +80,11 @@ type Endpoint interface {
 	// Send enqueues a frame for delivery to the destination. Sending to
 	// an unattached or closed endpoint silently drops (an asynchronous
 	// network gives no delivery guarantee).
+	//
+	// Send must not retain frame after it returns: callers encode into
+	// pooled buffers they reuse immediately (see message.Encode), so an
+	// implementation that queues frames for later delivery must copy.
+	// Frames delivered on Inbox are owned by the receiver.
 	Send(to Addr, frame []byte)
 	// Inbox delivers received envelopes. It is closed when the endpoint
 	// or the network closes.
