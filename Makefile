@@ -5,7 +5,7 @@ GO      ?= go
 PKGS    ?= ./...
 COVER   ?= coverage.out
 
-.PHONY: all build test race race-client bench bench-json bench-hotpath profile fuzz sim-explore fmt fmt-check vet doclint cover clean help
+.PHONY: all build test race race-client bench bench-json bench-hotpath profile fuzz sim-explore fmt fmt-check vet doclint seemore-vet lint lint-fix cover clean help
 
 SIM_SEEDS ?= 200
 
@@ -63,8 +63,22 @@ fmt-check: ## fail if any file needs gofmt (CI gate)
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-vet: ## static analysis
+vet: ## stock go vet
 	$(GO) vet $(PKGS)
+
+seemore-vet: ## the custom invariant analyzers (clockcheck, releasecheck, simdet, errsticky)
+	$(GO) run ./cmd/seemore-vet $(PKGS)
+
+lint: fmt-check vet doclint seemore-vet ## the full static-analysis umbrella (CI lint gate)
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck $(PKGS)"; staticcheck $(PKGS); \
+	else echo "staticcheck not installed; skipping (CI runs it)"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		echo "govulncheck $(PKGS)"; govulncheck $(PKGS); \
+	else echo "govulncheck not installed; skipping (CI runs it)"; fi
+
+lint-fix: fmt ## apply the automatic fixes (gofmt), then re-run the lint gate
+	$(MAKE) lint
 
 doclint: ## fail if any internal package lacks a package comment (godoc gate)
 	@missing=0; for d in internal/*/; do \

@@ -44,6 +44,8 @@
 // runs.
 package main
 
+//lint:file-allow clockcheck CLI: -initial-ts mints wall-clock client timestamps and latency lines report real elapsed time
+
 import (
 	"errors"
 	"flag"

@@ -63,6 +63,7 @@ func main() {
 	}()
 
 	report := func(phase string) {
+		//lint:allow clockcheck demo pacing: the example sleeps real time between phase reports
 		time.Sleep(500 * time.Millisecond)
 		fmt.Printf("%-22s %6d ops completed, %d client timeouts\n", phase, ops.Load(), failures.Load())
 	}

@@ -1,0 +1,43 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestByName(t *testing.T) {
+	got, err := analysis.ByName([]string{"simdet", "clockcheck"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "simdet" || got[1].Name != "clockcheck" {
+		t.Fatalf("ByName returned %v", got)
+	}
+	if _, err := analysis.ByName([]string{"nope"}); err == nil {
+		t.Fatal("ByName accepted an unknown analyzer name")
+	}
+}
+
+// TestLoadSelf loads this package through the production loader — the
+// same path seemore-vet takes — as a smoke test that export-data
+// type-checking works against the real module.
+func TestLoadSelf(t *testing.T) {
+	pkgs, err := analysis.Load(".", ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	if pkgs[0].Types.Name() != "analysis" {
+		t.Fatalf("loaded package %q", pkgs[0].Types.Name())
+	}
+	diags, err := analysis.Run(pkgs[0], analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("analysis package should be clean, got %v", diags)
+	}
+}

@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Clockcheck enforces PR 7's clock discipline: non-test code never
+// reads the wall clock directly. Every timestamp and timer that can
+// influence protocol behavior must flow through the injected
+// clock.Clock, or the deterministic simulation stops covering the code
+// and the lease-safety-under-bounded-skew argument silently loses its
+// footing. internal/clock itself is exempt — it is the one place the
+// real clock is allowed to live.
+var Clockcheck = &Analyzer{
+	Name: "clockcheck",
+	Doc: "flag direct wall-clock use (time.Now, time.Sleep, timers) outside internal/clock; " +
+		"protocol time must come from the injected clock.Clock",
+	Run: runClockcheck,
+}
+
+// clockFuncs are the time package entry points that read or wait on
+// the wall clock. Pure constructors and arithmetic (time.Duration,
+// time.Unix, t.Add, time.Date, parsing) are fine: they do not observe
+// the host's clock.
+var clockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Since":     true,
+	"Until":     true,
+	"Tick":      true,
+}
+
+func clockExempt(path string) bool {
+	return path == "clock" || strings.HasSuffix(path, "internal/clock")
+}
+
+func runClockcheck(pass *Pass) error {
+	if clockExempt(pass.Pkg.Path()) {
+		return nil
+	}
+	pass.inspect(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		path, ok := pass.importedPkg(sel.X)
+		if !ok || path != "time" || !clockFuncs[sel.Sel.Name] {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"wall-clock call time.%s in non-test code: use the injected clock.Clock (internal/clock)",
+			sel.Sel.Name)
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Errsticky enforces PR 3's sticky-error durability contract: every
+// error returned by the storage layer (Store.Append, Disk.Sync, fsync-
+// bearing Close, snapshot writes, Replay) must be checked. The WAL
+// latches fsync failures sticky — the *next* caller also fails — so a
+// single dropped error is a silent durability hole: the replica keeps
+// acknowledging operations that will not survive a crash. Discarding
+// into the blank identifier counts as dropping; a deliberate drop needs
+// a //lint:allow errsticky annotation with its justification.
+var Errsticky = &Analyzer{
+	Name: "errsticky",
+	Doc: "flag dropped error results from internal/storage calls; the sticky-error " +
+		"durability contract means an unchecked Append/Sync/Close is a durability hole",
+	Run: runErrsticky,
+}
+
+func storagePkg(path string) bool {
+	return path == "storage" || strings.HasSuffix(path, "internal/storage")
+}
+
+// storageErrCall reports whether call invokes a function or method
+// declared in the storage package whose final result is an error, and
+// returns a printable name for it.
+func storageErrCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	fn := pass.pkgFunc(call)
+	if fn == nil || fn.Pkg() == nil || !storagePkg(fn.Pkg().Path()) {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return "", false
+	}
+	last := res.At(res.Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	if !ok || named.Obj().Pkg() != nil || named.Obj().Name() != "error" {
+		return "", false
+	}
+	name := fn.Name()
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			name = n.Obj().Name() + "." + name
+		}
+	}
+	return name, true
+}
+
+func runErrsticky(pass *Pass) error {
+	// The storage package's own internals may stage errors however they
+	// like; the contract binds its callers.
+	if storagePkg(pass.Pkg.Path()) {
+		return nil
+	}
+	report := func(pos ast.Node, name, how string) {
+		pass.Reportf(pos.Pos(),
+			"%s from storage %s: the sticky-error durability contract requires checking it",
+			how, name)
+	}
+	pass.inspect(func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := stmt.X.(*ast.CallExpr); ok {
+				if name, ok := storageErrCall(pass, call); ok {
+					report(stmt, name, "dropped error")
+				}
+			}
+		case *ast.DeferStmt:
+			if name, ok := storageErrCall(pass, stmt.Call); ok {
+				report(stmt, name, "deferred call drops the error")
+			}
+		case *ast.GoStmt:
+			if name, ok := storageErrCall(pass, stmt.Call); ok {
+				report(stmt, name, "go statement drops the error")
+			}
+		case *ast.AssignStmt:
+			// err position assigned to blank: `n, _ := store.X()` or
+			// `_ = store.Close()`.
+			if len(stmt.Rhs) != 1 {
+				return true
+			}
+			call, ok := stmt.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := storageErrCall(pass, call)
+			if !ok {
+				return true
+			}
+			// The error is the call's last result, which lands in the
+			// last LHS position.
+			last := stmt.Lhs[len(stmt.Lhs)-1]
+			if id, ok := last.(*ast.Ident); ok && id.Name == "_" {
+				report(stmt, name, "error discarded to _")
+			}
+		}
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,292 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Package is one loaded, type-checked package ready for analysis. Only
+// non-test files are loaded: every invariant in this suite is a
+// non-test-code contract, and test files are where the exempt idioms
+// (wall-clock waits, raw rand) legitimately live.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader reads.
+type listedPkg struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+}
+
+// goList runs `go list -deps -export -json` in dir for patterns and
+// returns the export-data index (import path -> build cache file) plus
+// the non-standard packages in dependency-first order. -export makes
+// the go command compile everything listed, so export data exists for
+// module packages and stdlib alike without x/tools' gcexportdata.
+func goList(dir string, patterns []string) (map[string]string, []listedPkg, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Export,Dir,GoFiles,Standard",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	exports := map[string]string{}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("go list -json decode: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard {
+			pkgs = append(pkgs, p)
+		}
+	}
+	return exports, pkgs, nil
+}
+
+// exportImporter adapts the build cache's export data to go/importer's
+// gc reader.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+}
+
+// Load type-checks the packages matching patterns (e.g. "./...")
+// relative to dir. Imports resolve through compiled export data, so a
+// tree that builds is a tree that loads.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	exports, listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var out []*Package
+	for _, lp := range listed {
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %w", lp.ImportPath, err)
+		}
+		out = append(out, &Package{
+			Path:  lp.ImportPath,
+			Dir:   lp.Dir,
+			Fset:  fset,
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fixture loading (analysistest).
+//
+// Fixture packages live under testdata/src/<path> where the go tool
+// never looks, so they are loaded straight from source: stdlib imports
+// resolve through export data fetched once per run, and imports of
+// sibling fixture packages (the message/storage stand-ins) are
+// type-checked recursively from source.
+
+// fixtureLoaders caches one loader per testdata/src root: the stdlib
+// export-data `go list` run is the expensive part, and every fixture
+// test under the same root shares it.
+var (
+	fixtureMu      sync.Mutex
+	fixtureLoaders = map[string]*fixtureLoader{}
+)
+
+// LoadFixture type-checks the fixture package at root/path, where root
+// is a testdata/src directory the go tool never builds. Imports of
+// sibling fixture packages resolve recursively from source; everything
+// else resolves through compiled export data.
+func LoadFixture(root, path string) (*Package, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	fixtureMu.Lock()
+	l, ok := fixtureLoaders[abs]
+	if !ok {
+		l, err = newFixtureLoader(abs)
+		if err != nil {
+			fixtureMu.Unlock()
+			return nil, err
+		}
+		fixtureLoaders[abs] = l
+	}
+	fixtureMu.Unlock()
+	return l.load(path)
+}
+
+// fixtureLoader loads testdata/src fixture packages.
+type fixtureLoader struct {
+	root    string // the testdata/src directory
+	fset    *token.FileSet
+	exports map[string]string
+	std     types.Importer
+	cache   map[string]*Package
+}
+
+// newFixtureLoader scans every fixture file under root for non-fixture
+// imports and resolves their export data with one go list invocation.
+func newFixtureLoader(root string) (*fixtureLoader, error) {
+	l := &fixtureLoader{
+		root:  root,
+		fset:  token.NewFileSet(),
+		cache: map[string]*Package{},
+	}
+	std, err := l.stdlibImports()
+	if err != nil {
+		return nil, err
+	}
+	if len(std) > 0 {
+		exports, _, err := goList(root, std)
+		if err != nil {
+			return nil, err
+		}
+		l.exports = exports
+	} else {
+		l.exports = map[string]string{}
+	}
+	l.std = exportImporter(l.fset, l.exports)
+	return l, nil
+}
+
+// stdlibImports returns every import path used by fixture files that
+// is not itself a fixture directory under root.
+func (l *fixtureLoader) stdlibImports() ([]string, error) {
+	seen := map[string]bool{}
+	err := filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".go" {
+			return err
+		}
+		f, err := parser.ParseFile(l.fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, im := range f.Imports {
+			p, err := strconv.Unquote(im.Path.Value)
+			if err != nil {
+				continue
+			}
+			if st, err := os.Stat(filepath.Join(l.root, p)); err == nil && st.IsDir() {
+				continue // sibling fixture package
+			}
+			seen[p] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Import implements types.Importer over fixtures-then-stdlib.
+func (l *fixtureLoader) Import(path string) (*types.Package, error) {
+	if st, err := os.Stat(filepath.Join(l.root, path)); err == nil && st.IsDir() {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// load type-checks one fixture package by its path under testdata/src.
+func (l *fixtureLoader) load(path string) (*Package, error) {
+	if p, ok := l.cache[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.root, path)
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("fixture package %q has no .go files", path)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck fixture %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.cache[path] = p
+	return p, nil
+}

@@ -1,0 +1,418 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Releasecheck enforces PR 9's pooled-frame lifecycle. message.Encode
+// and message.EncodeSigned rent a size-classed pooled buffer; the
+// contract is:
+//
+//   - the frame is Released on every path out of the function (or
+//     ownership is explicitly transferred, which needs an allow),
+//   - the frame — and any alias of its Bytes() — is never used after
+//     Release (the pool will hand the buffer to a future frame, so a
+//     late read aliases someone else's bytes),
+//   - the frame's bytes are never retained past the Endpoint.Send
+//     boundary: no stores into fields, globals, channels or goroutines.
+//
+// The analysis is function-local and conservative in the direction of
+// reporting: patterns it cannot prove safe (returning a frame, storing
+// it into non-local structure) are findings, with //lint:allow as the
+// documented ownership-transfer escape.
+var Releasecheck = &Analyzer{
+	Name: "releasecheck",
+	Doc: "flag pooled message frames (message.Encode/EncodeSigned) that leak, are used " +
+		"after Release, or are retained past the Endpoint.Send no-retain boundary",
+	Run: runReleasecheck,
+}
+
+func messagePkg(path string) bool {
+	return path == "message" || strings.HasSuffix(path, "internal/message")
+}
+
+// encodeCall reports whether call is message.Encode or
+// message.EncodeSigned.
+func encodeCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := pass.pkgFunc(call)
+	if fn == nil || fn.Pkg() == nil || !messagePkg(fn.Pkg().Path()) {
+		return false
+	}
+	return fn.Name() == "Encode" || fn.Name() == "EncodeSigned"
+}
+
+func runReleasecheck(pass *Pass) error {
+	// The message package owns the pool; its internals are exempt.
+	if messagePkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			checkBodyFrames(pass, fd.Body)
+			return false
+		})
+	}
+	return nil
+}
+
+// frameVar tracks one pooled frame variable within a function.
+type frameVar struct {
+	obj     types.Object // the frame variable
+	assign  ast.Node     // the statement that minted it
+	aliases map[types.Object]bool
+}
+
+// checkBodyFrames runs the lifecycle rules over one function or
+// closure body. Nested closures are separate scopes: a frame minted
+// inside one must complete its lifecycle there.
+func checkBodyFrames(pass *Pass, body *ast.BlockStmt) {
+	// Frames minted in this body, excluding those inside nested
+	// closures (analyzed recursively below).
+	var frames []*frameVar
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			checkBodyFrames(pass, fl.Body)
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !encodeCall(pass, call) {
+			return true
+		}
+		stmt, lhs := encodeTarget(pass, body, call)
+		if lhs == nil {
+			pass.Reportf(call.Pos(),
+				"pooled frame from message.%s is dropped: nothing can Release it",
+				calleeName(call))
+			return true
+		}
+		frames = append(frames, &frameVar{obj: lhs, assign: stmt, aliases: map[types.Object]bool{}})
+		return true
+	})
+	for _, fv := range frames {
+		collectAliases(pass, body, fv)
+		checkRetention(pass, body, fv)
+		st := &releaseState{pass: pass, fv: fv}
+		st.checkStmts(body.List)
+		if st.active && !st.released && !st.deferred && !st.terminated {
+			pass.Reportf(fv.assign.Pos(),
+				"pooled frame %q is not released on the fall-through path", objName(fv.obj))
+		}
+	}
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "Encode"
+}
+
+// encodeTarget finds the variable an Encode call's result is bound to,
+// walking up from the call to its enclosing statement. Only direct
+// single-assignments to an identifier count; anything fancier is
+// treated as an untracked drop.
+func encodeTarget(pass *Pass, body *ast.BlockStmt, call *ast.CallExpr) (ast.Node, types.Object) {
+	var stmt ast.Node
+	var obj types.Object
+	ast.Inspect(body, func(n ast.Node) bool {
+		if obj != nil {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				if ast.Unparen(rhs) == call && i < len(s.Lhs) {
+					if id, ok := ast.Unparen(s.Lhs[i]).(*ast.Ident); ok && id.Name != "_" {
+						stmt = s
+						obj = pass.TypesInfo.ObjectOf(id)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, v := range s.Values {
+				if ast.Unparen(v) == call && i < len(s.Names) && s.Names[i].Name != "_" {
+					stmt = s
+					obj = pass.TypesInfo.ObjectOf(s.Names[i])
+				}
+			}
+		}
+		return true
+	})
+	return stmt, obj
+}
+
+// collectAliases records variables bound to fv's Bytes() — their uses
+// after Release are as dangerous as the frame's own.
+func collectAliases(pass *Pass, body *ast.BlockStmt, fv *frameVar) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isFrameMethod(pass, fv, call, "Bytes") || i >= len(as.Lhs) {
+				continue
+			}
+			if id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok && id.Name != "_" {
+				if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+					fv.aliases[obj] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isFrameMethod reports whether call is fv.<name>() on the tracked
+// frame variable.
+func isFrameMethod(pass *Pass, fv *frameVar, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && pass.TypesInfo.ObjectOf(id) == fv.obj
+}
+
+// mentions reports whether the frame or one of its aliases appears in n.
+func mentions(pass *Pass, fv *frameVar, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pass.TypesInfo.ObjectOf(id); obj != nil && (obj == fv.obj || fv.aliases[obj]) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// checkRetention flags stores that let the frame's pooled bytes outlive
+// the function: writes through selectors or indexes whose base is not a
+// function-local variable, channel sends, and goroutine captures.
+func checkRetention(pass *Pass, body *ast.BlockStmt, fv *frameVar) {
+	localObj := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := pass.TypesInfo.ObjectOf(id)
+		// Parameters and receivers point at caller-owned structure;
+		// only variables declared inside this body are local.
+		return obj != nil && obj.Pos() >= body.Pos() && obj.Pos() <= body.End()
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range node.Rhs {
+				if i >= len(node.Lhs) || !mentions(pass, fv, rhs) {
+					continue
+				}
+				switch lhs := ast.Unparen(node.Lhs[i]).(type) {
+				case *ast.SelectorExpr:
+					if !localObj(lhs.X) {
+						pass.Reportf(node.Pos(),
+							"pooled frame bytes of %q stored into non-local structure: frames must not be retained past the Send boundary", objName(fv.obj))
+					}
+				case *ast.IndexExpr:
+					if !localObj(lhs.X) {
+						pass.Reportf(node.Pos(),
+							"pooled frame bytes of %q stored into non-local structure: frames must not be retained past the Send boundary", objName(fv.obj))
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if mentions(pass, fv, node.Value) {
+				pass.Reportf(node.Pos(),
+					"pooled frame %q sent on a channel: the receiver would race the pool for the bytes", objName(fv.obj))
+			}
+		case *ast.GoStmt:
+			if mentions(pass, fv, node.Call) {
+				pass.Reportf(node.Pos(),
+					"pooled frame %q captured by a goroutine: the send boundary no longer bounds its lifetime", objName(fv.obj))
+			}
+		}
+		return true
+	})
+}
+
+func objName(obj types.Object) string {
+	if obj == nil {
+		return "?"
+	}
+	return obj.Name()
+}
+
+// releaseState walks a function's statements in order, tracking whether
+// the frame has been released on the current path. It reports early
+// returns that leak and uses after a release.
+type releaseState struct {
+	pass       *Pass
+	fv         *frameVar
+	active     bool // the minting statement has been seen
+	released   bool // definitely released on the fall-through path
+	deferred   bool // a defer guarantees release at every return
+	terminated bool // the walked path ends in return/panic before fall-through
+}
+
+// checkStmts processes one statement list in order, updating the
+// per-path release state.
+func (st *releaseState) checkStmts(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		st.checkStmt(s)
+	}
+}
+
+func (st *releaseState) checkStmt(s ast.Stmt) {
+	if s == st.fv.assign {
+		st.active = true
+		return
+	}
+	if vs, ok := s.(*ast.DeclStmt); ok {
+		if gd, ok := vs.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if spec == st.fv.assign {
+					st.active = true
+					return
+				}
+			}
+		}
+	}
+	if !st.active {
+		// Minting may happen inside a nested block (if cert != nil {
+		// f = Encode(...) }); descend looking for it.
+		switch stmt := s.(type) {
+		case *ast.IfStmt:
+			st.checkStmt(stmt.Body)
+			if stmt.Else != nil {
+				st.checkStmt(stmt.Else)
+			}
+		case *ast.BlockStmt:
+			st.checkStmts(stmt.List)
+		case *ast.ForStmt:
+			st.checkStmts(stmt.Body.List)
+		case *ast.RangeStmt:
+			st.checkStmts(stmt.Body.List)
+		}
+		return
+	}
+	switch stmt := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := stmt.X.(*ast.CallExpr); ok && isFrameMethod(st.pass, st.fv, call, "Release") {
+			if st.released {
+				st.pass.Reportf(stmt.Pos(),
+					"pooled frame %q released twice: the second Release corrupts the pool", objName(st.fv.obj))
+			}
+			st.released = true
+			return
+		}
+		st.noteUse(s)
+	case *ast.DeferStmt:
+		if isFrameMethod(st.pass, st.fv, stmt.Call, "Release") {
+			st.deferred = true
+			return
+		}
+		// defer func() { f.Release() }() also guarantees release.
+		if fl, ok := ast.Unparen(stmt.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(fl.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok && isFrameMethod(st.pass, st.fv, call, "Release") {
+					st.deferred = true
+				}
+				return true
+			})
+			if st.deferred {
+				return
+			}
+		}
+		st.noteUse(s)
+	case *ast.ReturnStmt:
+		st.noteUse(s)
+		if !st.released && !st.deferred {
+			st.pass.Reportf(stmt.Pos(),
+				"return without releasing pooled frame %q: the buffer leaks from its pool", objName(st.fv.obj))
+		}
+		st.terminated = true
+	case *ast.IfStmt:
+		st.noteUseExpr(stmt.Cond)
+		inner := *st
+		inner.checkStmts(stmt.Body.List)
+		var elseSt releaseState
+		if stmt.Else != nil {
+			elseSt = *st
+			elseSt.checkStmt(stmt.Else)
+		} else {
+			elseSt = *st
+		}
+		// The fall-through state joins the branches that fall through.
+		switch {
+		case inner.terminated && elseSt.terminated:
+			st.terminated = true
+		case inner.terminated:
+			st.released, st.deferred = elseSt.released, elseSt.deferred
+		case elseSt.terminated:
+			st.released, st.deferred = inner.released, inner.deferred
+		default:
+			st.released = inner.released && elseSt.released
+			st.deferred = inner.deferred || elseSt.deferred
+			// A one-sided release that falls through makes later uses
+			// suspect; treat "released on some path" as released for
+			// use-after-release purposes but not for leak purposes.
+			if inner.released != elseSt.released {
+				st.released = false
+				st.partialRelease(stmt)
+			}
+		}
+	case *ast.BlockStmt:
+		st.checkStmts(stmt.List)
+	case *ast.ForStmt:
+		st.checkStmts(stmt.Body.List)
+	case *ast.RangeStmt:
+		st.noteUseExpr(stmt.X)
+		st.checkStmts(stmt.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range stmt.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				inner := *st
+				inner.checkStmts(cc.Body)
+			}
+		}
+	default:
+		st.noteUse(s)
+	}
+}
+
+// partialRelease reports an if/else where only one falling-through
+// branch released the frame — later statements cannot know whether the
+// buffer is still theirs.
+func (st *releaseState) partialRelease(at ast.Node) {
+	st.pass.Reportf(at.Pos(),
+		"pooled frame %q released on only one branch: later statements race the pool for the bytes", objName(st.fv.obj))
+}
+
+// noteUse flags any mention of the frame after it was released.
+func (st *releaseState) noteUse(n ast.Node) {
+	if st.released && mentions(st.pass, st.fv, n) {
+		st.pass.Reportf(n.Pos(),
+			"use of pooled frame %q after Release: the buffer may already back another frame", objName(st.fv.obj))
+	}
+}
+
+func (st *releaseState) noteUseExpr(e ast.Expr) {
+	if e != nil {
+		st.noteUse(e)
+	}
+}

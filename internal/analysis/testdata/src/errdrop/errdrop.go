@@ -1,0 +1,52 @@
+// Package errdrop exercises errsticky against the storage fixture:
+// fsync failures latch sticky, so a dropped storage error is a silent
+// durability hole.
+package errdrop
+
+import "storage"
+
+// DropExpr discards the Append error as a bare statement.
+func DropExpr(d *storage.Disk, rec storage.Record) {
+	d.Append(rec) // want `dropped error from storage Disk\.Append`
+}
+
+// DropBlank discards the error into the blank identifier.
+func DropBlank(d *storage.Disk) {
+	_ = d.Close() // want `error discarded to _ from storage Disk\.Close`
+}
+
+// DropBlankPosition keeps the count but discards the error position.
+func DropBlankPosition(d *storage.Disk) int {
+	n, _ := d.Replay() // want `error discarded to _ from storage Disk\.Replay`
+	return n
+}
+
+// DeferClose drops the close (and with it the latched fsync) error.
+func DeferClose(d *storage.Disk) {
+	defer d.Close() // want `deferred call drops the error`
+}
+
+// GoSync loses the error on a forked goroutine.
+func GoSync(d *storage.Disk) {
+	go d.Sync() // want `go statement drops the error`
+}
+
+// DropViaInterface drops through the Store interface, not just the
+// concrete Disk.
+func DropViaInterface(s storage.Store, rec storage.Record) {
+	s.Append(rec) // want `dropped error from storage .*Append`
+}
+
+// Checked is the conforming shape.
+func Checked(d *storage.Disk, rec storage.Record) error {
+	if err := d.Append(rec); err != nil {
+		return err
+	}
+	return d.Sync()
+}
+
+// BestEffortClose shows the documented escape hatch.
+func BestEffortClose(d *storage.Disk) {
+	//lint:allow errsticky fixture: read-only scan; a close failure cannot lose data
+	d.Close()
+}

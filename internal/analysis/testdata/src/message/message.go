@@ -1,0 +1,24 @@
+// Package message is a stand-in for repro/internal/message with just
+// enough surface for the releasecheck fixtures: pooled frames, the two
+// encode entry points, and an Endpoint with the no-retain Send.
+package message
+
+type Message struct{ Kind int }
+
+type Signed struct{ Msg Message }
+
+// Frame is a pooled encode buffer, as in the real package.
+type Frame struct{ buf []byte }
+
+func Encode(m *Message) *Frame { return &Frame{buf: make([]byte, 16)} }
+
+func EncodeSigned(s *Signed) *Frame { return &Frame{buf: make([]byte, 32)} }
+
+func (f *Frame) Bytes() []byte { return f.buf }
+
+func (f *Frame) Release() {}
+
+type Endpoint struct{}
+
+// Send may read b only until it returns; callers must not retain b.
+func (e *Endpoint) Send(to int, b []byte) error { return nil }

@@ -1,0 +1,18 @@
+// Package other sits outside simdet's deterministic scope: the very
+// patterns that are findings in the sim fixture must stay silent here,
+// pinning the analyzer's package scoping.
+package other
+
+import "math/rand"
+
+func Jitter() int { return rand.Intn(10) }
+
+func Fork(f func()) { go f() }
+
+func Keys(state map[int]uint64) []int {
+	var keys []int
+	for k := range state {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,80 @@
+// Package sim exercises simdet. Its bare path matches the analyzer's
+// deterministic scope, so global rand, naked goroutines and
+// order-sensitive map iteration are all findings here.
+package sim
+
+import (
+	"math/rand"
+	"sort"
+)
+
+type digest struct{ sum uint64 }
+
+func (d *digest) mix(x uint64) { d.sum = d.sum*1099511628211 ^ x }
+
+// Fingerprint folds map entries into a digest in iteration order: the
+// fingerprint would differ run to run for the same state.
+func Fingerprint(state map[int]uint64) uint64 {
+	var d digest
+	for k, v := range state { // want `map iteration with order-sensitive effects`
+		d.mix(uint64(k))
+		d.mix(v)
+	}
+	return d.sum
+}
+
+// KeysUnsorted collects keys but never sorts them, so iteration order
+// escapes to the caller.
+func KeysUnsorted(state map[int]uint64) []int {
+	var keys []int
+	for k := range state { // want `map iteration order escapes through "keys"`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// KeysSorted is the conforming collect-then-sort shape.
+func KeysSorted(state map[int]uint64) []int {
+	var keys []int
+	for k := range state {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Expire is conforming: deletes commute across iteration orders.
+func Expire(state map[int]uint64, floor uint64) {
+	for k, v := range state {
+		if v < floor {
+			delete(state, k)
+		}
+	}
+}
+
+// MaxSeq is conforming: max-aggregation is order-insensitive.
+func MaxSeq(state map[int]uint64) uint64 {
+	var maxSeq uint64
+	for _, v := range state {
+		if v > maxSeq {
+			maxSeq = v
+		}
+	}
+	return maxSeq
+}
+
+// Jitter draws from the shared, unseeded global generator.
+func Jitter() int {
+	return rand.Intn(10) // want `global math/rand\.Intn`
+}
+
+// SeededJitter is conforming: an explicit seeded instance.
+func SeededJitter(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// Fork leaves the single-threaded step path.
+func Fork(f func()) {
+	go f() // want `naked go statement`
+}

@@ -1,0 +1,23 @@
+// Package storage is a stand-in for repro/internal/storage: just the
+// error-returning durability surface errsticky watches.
+package storage
+
+type Record struct{ Seq uint64 }
+
+type Store interface {
+	Append(rec Record) error
+	Sync() error
+	Close() error
+}
+
+type Disk struct{}
+
+func (d *Disk) Append(rec Record) error { return nil }
+
+func (d *Disk) Sync() error { return nil }
+
+func (d *Disk) Close() error { return nil }
+
+// Replay returns a count alongside its error so fixtures can discard
+// the error position specifically.
+func (d *Disk) Replay() (int, error) { return 0, nil }

@@ -7,6 +7,8 @@
 // configurable request/reply payload sizes (0/0, 0/4, 4/0).
 package bench
 
+//lint:file-allow clockcheck benchmark harness: measures real elapsed time on the host clock by design
+
 import (
 	"fmt"
 	"sort"

@@ -1,5 +1,7 @@
 package bench
 
+//lint:file-allow clockcheck benchmark harness: measures real elapsed time on the host clock by design
+
 import (
 	"fmt"
 	"io"

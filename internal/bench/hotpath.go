@@ -1,5 +1,7 @@
 package bench
 
+//lint:file-allow clockcheck benchmark harness: measures real elapsed time on the host clock by design
+
 import (
 	"bytes"
 	"encoding/json"
@@ -158,7 +160,7 @@ func hotpathCrypto() []HotpathComparison {
 // (where coalescing earns its keep; acceptance bar ≥3×). Real fsyncs are
 // noisy, so each point is the best of three runs.
 func hotpathWAL() ([]HotpathComparison, error) {
-	run := func(writers int) (testing.BenchmarkResult, error) {
+	run := func(writers int) (res testing.BenchmarkResult, err error) {
 		dir, err := os.MkdirTemp("", "hotpath-wal-")
 		if err != nil {
 			return testing.BenchmarkResult{}, err
@@ -168,13 +170,20 @@ func hotpathWAL() ([]HotpathComparison, error) {
 		if err != nil {
 			return testing.BenchmarkResult{}, err
 		}
-		defer d.Close()
+		// A sticky fsync error would have surfaced through Append and
+		// failed the benchmark already; a close failure here means the
+		// measured numbers came off a sick disk, so surface it too.
+		defer func() {
+			if cerr := d.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
 		payload := make([]byte, 256)
 		rec := storage.Record{
 			Kind: storage.KindProposal, Seq: 1, View: 3, Mode: 1,
 			Digest: crypto.Sum(payload), Payload: payload,
 		}
-		res := testing.Benchmark(func(b *testing.B) {
+		res = testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			b.SetParallelism(writers) // workers = writers × GOMAXPROCS
 			b.RunParallel(func(pb *testing.PB) {

@@ -15,6 +15,8 @@
 //   - S-UpRight: m+1 matching replies.
 package client
 
+//lint:file-allow clockcheck client-side retry timers and staleness observation run on the host clock by design; replicas never see these timestamps
+
 import (
 	"errors"
 	"fmt"

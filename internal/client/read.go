@@ -1,5 +1,7 @@
 package client
 
+//lint:file-allow clockcheck MaxStaleness bounds and retry deadlines are real-time client contracts measured on the host clock
+
 import (
 	"time"
 

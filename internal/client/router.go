@@ -1,5 +1,7 @@
 package client
 
+//lint:file-allow clockcheck epoch-fence retry pacing is a client-side real-time wait, not protocol time
+
 import (
 	"errors"
 	"fmt"

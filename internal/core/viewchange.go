@@ -143,19 +143,18 @@ func (r *Replica) recordViewChange(m *message.Message) {
 
 	// Join rule: m+1 distinct replicas demanding some newer view means
 	// at least one correct replica suspects the primary; join the
-	// smallest such view.
+	// smallest such view. The scan is a pure min-aggregation so the
+	// joined view — a scheduling decision — cannot depend on map
+	// iteration order (simdet).
 	if r.status == statusNormal {
+		var join ids.View
 		for v, votes := range r.vc.votes {
-			if v > r.view && len(votes) >= r.mb.M()+1 {
-				join := v
-				for v2, votes2 := range r.vc.votes {
-					if v2 > r.view && v2 < join && len(votes2) >= r.mb.M()+1 {
-						join = v2
-					}
-				}
-				r.startViewChange(join, r.modeFor(join))
-				break
+			if v > r.view && len(votes) >= r.mb.M()+1 && (join == 0 || v < join) {
+				join = v
 			}
+		}
+		if join != 0 {
+			r.startViewChange(join, r.modeFor(join))
 		}
 	}
 

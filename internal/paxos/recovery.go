@@ -85,9 +85,10 @@ func (r *Replica) drainPendingStable() {
 
 func (r *Replica) maybeRequestState() {
 	behind := uint64(0)
+	last := r.exec.LastExecuted()
 	for seq := range r.pendingStable {
-		if seq > r.exec.LastExecuted() && seq-r.exec.LastExecuted() > behind {
-			behind = seq - r.exec.LastExecuted()
+		if seq > last && seq-last > behind {
+			behind = seq - last
 		}
 	}
 	if behind < r.exec.Period() {
@@ -212,6 +213,23 @@ func (r *Replica) recordViewChange(m *message.Message) {
 	}
 }
 
+// votesInReplicaOrder flattens a vote map into sender-id order, so
+// everything harvested from the votes — checkpoint proof, slot picks,
+// the NEW-VIEW wire content — is independent of map iteration order
+// (the simdet determinism contract).
+func votesInReplicaOrder(votes map[ids.ReplicaID]*message.Message) []*message.Message {
+	froms := make([]int, 0, len(votes))
+	for from := range votes {
+		froms = append(froms, int(from))
+	}
+	sort.Ints(froms)
+	out := make([]*message.Message, 0, len(froms))
+	for _, id := range froms {
+		out = append(out, votes[ids.ReplicaID(id)])
+	}
+	return out
+}
+
 func (r *Replica) tryAssembleNewView(target ids.View) {
 	if target <= r.view {
 		return
@@ -228,10 +246,15 @@ func (r *Replica) tryAssembleNewView(target ids.View) {
 		return
 	}
 
+	// Replica-ordered votes: the checkpoint tie-break (two votes at the
+	// same stable Seq can carry different proofs) and the slot picks
+	// below must not depend on map iteration order.
+	ordered := votesInReplicaOrder(votes)
+
 	l := r.log.Low()
 	lDigest := r.log.StableDigest()
 	lProof := r.log.StableProof()
-	for _, m := range votes {
+	for _, m := range ordered {
 		if m.Seq > l {
 			l, lDigest, lProof = m.Seq, m.StateDigest, m.CheckpointProof
 		}
@@ -271,7 +294,7 @@ func (r *Replica) tryAssembleNewView(target ids.View) {
 			consider(&m.Commits[i], true)
 		}
 	}
-	for _, m := range votes {
+	for _, m := range ordered {
 		harvest(m)
 	}
 	own := r.log.ProposalsAbove()

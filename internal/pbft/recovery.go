@@ -94,9 +94,10 @@ func (r *Replica) drainPendingStable() {
 
 func (r *Replica) maybeRequestState() {
 	behind := uint64(0)
+	last := r.exec.LastExecuted()
 	for seq := range r.pendingStable {
-		if seq > r.exec.LastExecuted() && seq-r.exec.LastExecuted() > behind {
-			behind = seq - r.exec.LastExecuted()
+		if seq > last && seq-last > behind {
+			behind = seq - last
 		}
 	}
 	if behind < r.exec.Period() {
@@ -250,24 +251,40 @@ func (r *Replica) recordViewChange(m *message.Message) {
 	if _, dup := votes[m.From]; !dup {
 		votes[m.From] = m
 	}
-	// Join once Byz+1 distinct replicas demand a newer view.
+	// Join once Byz+1 distinct replicas demand a newer view. The scan
+	// is a pure min-aggregation so the joined view — a scheduling
+	// decision — cannot depend on map iteration order (simdet).
 	if r.status == statusNormal {
+		var join ids.View
 		for v, vs := range r.vcVotes {
-			if v > r.view && len(vs) >= r.WeakQuorum() {
-				join := v
-				for v2, vs2 := range r.vcVotes {
-					if v2 > r.view && v2 < join && len(vs2) >= r.WeakQuorum() {
-						join = v2
-					}
-				}
-				r.startViewChange(join)
-				break
+			if v > r.view && len(vs) >= r.WeakQuorum() && (join == 0 || v < join) {
+				join = v
 			}
+		}
+		if join != 0 {
+			r.startViewChange(join)
 		}
 	}
 	if r.Primary(m.View) == r.eng.ID() {
 		r.tryAssembleNewView(m.View)
 	}
+}
+
+// votesInReplicaOrder flattens a vote map into sender-id order, so
+// everything harvested from the votes — checkpoint proof, slot
+// candidates, the NEW-VIEW wire content — is independent of map
+// iteration order (the simdet determinism contract).
+func votesInReplicaOrder(votes map[ids.ReplicaID]*message.Message) []*message.Message {
+	froms := make([]int, 0, len(votes))
+	for from := range votes {
+		froms = append(froms, int(from))
+	}
+	sort.Ints(froms)
+	out := make([]*message.Message, 0, len(froms))
+	for _, id := range froms {
+		out = append(out, votes[ids.ReplicaID(id)])
+	}
+	return out
 }
 
 func (r *Replica) tryAssembleNewView(target ids.View) {
@@ -279,10 +296,16 @@ func (r *Replica) tryAssembleNewView(target ids.View) {
 		return
 	}
 
+	// Replica-ordered votes: the checkpoint tie-break (two votes at the
+	// same stable Seq can carry different proofs) and the candidate
+	// harvest below feed the NEW-VIEW wire content, which must not
+	// depend on map iteration order.
+	ordered := votesInReplicaOrder(votes)
+
 	l := r.log.Low()
 	lDigest := r.log.StableDigest()
 	lProof := r.log.StableProof()
-	for _, m := range votes {
+	for _, m := range ordered {
 		if m.Seq > l {
 			l, lDigest, lProof = m.Seq, m.StateDigest, m.CheckpointProof
 		}
@@ -345,11 +368,11 @@ func (r *Replica) tryAssembleNewView(target ids.View) {
 	}
 	// Two passes so prepare votes can attach to pre-prepares regardless
 	// of the order view-change messages listed them in.
-	for _, m := range votes {
+	for _, m := range ordered {
 		harvest(m.Prepares, nil)
 	}
 	harvest(r.log.ProposalsAbove(), nil)
-	for _, m := range votes {
+	for _, m := range ordered {
 		harvest(nil, m.Commits)
 	}
 	harvest(nil, r.preparedCertificates())

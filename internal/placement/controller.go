@@ -194,6 +194,7 @@ func (c *Controller) seal(from ids.GroupID, m *Map) (SealResult, error) {
 			return SealResult{}, fmt.Errorf("sealing on %v: %w", from, err)
 		}
 		lastErr = err
+		//lint:allow clockcheck seal-busy backoff paces retries against a live replica in real time
 		time.Sleep(backoff)
 	}
 	return SealResult{}, fmt.Errorf("sealing on %v: %w", from, lastErr)

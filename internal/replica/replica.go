@@ -91,6 +91,7 @@ func (e *Engine) Start(h Handler) {
 
 func (e *Engine) loop(h Handler) {
 	defer close(e.done)
+	//lint:allow clockcheck the wall ticker only paces the event loop; protocol timestamps come from the injected clock.Clock
 	ticker := time.NewTicker(e.tick)
 	defer ticker.Stop()
 	for {

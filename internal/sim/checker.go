@@ -101,7 +101,17 @@ func (c *checker) mergeTraces() bool {
 	}
 	bySeq := make(map[uint64]run)
 	var seqs []uint64
-	for id, trace := range c.res.Traces {
+	// Merge traces in replica order: which replica a divergence report
+	// names (and which run is recorded first) must not depend on map
+	// iteration order, or the same seed could print different failures.
+	var rids []int
+	for id := range c.res.Traces {
+		rids = append(rids, int(id))
+	}
+	sort.Ints(rids)
+	for _, rid := range rids {
+		id := ids.ReplicaID(rid)
+		trace := c.res.Traces[id]
 		i := 0
 		for i < len(trace) {
 			j := i

@@ -18,6 +18,7 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/clock"
@@ -217,11 +218,7 @@ func (r *Result) Fingerprint() string {
 	for id := range r.Traces {
 		replicas = append(replicas, int(id))
 	}
-	for i := 1; i < len(replicas); i++ { // insertion sort; tiny n
-		for j := i; j > 0 && replicas[j] < replicas[j-1]; j-- {
-			replicas[j], replicas[j-1] = replicas[j-1], replicas[j]
-		}
-	}
+	sort.Ints(replicas)
 	for _, id := range replicas {
 		trace := r.Traces[ids.ReplicaID(id)]
 		w(uint64(id), uint64(len(trace)))

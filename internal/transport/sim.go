@@ -1,5 +1,7 @@
 package transport
 
+//lint:file-allow clockcheck real-time network emulation: latency and jitter here model the wire, not protocol time, and are measured on the host clock by design
+
 import (
 	"container/heap"
 	"math/rand"

@@ -411,6 +411,7 @@ func (c *Coordinator) Exec(writes [][]byte) error {
 		// prepare may be the very one the cleanup would talk to, and
 		// presumed abort covers whatever the budget cuts off.
 		cleanupCancel := make(chan struct{})
+		//lint:allow clockcheck the abort-cleanup budget bounds real elapsed time talking to a possibly dead shard
 		cleanupTimer := time.AfterFunc(abortCleanupBudget, func() { close(cleanupCancel) })
 		if _, err := decideAt(c.groups[t.Participants[0]], t.ID, false, cleanupCancel); err == nil {
 			_ = finishAll(c.groups, t.Participants, t.ID, false, cleanupCancel)
@@ -438,6 +439,7 @@ func (c *Coordinator) Exec(writes [][]byte) error {
 			continue
 		}
 		prevBlocker, havePrev = conflict.Blocker, true
+		//lint:allow clockcheck conflict-retry pacing is a real-time client-side wait, not protocol time
 		time.Sleep(conflictRetryWait)
 	}
 	return fmt.Errorf("%w: %v", ErrAborted, lastErr)
